@@ -1,0 +1,22 @@
+//! Benchmark: distributed FPSS construction + execution (experiment E4's
+//! workload) as network size grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use specfaith_bench::instance;
+use specfaith_fpss::runner::PlainFpssSim;
+
+fn bench_plain_lifecycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plain_fpss_lifecycle");
+    group.sample_size(10);
+    for n in [6usize, 10, 16, 24] {
+        let inst = instance(n, 7);
+        let sim = PlainFpssSim::new(inst.topo.clone(), inst.costs.clone(), inst.traffic.clone());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &sim, |b, sim| {
+            b.iter(|| sim.run_faithful(7));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plain_lifecycle);
+criterion_main!(benches);

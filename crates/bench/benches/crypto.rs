@@ -1,0 +1,59 @@
+//! Benchmark: the crypto substrate (the per-checkpoint cost of hashing
+//! tables and sealing bank envelopes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use specfaith_crypto::auth::ChannelKey;
+use specfaith_crypto::mac::hmac_sha256;
+use specfaith_crypto::sha256::sha256;
+use specfaith_crypto::tablehash::TableHasher;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 65536] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| sha256(data));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let data = vec![0xcdu8; 256];
+    c.bench_function("hmac_sha256_256B", |b| {
+        b.iter(|| hmac_sha256(b"key-material", &data));
+    });
+}
+
+fn bench_table_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_hash_rows");
+    for rows in [16usize, 128, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, &rows| {
+            b.iter(|| {
+                let mut h = TableHasher::new("bench");
+                for i in 0..rows as u64 {
+                    h.put_u32(i as u32).put_u64(i).put_i64(-(i as i64)).row_boundary();
+                }
+                h.finish()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_seal_open(c: &mut Criterion) {
+    let key = ChannelKey::derive(b"bank-secret", 3);
+    let payload = vec![0u8; 512];
+    c.bench_function("channel_seal_open_512B", |b| {
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            let env = key.seal(seq, payload.clone());
+            key.open(&env, seq - 1).expect("valid")
+        });
+    });
+}
+
+criterion_group!(benches, bench_sha256, bench_hmac, bench_table_hash, bench_seal_open);
+criterion_main!(benches);

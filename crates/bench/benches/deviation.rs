@@ -1,0 +1,40 @@
+//! Benchmark: the faithfulness harness — one deviant run and a full
+//! catalog sweep (the Theorem-1 workload).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use specfaith_core::id::NodeId;
+use specfaith_faithful::harness::FaithfulSim;
+use specfaith_fpss::deviation::DropTransitPackets;
+use specfaith_fpss::traffic::TrafficMatrix;
+use specfaith_graph::generators::figure1;
+
+fn bench_single_deviant_run(c: &mut Criterion) {
+    let net = figure1();
+    let sim = FaithfulSim::new(
+        net.topology.clone(),
+        net.costs.clone(),
+        TrafficMatrix::single(net.x, net.z, 5),
+    );
+    let deviant: NodeId = net.c;
+    c.bench_function("faithful_run_with_deviant", |b| {
+        b.iter(|| sim.run_with_deviant(deviant, Box::new(DropTransitPackets), 7));
+    });
+}
+
+fn bench_catalog_sweep(c: &mut Criterion) {
+    let net = figure1();
+    let sim = FaithfulSim::new(
+        net.topology.clone(),
+        net.costs.clone(),
+        TrafficMatrix::single(net.x, net.z, 5),
+    );
+    let mut group = c.benchmark_group("equilibrium_sweep");
+    group.sample_size(10);
+    group.bench_function("figure1_full_catalog", |b| {
+        b.iter(|| sim.equilibrium_report(7));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_deviant_run, bench_catalog_sweep);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Benchmark: centralized LCP and VCG payment computation (the primitive
+//! behind experiment E1 and the checkers' reference semantics).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use specfaith_bench::instance;
+use specfaith_core::id::NodeId;
+use specfaith_graph::lcp::{lcp_tree, lcp_tree_avoiding};
+
+fn bench_lcp_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lcp_tree");
+    for n in [8usize, 16, 32, 64] {
+        let inst = instance(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| lcp_tree(&inst.topo, &inst.costs, NodeId::new(0)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lcp_avoiding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lcp_tree_avoiding");
+    for n in [8usize, 16, 32, 64] {
+        let inst = instance(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| {
+                lcp_tree_avoiding(&inst.topo, &inst.costs, NodeId::new(0), Some(NodeId::new(1)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_pairs_vcg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expected_tables");
+    group.sample_size(10);
+    for n in [8usize, 16, 24] {
+        let inst = instance(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| specfaith_fpss::pricing::expected_tables(&inst.topo, &inst.costs));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lcp_tree, bench_lcp_avoiding, bench_all_pairs_vcg);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Benchmark: faithful vs plain lifecycle wall-time (the computational
+//! side of experiment E8's overhead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use specfaith_bench::instance;
+use specfaith_faithful::harness::FaithfulSim;
+use specfaith_fpss::runner::PlainFpssSim;
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lifecycle");
+    group.sample_size(10);
+    for n in [6usize, 10, 14] {
+        let inst = instance(n, 7);
+        let plain =
+            PlainFpssSim::new(inst.topo.clone(), inst.costs.clone(), inst.traffic.clone());
+        group.bench_with_input(BenchmarkId::new("plain", n), &plain, |b, sim| {
+            b.iter(|| sim.run_faithful(7));
+        });
+        let faithful =
+            FaithfulSim::new(inst.topo.clone(), inst.costs.clone(), inst.traffic.clone());
+        group.bench_with_input(BenchmarkId::new("faithful", n), &faithful, |b, sim| {
+            b.iter(|| sim.run_faithful(7));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Benchmark: the strategyproofness tester over the FPSS routing
+//! mechanism (experiment E3's workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use specfaith_bench::instance;
+use specfaith_core::mechanism::{check_strategyproof, MisreportGrid};
+use specfaith_core::vcg::VcgMechanism;
+use specfaith_fpss::pricing::RoutingProblem;
+use specfaith_graph::costs::CostVector;
+
+fn bench_strategyproofness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check_strategyproof");
+    group.sample_size(10);
+    for n in [6usize, 10, 14] {
+        let inst = instance(n, 3);
+        let flows = inst
+            .traffic
+            .flows()
+            .iter()
+            .map(|f| (f.src, f.dst, f.packets))
+            .collect();
+        let mech = VcgMechanism::new(RoutingProblem::new(inst.topo.clone(), flows));
+        let mut rng = StdRng::seed_from_u64(3);
+        let profiles: Vec<Vec<_>> = (0..3)
+            .map(|_| CostVector::random(n, 0, 20, &mut rng).as_slice().to_vec())
+            .collect();
+        let grid = MisreportGrid::offsets(&[-5, -1, 1, 5]);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, _| {
+            b.iter(|| check_strategyproof(&mech, &profiles, &grid));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategyproofness);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! # specfaith-bench
+//!
+//! Shared helpers for the Criterion benchmarks and the experiment runner
+//! (`run_experiments`), which regenerates every experiment table in
+//! EXPERIMENTS.md.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use specfaith_fpss::traffic::TrafficMatrix;
+use specfaith_graph::costs::CostVector;
+use specfaith_graph::generators::random_biconnected;
+use specfaith_graph::topology::Topology;
+
+/// A reproducible benchmark instance: topology, costs, traffic.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// The topology.
+    pub topo: Topology,
+    /// True transit costs.
+    pub costs: CostVector,
+    /// Execution traffic.
+    pub traffic: TrafficMatrix,
+}
+
+/// Builds the standard random instance for size `n` and `seed`.
+pub fn instance(n: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = random_biconnected(n, n / 2, &mut rng);
+    let costs = CostVector::random(n, 1, 20, &mut rng);
+    let traffic = TrafficMatrix::random(n, (n / 2).max(2), 3, &mut rng);
+    Instance {
+        topo,
+        costs,
+        traffic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_are_reproducible_and_biconnected() {
+        let a = instance(10, 3);
+        let b = instance(10, 3);
+        assert_eq!(a.topo, b.topo);
+        assert_eq!(a.costs, b.costs);
+        assert_eq!(a.traffic, b.traffic);
+        assert!(a.topo.is_biconnected());
+    }
+}

@@ -1,0 +1,307 @@
+//! External-action classification (paper §3.4) and deviation surfaces.
+//!
+//! A node's suggested strategy `sᵐᵢ` decomposes into three sub-strategies
+//! `(rᵐᵢ, pᵐᵢ, cᵐᵢ)`: information revelation, message passing, and
+//! computation. Every externally visible action of a node belongs to exactly
+//! one of these classes (Definitions 2–4), and the compatibility properties
+//! IC / CC / AC (Definitions 9–11) quantify over deviations in exactly one
+//! class. The *strong* variants (Definitions 12–13) quantify over deviations
+//! in one class **jointly with arbitrary behavior in the others**, which is
+//! why deviation strategies carry a [`DeviationSurface`] naming every class
+//! they touch.
+
+use std::fmt;
+
+/// The classes of external action a node can take (Definitions 2–4).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ExternalActionKind {
+    /// Reveals (possibly partial, possibly untruthful, but *consistent*)
+    /// information about the node's own type to other nodes — e.g. declaring
+    /// a transit cost, or announcing adjacency (semi-private type).
+    InformationRevelation,
+    /// Forwards a message received from another node to one or more
+    /// neighbors, unmodified — e.g. relaying a routing update to checkers.
+    MessagePassing,
+    /// Any external action that can affect the outcome rule beyond
+    /// revelation or forwarding — e.g. recomputing and announcing routing or
+    /// pricing tables, or reporting payment tallies.
+    Computation,
+}
+
+impl ExternalActionKind {
+    /// All three classes, in a fixed order.
+    pub const ALL: [ExternalActionKind; 3] = [
+        ExternalActionKind::InformationRevelation,
+        ExternalActionKind::MessagePassing,
+        ExternalActionKind::Computation,
+    ];
+
+    /// The compatibility property whose proof obligation covers deviations
+    /// of this kind (Definitions 9–11).
+    pub fn compatibility(self) -> CompatibilityKind {
+        match self {
+            ExternalActionKind::InformationRevelation => CompatibilityKind::Incentive,
+            ExternalActionKind::MessagePassing => CompatibilityKind::Communication,
+            ExternalActionKind::Computation => CompatibilityKind::Algorithm,
+        }
+    }
+}
+
+impl fmt::Display for ExternalActionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ExternalActionKind::InformationRevelation => "information-revelation",
+            ExternalActionKind::MessagePassing => "message-passing",
+            ExternalActionKind::Computation => "computation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The compatibility properties of a distributed mechanism specification
+/// (Definitions 9–11): a specification faithful in all three, in the same
+/// ex post Nash equilibrium, is a faithful implementation (Proposition 1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum CompatibilityKind {
+    /// IC — no profitable deviation from the suggested
+    /// information-revelation strategy `rᵐᵢ`.
+    Incentive,
+    /// CC — no profitable deviation from the suggested message-passing
+    /// strategy `pᵐᵢ`.
+    Communication,
+    /// AC — no profitable deviation from the suggested computational
+    /// strategy `cᵐᵢ`.
+    Algorithm,
+}
+
+impl CompatibilityKind {
+    /// All three properties, in a fixed order.
+    pub const ALL: [CompatibilityKind; 3] = [
+        CompatibilityKind::Incentive,
+        CompatibilityKind::Communication,
+        CompatibilityKind::Algorithm,
+    ];
+
+    /// Short conventional abbreviation (IC / CC / AC).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            CompatibilityKind::Incentive => "IC",
+            CompatibilityKind::Communication => "CC",
+            CompatibilityKind::Algorithm => "AC",
+        }
+    }
+}
+
+impl fmt::Display for CompatibilityKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// The set of action classes a deviation strategy touches.
+///
+/// Strong-CC must rule out deviations whose surface includes
+/// `MessagePassing` *regardless* of what else is in the surface; likewise
+/// strong-AC for `Computation`. A joint deviation (the paper's "any
+/// combination of deviation") simply has more than one class set.
+///
+/// # Example
+///
+/// ```
+/// use specfaith_core::actions::{DeviationSurface, ExternalActionKind};
+///
+/// let s = DeviationSurface::new()
+///     .with(ExternalActionKind::MessagePassing)
+///     .with(ExternalActionKind::Computation);
+/// assert!(s.touches(ExternalActionKind::MessagePassing));
+/// assert!(s.is_joint());
+/// assert_eq!(s.to_string(), "message-passing+computation");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DeviationSurface {
+    bits: u8,
+}
+
+impl DeviationSurface {
+    /// The empty surface (an internal-only deviation; harmless by
+    /// definition since internal actions generate no messages).
+    pub fn new() -> Self {
+        DeviationSurface { bits: 0 }
+    }
+
+    /// A surface touching exactly one class.
+    pub fn only(kind: ExternalActionKind) -> Self {
+        DeviationSurface::new().with(kind)
+    }
+
+    /// A surface touching every class.
+    pub fn all() -> Self {
+        ExternalActionKind::ALL
+            .into_iter()
+            .fold(DeviationSurface::new(), DeviationSurface::with)
+    }
+
+    fn bit(kind: ExternalActionKind) -> u8 {
+        match kind {
+            ExternalActionKind::InformationRevelation => 1,
+            ExternalActionKind::MessagePassing => 2,
+            ExternalActionKind::Computation => 4,
+        }
+    }
+
+    /// Returns a surface additionally touching `kind`.
+    #[must_use]
+    pub fn with(self, kind: ExternalActionKind) -> Self {
+        DeviationSurface {
+            bits: self.bits | Self::bit(kind),
+        }
+    }
+
+    /// Whether the surface touches `kind`.
+    pub fn touches(self, kind: ExternalActionKind) -> bool {
+        self.bits & Self::bit(kind) != 0
+    }
+
+    /// Whether more than one class is touched (a joint deviation).
+    pub fn is_joint(self) -> bool {
+        self.bits.count_ones() > 1
+    }
+
+    /// Whether no class is touched.
+    pub fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Iterates over the touched classes in declaration order.
+    pub fn kinds(self) -> impl Iterator<Item = ExternalActionKind> {
+        ExternalActionKind::ALL
+            .into_iter()
+            .filter(move |k| self.touches(*k))
+    }
+
+    /// The compatibility properties this surface puts at risk.
+    pub fn compatibilities(self) -> impl Iterator<Item = CompatibilityKind> {
+        self.kinds().map(ExternalActionKind::compatibility)
+    }
+}
+
+impl fmt::Debug for DeviationSurface {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DeviationSurface({self})")
+    }
+}
+
+impl fmt::Display for DeviationSurface {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("internal-only");
+        }
+        let mut first = true;
+        for kind in self.kinds() {
+            if !first {
+                f.write_str("+")?;
+            }
+            write!(f, "{kind}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<ExternalActionKind> for DeviationSurface {
+    fn from_iter<T: IntoIterator<Item = ExternalActionKind>>(iter: T) -> Self {
+        iter.into_iter()
+            .fold(DeviationSurface::new(), DeviationSurface::with)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_maps_to_compatibility() {
+        assert_eq!(
+            ExternalActionKind::InformationRevelation.compatibility(),
+            CompatibilityKind::Incentive
+        );
+        assert_eq!(
+            ExternalActionKind::MessagePassing.compatibility(),
+            CompatibilityKind::Communication
+        );
+        assert_eq!(
+            ExternalActionKind::Computation.compatibility(),
+            CompatibilityKind::Algorithm
+        );
+    }
+
+    #[test]
+    fn empty_surface_touches_nothing() {
+        let s = DeviationSurface::new();
+        assert!(s.is_empty());
+        assert!(!s.is_joint());
+        for k in ExternalActionKind::ALL {
+            assert!(!s.touches(k));
+        }
+        assert_eq!(s.to_string(), "internal-only");
+    }
+
+    #[test]
+    fn single_surface_is_not_joint() {
+        let s = DeviationSurface::only(ExternalActionKind::Computation);
+        assert!(s.touches(ExternalActionKind::Computation));
+        assert!(!s.touches(ExternalActionKind::MessagePassing));
+        assert!(!s.is_joint());
+    }
+
+    #[test]
+    fn joint_surface_detection() {
+        let s: DeviationSurface = [
+            ExternalActionKind::InformationRevelation,
+            ExternalActionKind::Computation,
+        ]
+        .into_iter()
+        .collect();
+        assert!(s.is_joint());
+        let kinds: Vec<_> = s.kinds().collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ExternalActionKind::InformationRevelation,
+                ExternalActionKind::Computation
+            ]
+        );
+    }
+
+    #[test]
+    fn all_surface_touches_everything() {
+        let s = DeviationSurface::all();
+        for k in ExternalActionKind::ALL {
+            assert!(s.touches(k));
+        }
+        assert_eq!(s.compatibilities().count(), 3);
+    }
+
+    #[test]
+    fn with_is_idempotent() {
+        let s = DeviationSurface::only(ExternalActionKind::MessagePassing)
+            .with(ExternalActionKind::MessagePassing);
+        assert!(!s.is_joint());
+    }
+
+    #[test]
+    fn display_joins_kinds() {
+        let s = DeviationSurface::all();
+        assert_eq!(
+            s.to_string(),
+            "information-revelation+message-passing+computation"
+        );
+    }
+
+    #[test]
+    fn abbreviations() {
+        assert_eq!(CompatibilityKind::Incentive.abbrev(), "IC");
+        assert_eq!(CompatibilityKind::Communication.abbrev(), "CC");
+        assert_eq!(CompatibilityKind::Algorithm.abbrev(), "AC");
+    }
+}

@@ -1,0 +1,484 @@
+//! Ex post Nash deviation testing (Definitions 6–8).
+//!
+//! A strategy profile `s*` is an **ex post Nash equilibrium** when no agent
+//! can strictly improve its utility by unilateral deviation, *for all type
+//! profiles* of the other agents. A distributed mechanism specification is
+//! a **faithful implementation** when the suggested strategy `sᵐ` is such an
+//! equilibrium (Definition 8).
+//!
+//! This module turns that definition into an empirical test: given
+//!
+//! * a simulator (any closure that plays the game and returns realized
+//!   utilities),
+//! * a library of deviation strategies, each tagged with the action-classes
+//!   it touches (its [`DeviationSurface`]) and the phase it attacks,
+//!
+//! [`test_deviations`] plays the faithful profile once and then each
+//! `(agent, deviation)` unilateral deviation, recording whether any
+//! deviation was strictly profitable. Repeating the test over many sampled
+//! type profiles (see [`EquilibriumSuite`]) is the computational analogue of
+//! the paper's "for all θ" quantifier.
+//!
+//! Per Remark 1, a *weak* equilibrium suffices: agents are benevolent and
+//! follow the suggested strategy unless some deviation is **strictly**
+//! better.
+
+use crate::actions::{CompatibilityKind, DeviationSurface, ExternalActionKind};
+use crate::money::Money;
+use std::fmt;
+
+/// A named deviation strategy in the tested library.
+///
+/// # Example
+///
+/// ```
+/// use specfaith_core::equilibrium::DeviationSpec;
+/// use specfaith_core::actions::{DeviationSurface, ExternalActionKind};
+///
+/// let spec = DeviationSpec::new(
+///     "drop-routing-forward",
+///     DeviationSurface::only(ExternalActionKind::MessagePassing),
+/// )
+/// .in_phase("construction-2");
+/// assert_eq!(spec.phase(), Some("construction-2"));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeviationSpec {
+    name: String,
+    surface: DeviationSurface,
+    phase: Option<String>,
+}
+
+impl DeviationSpec {
+    /// Creates a deviation description.
+    pub fn new(name: impl Into<String>, surface: DeviationSurface) -> Self {
+        DeviationSpec {
+            name: name.into(),
+            surface,
+            phase: None,
+        }
+    }
+
+    /// Tags the deviation with the mechanism phase it attacks (§3.9's
+    /// decomposition assigns each proof obligation to a phase).
+    #[must_use]
+    pub fn in_phase(mut self, phase: impl Into<String>) -> Self {
+        self.phase = Some(phase.into());
+        self
+    }
+
+    /// The deviation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The action classes the deviation touches.
+    pub fn surface(&self) -> DeviationSurface {
+        self.surface
+    }
+
+    /// The phase the deviation attacks, if tagged.
+    pub fn phase(&self) -> Option<&str> {
+        self.phase.as_deref()
+    }
+}
+
+impl fmt::Display for DeviationSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.name, self.surface)?;
+        if let Some(phase) = &self.phase {
+            write!(f, " @{phase}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Utilities realized when one agent deviated, compared with the faithful
+/// baseline.
+#[derive(Clone, Debug)]
+pub struct DeviationOutcome {
+    /// The deviating agent.
+    pub agent: usize,
+    /// Which deviation was played.
+    pub deviation: DeviationSpec,
+    /// The deviator's utility in the all-faithful run.
+    pub faithful_utility: Money,
+    /// The deviator's utility in the deviant run.
+    pub deviant_utility: Money,
+    /// Whether the mechanism's enforcement layer flagged the deviation
+    /// (bank restart, penalty, MAC rejection, ...). Purely diagnostic:
+    /// profitability is what decides equilibrium.
+    pub detected: bool,
+}
+
+impl DeviationOutcome {
+    /// Whether the deviation strictly improved the deviator (an equilibrium
+    /// violation under the weak/benevolent convention of Remark 1).
+    pub fn strictly_profitable(&self) -> bool {
+        self.deviant_utility > self.faithful_utility
+    }
+
+    /// Deviator's gain (negative when the deviation hurt it).
+    pub fn gain(&self) -> Money {
+        self.deviant_utility - self.faithful_utility
+    }
+}
+
+/// The result of testing one type profile: the faithful utility vector and
+/// one [`DeviationOutcome`] per `(agent, deviation)` pair.
+#[derive(Clone, Debug, Default)]
+pub struct EquilibriumReport {
+    /// Utilities in the all-faithful run.
+    pub faithful_utilities: Vec<Money>,
+    /// One entry per unilateral deviation tested.
+    pub outcomes: Vec<DeviationOutcome>,
+}
+
+impl EquilibriumReport {
+    /// Whether no tested deviation was strictly profitable — the suggested
+    /// strategy is a (weak) best response on this profile.
+    pub fn is_ex_post_nash(&self) -> bool {
+        self.outcomes.iter().all(|o| !o.strictly_profitable())
+    }
+
+    /// Every strictly profitable deviation found.
+    pub fn violations(&self) -> impl Iterator<Item = &DeviationOutcome> {
+        self.outcomes.iter().filter(|o| o.strictly_profitable())
+    }
+
+    /// Whether every deviation *risking* the given compatibility property
+    /// (i.e. whose surface touches the corresponding action class, possibly
+    /// jointly with others — the "strong" quantifier of Definitions 12–13)
+    /// was unprofitable.
+    pub fn holds_for(&self, kind: CompatibilityKind) -> bool {
+        let action = match kind {
+            CompatibilityKind::Incentive => ExternalActionKind::InformationRevelation,
+            CompatibilityKind::Communication => ExternalActionKind::MessagePassing,
+            CompatibilityKind::Algorithm => ExternalActionKind::Computation,
+        };
+        self.outcomes
+            .iter()
+            .filter(|o| o.deviation.surface().touches(action))
+            .all(|o| !o.strictly_profitable())
+    }
+
+    /// Strong-CC (Definition 12) on this profile: no profitable deviation
+    /// that touches message-passing, whatever else it touches.
+    pub fn strong_cc_holds(&self) -> bool {
+        self.holds_for(CompatibilityKind::Communication)
+    }
+
+    /// Strong-AC (Definition 13) on this profile: no profitable deviation
+    /// that touches computation, whatever else it touches.
+    pub fn strong_ac_holds(&self) -> bool {
+        self.holds_for(CompatibilityKind::Algorithm)
+    }
+
+    /// IC (Definition 9) restricted to the tested library: no profitable
+    /// deviation touching information revelation.
+    pub fn ic_holds(&self) -> bool {
+        self.holds_for(CompatibilityKind::Incentive)
+    }
+
+    /// Fraction of tested deviations flagged by the enforcement layer.
+    /// `None` when no deviations were tested.
+    pub fn detection_rate(&self) -> Option<f64> {
+        if self.outcomes.is_empty() {
+            return None;
+        }
+        let detected = self.outcomes.iter().filter(|o| o.detected).count();
+        Some(detected as f64 / self.outcomes.len() as f64)
+    }
+}
+
+impl fmt::Display for EquilibriumReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} deviations tested; ex post Nash: {}",
+            self.outcomes.len(),
+            self.is_ex_post_nash()
+        )?;
+        for v in self.violations() {
+            writeln!(
+                f,
+                "  VIOLATION: agent {} gains {} via {}",
+                v.agent,
+                v.gain(),
+                v.deviation
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Plays the faithful profile and every unilateral `(agent, deviation)`
+/// pair, producing an [`EquilibriumReport`].
+///
+/// `play(None)` must run the all-faithful profile;
+/// `play(Some((agent, spec)))` must run the game with only `agent`
+/// deviating according to `spec`. Both return `(utilities, detected)`,
+/// where `detected` reports whether enforcement flagged a deviation.
+///
+/// # Panics
+///
+/// Panics if `play` returns a utility vector whose length differs from
+/// `num_agents`.
+pub fn test_deviations(
+    num_agents: usize,
+    deviations: &[DeviationSpec],
+    mut play: impl FnMut(Option<(usize, &DeviationSpec)>) -> (Vec<Money>, bool),
+) -> EquilibriumReport {
+    let (faithful_utilities, _) = play(None);
+    assert_eq!(
+        faithful_utilities.len(),
+        num_agents,
+        "faithful run returned wrong number of utilities"
+    );
+    let mut outcomes = Vec::with_capacity(num_agents * deviations.len());
+    for agent in 0..num_agents {
+        for spec in deviations {
+            let (utilities, detected) = play(Some((agent, spec)));
+            assert_eq!(
+                utilities.len(),
+                num_agents,
+                "deviant run returned wrong number of utilities"
+            );
+            outcomes.push(DeviationOutcome {
+                agent,
+                deviation: spec.clone(),
+                faithful_utility: faithful_utilities[agent],
+                deviant_utility: utilities[agent],
+                detected,
+            });
+        }
+    }
+    EquilibriumReport {
+        faithful_utilities,
+        outcomes,
+    }
+}
+
+/// A collection of [`EquilibriumReport`]s across sampled type profiles —
+/// the empirical stand-in for the paper's "for all θ" quantifier.
+#[derive(Clone, Debug, Default)]
+pub struct EquilibriumSuite {
+    reports: Vec<(String, EquilibriumReport)>,
+}
+
+impl EquilibriumSuite {
+    /// An empty suite.
+    pub fn new() -> Self {
+        EquilibriumSuite::default()
+    }
+
+    /// Adds a labeled profile's report.
+    pub fn push(&mut self, label: impl Into<String>, report: EquilibriumReport) {
+        self.reports.push((label.into(), report));
+    }
+
+    /// The per-profile reports.
+    pub fn reports(&self) -> &[(String, EquilibriumReport)] {
+        &self.reports
+    }
+
+    /// Ex post Nash across every tested profile.
+    pub fn is_ex_post_nash(&self) -> bool {
+        self.reports.iter().all(|(_, r)| r.is_ex_post_nash())
+    }
+
+    /// Strong-CC across every profile.
+    pub fn strong_cc_holds(&self) -> bool {
+        self.reports.iter().all(|(_, r)| r.strong_cc_holds())
+    }
+
+    /// Strong-AC across every profile.
+    pub fn strong_ac_holds(&self) -> bool {
+        self.reports.iter().all(|(_, r)| r.strong_ac_holds())
+    }
+
+    /// IC across every profile.
+    pub fn ic_holds(&self) -> bool {
+        self.reports.iter().all(|(_, r)| r.ic_holds())
+    }
+
+    /// Total deviations tested.
+    pub fn total_deviations(&self) -> usize {
+        self.reports.iter().map(|(_, r)| r.outcomes.len()).sum()
+    }
+
+    /// All violations across profiles, with their profile labels.
+    pub fn violations(&self) -> impl Iterator<Item = (&str, &DeviationOutcome)> {
+        self.reports
+            .iter()
+            .flat_map(|(label, r)| r.violations().map(move |v| (label.as_str(), v)))
+    }
+
+    /// Overall detection rate across profiles. `None` if nothing tested.
+    pub fn detection_rate(&self) -> Option<f64> {
+        let total = self.total_deviations();
+        if total == 0 {
+            return None;
+        }
+        let detected: usize = self
+            .reports
+            .iter()
+            .map(|(_, r)| r.outcomes.iter().filter(|o| o.detected).count())
+            .sum();
+        Some(detected as f64 / total as f64)
+    }
+}
+
+impl fmt::Display for EquilibriumSuite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} profiles, {} deviations; ex post Nash: {}, strong-CC: {}, strong-AC: {}, IC: {}",
+            self.reports.len(),
+            self.total_deviations(),
+            self.is_ex_post_nash(),
+            self.strong_cc_holds(),
+            self.strong_ac_holds(),
+            self.ic_holds()
+        )?;
+        for (label, v) in self.violations() {
+            writeln!(
+                f,
+                "  VIOLATION [{label}]: agent {} gains {} via {}",
+                v.agent,
+                v.gain(),
+                v.deviation
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mp_spec(name: &str) -> DeviationSpec {
+        DeviationSpec::new(name, DeviationSurface::only(ExternalActionKind::MessagePassing))
+    }
+
+    fn comp_spec(name: &str) -> DeviationSpec {
+        DeviationSpec::new(name, DeviationSurface::only(ExternalActionKind::Computation))
+    }
+
+    /// A toy game: faithful utility is 10 each; deviation "steal" gives the
+    /// deviator +5 (undetected); deviation "caught" gives −3 (detected).
+    fn toy_play(
+        n: usize,
+    ) -> impl FnMut(Option<(usize, &DeviationSpec)>) -> (Vec<Money>, bool) {
+        move |dev| {
+            let mut u = vec![Money::new(10); n];
+            match dev {
+                None => (u, false),
+                Some((agent, spec)) => {
+                    if spec.name() == "steal" {
+                        u[agent] = Money::new(15);
+                        (u, false)
+                    } else {
+                        u[agent] = Money::new(7);
+                        (u, true)
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn profitable_deviation_breaks_equilibrium() {
+        let deviations = vec![mp_spec("steal"), comp_spec("caught")];
+        let report = test_deviations(3, &deviations, toy_play(3));
+        assert!(!report.is_ex_post_nash());
+        assert_eq!(report.violations().count(), 3); // every agent can steal
+        assert!(!report.strong_cc_holds()); // "steal" touches message passing
+        assert!(report.strong_ac_holds()); // "caught" is unprofitable
+    }
+
+    #[test]
+    fn unprofitable_library_is_equilibrium() {
+        let deviations = vec![comp_spec("caught")];
+        let report = test_deviations(2, &deviations, toy_play(2));
+        assert!(report.is_ex_post_nash());
+        assert!(report.strong_ac_holds());
+        assert_eq!(report.detection_rate(), Some(1.0));
+    }
+
+    #[test]
+    fn ties_do_not_violate_weak_equilibrium() {
+        let deviations = vec![mp_spec("noop")];
+        let report = test_deviations(2, &deviations, |dev| {
+            // Deviation changes nothing (tie).
+            let _ = dev;
+            (vec![Money::new(4), Money::new(4)], false)
+        });
+        assert!(report.is_ex_post_nash());
+    }
+
+    #[test]
+    fn joint_surface_risks_both_properties() {
+        let joint = DeviationSpec::new(
+            "tamper-and-miscompute",
+            DeviationSurface::new()
+                .with(ExternalActionKind::MessagePassing)
+                .with(ExternalActionKind::Computation),
+        );
+        let report = test_deviations(1, &[joint], |dev| match dev {
+            None => (vec![Money::ZERO], false),
+            Some(_) => (vec![Money::new(1)], false),
+        });
+        assert!(!report.strong_cc_holds());
+        assert!(!report.strong_ac_holds());
+        assert!(report.ic_holds()); // surface does not touch revelation
+    }
+
+    #[test]
+    fn suite_aggregates_across_profiles() {
+        let deviations = vec![comp_spec("caught")];
+        let mut suite = EquilibriumSuite::new();
+        for label in ["profile-a", "profile-b"] {
+            suite.push(label, test_deviations(2, &deviations, toy_play(2)));
+        }
+        assert!(suite.is_ex_post_nash());
+        assert_eq!(suite.total_deviations(), 4);
+        assert_eq!(suite.detection_rate(), Some(1.0));
+        assert_eq!(suite.violations().count(), 0);
+    }
+
+    #[test]
+    fn suite_reports_violations_with_labels() {
+        let deviations = vec![mp_spec("steal")];
+        let mut suite = EquilibriumSuite::new();
+        suite.push("bad-profile", test_deviations(1, &deviations, toy_play(1)));
+        assert!(!suite.is_ex_post_nash());
+        let (label, outcome) = suite.violations().next().expect("one violation");
+        assert_eq!(label, "bad-profile");
+        assert_eq!(outcome.gain(), Money::new(5));
+    }
+
+    #[test]
+    fn deviation_spec_display_and_phase() {
+        let spec = mp_spec("drop").in_phase("construction-2");
+        assert_eq!(spec.phase(), Some("construction-2"));
+        let shown = spec.to_string();
+        assert!(shown.contains("drop"));
+        assert!(shown.contains("message-passing"));
+        assert!(shown.contains("@construction-2"));
+    }
+
+    #[test]
+    fn empty_report_detection_rate_is_none() {
+        let report = test_deviations(2, &[], |_| (vec![Money::ZERO; 2], false));
+        assert_eq!(report.detection_rate(), None);
+        assert!(report.is_ex_post_nash());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number of utilities")]
+    fn panics_on_malformed_utility_vector() {
+        let _ = test_deviations(3, &[], |_| (vec![Money::ZERO; 2], false));
+    }
+}

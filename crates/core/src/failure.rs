@@ -1,0 +1,180 @@
+//! The extended failure taxonomy of §3.
+//!
+//! The paper argues that *rational manipulation* deserves standing as a
+//! failure class of its own, alongside the traditional fail-stop → Byzantine
+//! spectrum: a rational node deviates only when deviation increases its own
+//! utility, which makes the failure **predictable and motivated** — and
+//! therefore addressable by design tools (incentives, partitioning,
+//! catch-and-punish) rather than only by redundancy.
+
+use std::fmt;
+
+/// Classes of node failure in the extended taxonomy.
+///
+/// Ordered roughly by the severity of the behaviors each class admits;
+/// [`FailureClass::RationalManipulation`] is *behaviorally* a subset of
+/// Byzantine but is distinguished by motive, which enables different
+/// remedies (see [`FailureClass::remedies`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum FailureClass {
+    /// The node halts, and its halting is detectable.
+    FailStop,
+    /// The node halts without notice.
+    Crash,
+    /// The node drops some messages (send/receive omission).
+    Omission,
+    /// The node responds outside its timing specification.
+    Timing,
+    /// The node deviates from its specification **only when the deviation
+    /// increases its own utility in the mechanism** (Definition 7).
+    RationalManipulation,
+    /// Arbitrary, possibly adversarial behavior.
+    Byzantine,
+}
+
+impl FailureClass {
+    /// All classes, mildest first.
+    pub const ALL: [FailureClass; 6] = [
+        FailureClass::FailStop,
+        FailureClass::Crash,
+        FailureClass::Omission,
+        FailureClass::Timing,
+        FailureClass::RationalManipulation,
+        FailureClass::Byzantine,
+    ];
+
+    /// Whether every behavior admitted by `self` is also admitted by
+    /// `other` (the classic containment ordering, with rational
+    /// manipulation sitting behaviorally below Byzantine).
+    pub fn is_subsumed_by(self, other: FailureClass) -> bool {
+        use FailureClass::*;
+        if self == other || other == Byzantine {
+            return true;
+        }
+        matches!(
+            (self, other),
+            (FailStop, Crash | Omission | Timing | RationalManipulation)
+                | (Crash, Omission | Timing)
+                | (Omission, Timing)
+        )
+    }
+
+    /// Design remedies appropriate to the class.
+    ///
+    /// Traditional classes are overcome by redundancy; rational
+    /// manipulation additionally admits the paper's design tools:
+    /// incentives, problem partitioning, catch-and-punish, and (sparingly)
+    /// cryptography.
+    pub fn remedies(self) -> &'static [Remedy] {
+        use FailureClass::*;
+        match self {
+            FailStop | Crash | Omission | Timing => &[Remedy::Redundancy],
+            RationalManipulation => &[
+                Remedy::Incentives,
+                Remedy::ProblemPartitioning,
+                Remedy::CatchAndPunish,
+                Remedy::Redundancy,
+                Remedy::Cryptography,
+            ],
+            Byzantine => &[Remedy::Redundancy, Remedy::Cryptography],
+        }
+    }
+}
+
+impl fmt::Display for FailureClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FailureClass::FailStop => "fail-stop",
+            FailureClass::Crash => "crash",
+            FailureClass::Omission => "omission",
+            FailureClass::Timing => "timing",
+            FailureClass::RationalManipulation => "rational-manipulation",
+            FailureClass::Byzantine => "Byzantine",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Design techniques for tolerating failures (§1, §3.9).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Remedy {
+    /// Replicated computation / communication (the traditional tool; also
+    /// the checker nodes of the FPSS extension).
+    Redundancy,
+    /// Payments aligning a node's utility with faithful behavior.
+    Incentives,
+    /// Structuring computation so no node computes where it has a vested
+    /// interest.
+    ProblemPartitioning,
+    /// Detection plus penalties exceeding any deviation gain.
+    CatchAndPunish,
+    /// Signing/verification making deviations detectable or impossible.
+    Cryptography,
+}
+
+impl fmt::Display for Remedy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Remedy::Redundancy => "redundancy",
+            Remedy::Incentives => "incentives",
+            Remedy::ProblemPartitioning => "problem-partitioning",
+            Remedy::CatchAndPunish => "catch-and-punish",
+            Remedy::Cryptography => "cryptography",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byzantine_subsumes_everything() {
+        for class in FailureClass::ALL {
+            assert!(class.is_subsumed_by(FailureClass::Byzantine));
+        }
+    }
+
+    #[test]
+    fn rational_is_not_subsumed_by_omission() {
+        assert!(!FailureClass::RationalManipulation.is_subsumed_by(FailureClass::Omission));
+        assert!(!FailureClass::Byzantine.is_subsumed_by(FailureClass::RationalManipulation));
+    }
+
+    #[test]
+    fn failstop_is_weakest() {
+        for class in FailureClass::ALL {
+            assert!(FailureClass::FailStop.is_subsumed_by(class));
+        }
+    }
+
+    #[test]
+    fn subsumption_is_reflexive() {
+        for class in FailureClass::ALL {
+            assert!(class.is_subsumed_by(class));
+        }
+    }
+
+    #[test]
+    fn rational_remedies_include_paper_toolkit() {
+        let remedies = FailureClass::RationalManipulation.remedies();
+        assert!(remedies.contains(&Remedy::Incentives));
+        assert!(remedies.contains(&Remedy::CatchAndPunish));
+        assert!(remedies.contains(&Remedy::ProblemPartitioning));
+    }
+
+    #[test]
+    fn traditional_classes_rely_on_redundancy() {
+        assert_eq!(FailureClass::Crash.remedies(), &[Remedy::Redundancy]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(
+            FailureClass::RationalManipulation.to_string(),
+            "rational-manipulation"
+        );
+        assert_eq!(Remedy::CatchAndPunish.to_string(), "catch-and-punish");
+    }
+}

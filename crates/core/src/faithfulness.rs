@@ -1,0 +1,287 @@
+//! Phase decomposition and faithfulness certificates (Propositions 1–2, §3.9).
+//!
+//! The paper's proof technique decomposes a distributed mechanism into
+//! disjoint **phases** separated by runtime checkpoints; each phase is
+//! proven strong-CC and strong-AC (plus consistent information revelation)
+//! in isolation, and Proposition 2 then stitches the phase results together
+//! with strategyproofness of the corresponding centralized mechanism into a
+//! claim of faithfulness.
+//!
+//! [`FaithfulnessCertificate::assemble`] performs exactly that bookkeeping
+//! over an `EquilibriumSuite`: it
+//! groups tested deviations by the phase they attack, evaluates strong-CC /
+//! strong-AC / IC per phase, and combines the verdicts.
+
+use crate::actions::{CompatibilityKind, ExternalActionKind};
+use crate::equilibrium::EquilibriumSuite;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-phase certification evidence.
+#[derive(Clone, Debug)]
+pub struct PhaseReport {
+    /// Phase name (e.g. `"construction-1"`, `"construction-2"`,
+    /// `"execution"`).
+    pub phase: String,
+    /// No profitable deviation touching message passing (Definition 12).
+    pub strong_cc: bool,
+    /// No profitable deviation touching computation (Definition 13).
+    pub strong_ac: bool,
+    /// No profitable deviation touching information revelation, and no
+    /// inconsistent-revelation deviation succeeded (Remark 4).
+    pub consistent_revelation: bool,
+    /// Number of `(agent, deviation, profile)` cases contributing evidence.
+    pub deviations_tested: usize,
+}
+
+impl PhaseReport {
+    /// Whether the phase passed all three obligations.
+    pub fn certified(&self) -> bool {
+        self.strong_cc && self.strong_ac && self.consistent_revelation
+    }
+}
+
+impl fmt::Display for PhaseReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} strong-CC={} strong-AC={} consistent-IR={} ({} cases)",
+            self.phase, self.strong_cc, self.strong_ac, self.consistent_revelation,
+            self.deviations_tested
+        )
+    }
+}
+
+/// The assembled faithfulness claim for a distributed mechanism
+/// specification, following Proposition 2.
+#[derive(Clone, Debug)]
+pub struct FaithfulnessCertificate {
+    /// Whether the corresponding centralized mechanism passed the
+    /// strategyproofness tester (Definition 5).
+    pub centralized_strategyproof: bool,
+    /// Evidence per phase (§3.9's decomposition).
+    pub phases: Vec<PhaseReport>,
+}
+
+impl FaithfulnessCertificate {
+    /// Assembles a certificate from the strategyproofness verdict and a
+    /// deviation-test suite whose [`DeviationSpec`]s are tagged with phases.
+    ///
+    /// Deviations without a phase tag contribute to a synthetic
+    /// `"(untagged)"` phase so that no evidence is silently dropped.
+    ///
+    /// [`DeviationSpec`]: crate::equilibrium::DeviationSpec
+    pub fn assemble(centralized_strategyproof: bool, suite: &EquilibriumSuite) -> Self {
+        #[derive(Default)]
+        struct Acc {
+            cc_ok: bool,
+            ac_ok: bool,
+            ir_ok: bool,
+            count: usize,
+        }
+        let mut phases: BTreeMap<String, Acc> = BTreeMap::new();
+        for (_, report) in suite.reports() {
+            for outcome in &report.outcomes {
+                let phase = outcome
+                    .deviation
+                    .phase()
+                    .unwrap_or("(untagged)")
+                    .to_string();
+                let acc = phases.entry(phase).or_insert(Acc {
+                    cc_ok: true,
+                    ac_ok: true,
+                    ir_ok: true,
+                    count: 0,
+                });
+                acc.count += 1;
+                if outcome.strictly_profitable() {
+                    let surface = outcome.deviation.surface();
+                    if surface.touches(ExternalActionKind::MessagePassing) {
+                        acc.cc_ok = false;
+                    }
+                    if surface.touches(ExternalActionKind::Computation) {
+                        acc.ac_ok = false;
+                    }
+                    if surface.touches(ExternalActionKind::InformationRevelation) {
+                        acc.ir_ok = false;
+                    }
+                }
+            }
+        }
+        FaithfulnessCertificate {
+            centralized_strategyproof,
+            phases: phases
+                .into_iter()
+                .map(|(phase, acc)| PhaseReport {
+                    phase,
+                    strong_cc: acc.cc_ok,
+                    strong_ac: acc.ac_ok,
+                    consistent_revelation: acc.ir_ok,
+                    deviations_tested: acc.count,
+                })
+                .collect(),
+        }
+    }
+
+    /// Proposition 2's conclusion: the specification is a faithful
+    /// implementation when the centralized mechanism is strategyproof and
+    /// every phase is strong-CC, strong-AC, and consistent in revelation.
+    pub fn is_faithful(&self) -> bool {
+        self.centralized_strategyproof && self.phases.iter().all(PhaseReport::certified)
+    }
+
+    /// The compatibility properties that failed anywhere, deduplicated.
+    pub fn failed_properties(&self) -> Vec<CompatibilityKind> {
+        let mut failed = Vec::new();
+        let any = |f: fn(&PhaseReport) -> bool| self.phases.iter().any(f);
+        if !self.centralized_strategyproof || any(|p| !p.consistent_revelation) {
+            failed.push(CompatibilityKind::Incentive);
+        }
+        if any(|p| !p.strong_cc) {
+            failed.push(CompatibilityKind::Communication);
+        }
+        if any(|p| !p.strong_ac) {
+            failed.push(CompatibilityKind::Algorithm);
+        }
+        failed
+    }
+}
+
+impl fmt::Display for FaithfulnessCertificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "faithful: {} (centralized strategyproof: {})",
+            self.is_faithful(),
+            self.centralized_strategyproof
+        )?;
+        for phase in &self.phases {
+            writeln!(f, "  {phase}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actions::DeviationSurface;
+    use crate::equilibrium::{test_deviations, DeviationSpec, EquilibriumSuite};
+    use crate::money::Money;
+
+    fn suite_with(gainful: &str) -> EquilibriumSuite {
+        let deviations = vec![
+            DeviationSpec::new(
+                "drop-forward",
+                DeviationSurface::only(ExternalActionKind::MessagePassing),
+            )
+            .in_phase("construction-2"),
+            DeviationSpec::new(
+                "miscompute",
+                DeviationSurface::only(ExternalActionKind::Computation),
+            )
+            .in_phase("construction-2"),
+            DeviationSpec::new(
+                "lie-cost",
+                DeviationSurface::only(ExternalActionKind::InformationRevelation),
+            )
+            .in_phase("construction-1"),
+        ];
+        let gainful = gainful.to_string();
+        let mut suite = EquilibriumSuite::new();
+        suite.push(
+            "profile-0",
+            test_deviations(2, &deviations, move |dev| match dev {
+                None => (vec![Money::ZERO; 2], false),
+                Some((agent, spec)) => {
+                    let mut u = vec![Money::ZERO; 2];
+                    if spec.name() == gainful {
+                        u[agent] = Money::new(3);
+                    } else {
+                        u[agent] = Money::new(-3);
+                    }
+                    (u, true)
+                }
+            }),
+        );
+        suite
+    }
+
+    #[test]
+    fn all_unprofitable_certifies_faithful() {
+        let suite = suite_with("nothing-matches");
+        let cert = FaithfulnessCertificate::assemble(true, &suite);
+        assert!(cert.is_faithful());
+        assert!(cert.failed_properties().is_empty());
+        assert_eq!(cert.phases.len(), 2); // construction-1 and construction-2
+        assert!(cert.phases.iter().all(|p| p.certified()));
+    }
+
+    #[test]
+    fn profitable_message_drop_fails_cc_in_its_phase() {
+        let suite = suite_with("drop-forward");
+        let cert = FaithfulnessCertificate::assemble(true, &suite);
+        assert!(!cert.is_faithful());
+        assert_eq!(
+            cert.failed_properties(),
+            vec![CompatibilityKind::Communication]
+        );
+        let phase2 = cert
+            .phases
+            .iter()
+            .find(|p| p.phase == "construction-2")
+            .expect("phase present");
+        assert!(!phase2.strong_cc);
+        assert!(phase2.strong_ac);
+        let phase1 = cert
+            .phases
+            .iter()
+            .find(|p| p.phase == "construction-1")
+            .expect("phase present");
+        assert!(phase1.certified());
+    }
+
+    #[test]
+    fn profitable_lie_fails_incentive() {
+        let suite = suite_with("lie-cost");
+        let cert = FaithfulnessCertificate::assemble(true, &suite);
+        assert!(!cert.is_faithful());
+        assert_eq!(cert.failed_properties(), vec![CompatibilityKind::Incentive]);
+    }
+
+    #[test]
+    fn non_strategyproof_center_blocks_faithfulness() {
+        let suite = suite_with("nothing-matches");
+        let cert = FaithfulnessCertificate::assemble(false, &suite);
+        assert!(!cert.is_faithful());
+        assert_eq!(cert.failed_properties(), vec![CompatibilityKind::Incentive]);
+    }
+
+    #[test]
+    fn untagged_deviations_get_synthetic_phase() {
+        let deviations = vec![DeviationSpec::new(
+            "untagged",
+            DeviationSurface::only(ExternalActionKind::Computation),
+        )];
+        let mut suite = EquilibriumSuite::new();
+        suite.push(
+            "p",
+            test_deviations(1, &deviations, |dev| {
+                (vec![if dev.is_some() { Money::new(-1) } else { Money::ZERO }], false)
+            }),
+        );
+        let cert = FaithfulnessCertificate::assemble(true, &suite);
+        assert_eq!(cert.phases.len(), 1);
+        assert_eq!(cert.phases[0].phase, "(untagged)");
+        assert!(cert.is_faithful());
+    }
+
+    #[test]
+    fn display_renders_phases() {
+        let cert = FaithfulnessCertificate::assemble(true, &suite_with("x"));
+        let s = cert.to_string();
+        assert!(s.contains("construction-1"));
+        assert!(s.contains("construction-2"));
+        assert!(s.contains("faithful: true"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Node identities.
+//!
+//! Every participant in a distributed mechanism — autonomous systems in the
+//! FPSS routing case study, voters in a leader election, the bank — is
+//! identified by a dense small integer wrapped in [`NodeId`] for type safety.
+
+use std::fmt;
+
+/// Identity of a node (agent) in a distributed mechanism.
+///
+/// `NodeId` is a dense index: topologies with `n` nodes use ids `0..n`.
+/// The wrapper prevents accidentally mixing node ids with other integers
+/// (counts, costs, sequence numbers).
+///
+/// # Example
+///
+/// ```
+/// use specfaith_core::id::NodeId;
+///
+/// let a = NodeId::new(0);
+/// let b = NodeId::new(3);
+/// assert!(a < b);
+/// assert_eq!(b.index(), 3);
+/// assert_eq!(b.to_string(), "n3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from its dense index.
+    pub const fn new(raw: u32) -> Self {
+        NodeId(raw)
+    }
+
+    /// Returns the raw index, usable for direct vector indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Creates a node id from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32 range"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+/// Iterator over the node ids `0..n`, in increasing order.
+///
+/// # Example
+///
+/// ```
+/// use specfaith_core::id::{node_ids, NodeId};
+///
+/// let ids: Vec<NodeId> = node_ids(3).collect();
+/// assert_eq!(ids, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+/// ```
+pub fn node_ids(n: usize) -> impl Iterator<Item = NodeId> + Clone {
+    (0..u32::try_from(n).expect("node count exceeds u32 range")).map(NodeId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn ordering_follows_raw_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(NodeId::new(7) > NodeId::new(0));
+        assert_eq!(NodeId::new(4), NodeId::new(4));
+    }
+
+    #[test]
+    fn roundtrip_index() {
+        for i in [0usize, 1, 17, 65_535] {
+            assert_eq!(NodeId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display_and_debug_are_compact() {
+        let id = NodeId::new(12);
+        assert_eq!(format!("{id}"), "n12");
+        assert_eq!(format!("{id:?}"), "n12");
+    }
+
+    #[test]
+    fn node_ids_is_dense_and_sorted() {
+        let ids: Vec<NodeId> = node_ids(5).collect();
+        assert_eq!(ids.len(), 5);
+        let set: BTreeSet<NodeId> = ids.iter().copied().collect();
+        assert_eq!(set.len(), 5);
+        assert_eq!(ids.first(), Some(&NodeId::new(0)));
+        assert_eq!(ids.last(), Some(&NodeId::new(4)));
+    }
+
+    #[test]
+    fn conversions_from_u32() {
+        let id: NodeId = 9u32.into();
+        assert_eq!(u32::from(id), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "node index exceeds u32 range")]
+    fn from_index_rejects_huge() {
+        let _ = NodeId::from_index(u32::MAX as usize + 1);
+    }
+}

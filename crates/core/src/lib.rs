@@ -1,0 +1,72 @@
+//! # specfaith-core
+//!
+//! Executable mechanism-design formalism from *"Specification Faithfulness in
+//! Networks with Rational Nodes"* (Shneidman & Parkes, PODC 2004).
+//!
+//! The paper defines a language for **distributed mechanism specifications**
+//! `dM = (g, Σ, sᵐ)` over state machines, classifies external actions into
+//! information-revelation / message-passing / computation (Definitions 2–4),
+//! and gives a proof technique (Proposition 2) reducing *faithfulness* — the
+//! suggested specification being an ex post Nash equilibrium — to:
+//!
+//! 1. strategyproofness of the corresponding centralized mechanism,
+//! 2. **strong-CC** (no profitable message-passing deviation, whatever the
+//!    node's other actions), and
+//! 3. **strong-AC** (no profitable computation deviation, likewise),
+//!
+//! checked phase by phase (§3.9).
+//!
+//! This crate provides each piece as a library:
+//!
+//! * [`id`] / [`money`] — agent identities and exact integer cost/money
+//!   arithmetic (bit-reproducibility is what lets checker nodes verify
+//!   principals).
+//! * [`statemachine`] — the state-machine specification model of §3.1.
+//! * [`actions`] — the external-action classification and deviation surfaces.
+//! * [`mechanism`] — centralized (direct-revelation) mechanisms and an
+//!   exhaustive [strategyproofness tester](mechanism::check_strategyproof)
+//!   (Definition 5).
+//! * [`vcg`] — generic Vickrey–Clarke–Groves payments for cost-minimization
+//!   problems (used by both FPSS routing and the leader-election example).
+//! * [`equilibrium`] — the ex post Nash deviation tester (Definition 6) that
+//!   turns a simulator plus a deviation library into an empirical
+//!   faithfulness check.
+//! * [`faithfulness`] — IC/CC/AC bookkeeping, phase decomposition, and the
+//!   `FaithfulnessCertificate`
+//!   assembled per Proposition 2.
+//! * [`failure`] — the extended failure taxonomy with *rational manipulation*
+//!   as a first-class failure class (§3).
+//!
+//! # Example
+//!
+//! Certify a second-price (Vickrey) selection mechanism strategyproof:
+//!
+//! ```
+//! use specfaith_core::mechanism::{check_strategyproof, MisreportGrid};
+//! use specfaith_core::vcg::SecondPriceSelection;
+//! use specfaith_core::money::Money;
+//!
+//! let mech = SecondPriceSelection::new(3);
+//! let profiles = vec![
+//!     vec![Money::new(10), Money::new(7), Money::new(3)],
+//!     vec![Money::new(5), Money::new(5), Money::new(9)],
+//! ];
+//! let report = check_strategyproof(&mech, &profiles, &MisreportGrid::offsets(&[-4, -1, 1, 4]));
+//! assert!(report.is_strategyproof());
+//! ```
+
+pub mod actions;
+pub mod equilibrium;
+pub mod failure;
+pub mod faithfulness;
+pub mod id;
+pub mod mechanism;
+pub mod money;
+pub mod statemachine;
+pub mod vcg;
+
+pub use actions::{CompatibilityKind, DeviationSurface, ExternalActionKind};
+pub use equilibrium::{DeviationOutcome, DeviationSpec, EquilibriumReport};
+pub use faithfulness::{FaithfulnessCertificate, PhaseReport};
+pub use id::NodeId;
+pub use money::{Cost, Money};

@@ -1,0 +1,361 @@
+//! Centralized (direct-revelation) mechanisms and strategyproofness testing.
+//!
+//! Traditional mechanism design (paper §3.2) considers a mechanism
+//! `M = (f, Θ)`: agents report types `θ̂` to a trusted center that selects an
+//! outcome `f(θ̂)` and payments. `M` is **strategyproof** (Definition 5) when
+//! truthful reporting is a dominant strategy:
+//! `uᵢ(f(θᵢ, θ₋ᵢ); θᵢ) ≥ uᵢ(f(θ̂ᵢ, θ₋ᵢ); θᵢ)` for all `θᵢ, θ̂ᵢ, θ₋ᵢ`.
+//!
+//! Proposition 2 of the paper reduces faithfulness of a distributed
+//! specification to strong-CC + strong-AC + strategyproofness of the
+//! *corresponding centralized mechanism* `f(θ) = g(sᵐ(θ))`. This module
+//! supplies the third leg: [`check_strategyproof`] exhaustively tests a
+//! [`DirectMechanism`] over supplied type profiles and a misreport model and
+//! reports every violation it finds.
+
+use crate::money::Money;
+use std::fmt;
+
+/// A direct-revelation mechanism together with the agents' (quasilinear)
+/// preferences: outcome rule, payment rule, and valuation.
+///
+/// Utility is quasilinear: `uᵢ = vᵢ(outcome; θᵢ) + paymentᵢ`, with payments
+/// expressed **to** the agent (negative = the agent pays).
+pub trait DirectMechanism {
+    /// The type space `Θᵢ` (identical across agents here; heterogeneous
+    /// spaces can embed into a common enum).
+    type Type: Clone + fmt::Debug;
+    /// The outcome space `O`.
+    type Outcome: Clone + fmt::Debug;
+
+    /// Number of participating agents `N`.
+    fn num_agents(&self) -> usize;
+
+    /// The outcome rule `f(θ̂)`.
+    fn outcome(&self, reports: &[Self::Type]) -> Self::Outcome;
+
+    /// Payments to each agent under `outcome` given reports `θ̂`.
+    fn payments(&self, reports: &[Self::Type], outcome: &Self::Outcome) -> Vec<Money>;
+
+    /// Agent `agent`'s valuation of `outcome` when its **true** type is
+    /// `true_type` (independent of what it reported).
+    fn valuation(&self, agent: usize, true_type: &Self::Type, outcome: &Self::Outcome) -> Money;
+
+    /// Quasilinear utility of `agent` with true type `true_type` when the
+    /// profile of reports is `reports`.
+    fn utility(&self, agent: usize, true_type: &Self::Type, reports: &[Self::Type]) -> Money {
+        let outcome = self.outcome(reports);
+        let payments = self.payments(reports, &outcome);
+        self.valuation(agent, true_type, &outcome) + payments[agent]
+    }
+}
+
+/// Generates candidate misreports `θ̂ᵢ ≠ θᵢ` from a true type.
+///
+/// Strategyproofness quantifies over *all* misreports; testers approximate
+/// this with a caller-chosen grid. For the integer-valued type spaces in
+/// this workspace, offset grids are exact enough to catch every violation a
+/// real manipulation could exploit (utilities are piecewise linear in the
+/// report with integer breakpoints).
+pub trait MisreportModel<T> {
+    /// Candidate untruthful reports for an agent whose true type is `truth`.
+    fn misreports(&self, truth: &T) -> Vec<T>;
+}
+
+/// A [`MisreportModel`] that perturbs integer-valued types by fixed offsets,
+/// discarding perturbations that leave the valid range.
+///
+/// # Example
+///
+/// ```
+/// use specfaith_core::mechanism::{MisreportGrid, MisreportModel};
+/// use specfaith_core::money::Money;
+///
+/// let grid = MisreportGrid::offsets(&[-2, 1]);
+/// assert_eq!(
+///     grid.misreports(&Money::new(5)),
+///     vec![Money::new(3), Money::new(6)]
+/// );
+/// ```
+#[derive(Clone, Debug)]
+pub struct MisreportGrid {
+    offsets: Vec<i64>,
+}
+
+impl MisreportGrid {
+    /// Builds a grid from nonzero offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any offset is zero (a zero offset is a truthful report, not
+    /// a misreport).
+    pub fn offsets(offsets: &[i64]) -> Self {
+        assert!(
+            offsets.iter().all(|&o| o != 0),
+            "misreport offsets must be nonzero"
+        );
+        MisreportGrid {
+            offsets: offsets.to_vec(),
+        }
+    }
+
+    /// A symmetric default grid: ±1, ±2, ±5, ±10, ±100.
+    pub fn standard() -> Self {
+        MisreportGrid::offsets(&[-100, -10, -5, -2, -1, 1, 2, 5, 10, 100])
+    }
+}
+
+impl MisreportModel<Money> for MisreportGrid {
+    fn misreports(&self, truth: &Money) -> Vec<Money> {
+        self.offsets
+            .iter()
+            .filter_map(|&o| truth.value().checked_add(o).map(Money::new))
+            .collect()
+    }
+}
+
+impl MisreportModel<crate::money::Cost> for MisreportGrid {
+    fn misreports(&self, truth: &crate::money::Cost) -> Vec<crate::money::Cost> {
+        let base = truth.value() as i64;
+        self.offsets
+            .iter()
+            .filter_map(|&o| {
+                let v = base.checked_add(o)?;
+                u64::try_from(v).ok().map(crate::money::Cost::new)
+            })
+            .collect()
+    }
+}
+
+/// One observed strategyproofness violation: a profile, an agent, and a
+/// misreport that strictly improved the agent's utility.
+#[derive(Clone, Debug)]
+pub struct SpViolation<T> {
+    /// Index of the type profile in the tested set.
+    pub profile_index: usize,
+    /// The manipulating agent.
+    pub agent: usize,
+    /// The profitable misreport.
+    pub misreport: T,
+    /// Utility under truthful reporting.
+    pub truthful_utility: Money,
+    /// Utility under the misreport (strictly higher).
+    pub deviant_utility: Money,
+}
+
+/// Result of [`check_strategyproof`].
+#[derive(Clone, Debug)]
+pub struct StrategyproofReport<T> {
+    /// Number of (profile, agent, misreport) triples evaluated.
+    pub checks: usize,
+    /// Every strict violation found.
+    pub violations: Vec<SpViolation<T>>,
+}
+
+impl<T> StrategyproofReport<T> {
+    /// Whether no profitable misreport was found on the tested grid.
+    pub fn is_strategyproof(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The largest utility gain achieved by any violation, if any.
+    pub fn max_gain(&self) -> Option<Money> {
+        self.violations
+            .iter()
+            .map(|v| v.deviant_utility - v.truthful_utility)
+            .max()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Display for StrategyproofReport<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_strategyproof() {
+            write!(f, "strategyproof on grid ({} checks)", self.checks)
+        } else {
+            write!(
+                f,
+                "NOT strategyproof: {} violations in {} checks (max gain {})",
+                self.violations.len(),
+                self.checks,
+                self.max_gain().expect("nonempty violations")
+            )
+        }
+    }
+}
+
+/// Tests Definition 5 over every supplied profile, agent, and misreport.
+///
+/// Returns a [`StrategyproofReport`] listing each strict violation
+/// (`u(misreport) > u(truth)`); ties are not violations (Remark 1's
+/// benevolence convention).
+///
+/// # Panics
+///
+/// Panics if any profile's length differs from `mechanism.num_agents()`.
+pub fn check_strategyproof<M, R>(
+    mechanism: &M,
+    profiles: &[Vec<M::Type>],
+    misreports: &R,
+) -> StrategyproofReport<M::Type>
+where
+    M: DirectMechanism,
+    R: MisreportModel<M::Type>,
+{
+    let n = mechanism.num_agents();
+    let mut checks = 0usize;
+    let mut violations = Vec::new();
+    for (profile_index, profile) in profiles.iter().enumerate() {
+        assert_eq!(profile.len(), n, "profile {profile_index} has wrong arity");
+        for agent in 0..n {
+            let truthful_utility = mechanism.utility(agent, &profile[agent], profile);
+            for misreport in misreports.misreports(&profile[agent]) {
+                let mut reports = profile.clone();
+                reports[agent] = misreport.clone();
+                let deviant_utility = mechanism.utility(agent, &profile[agent], &reports);
+                checks += 1;
+                if deviant_utility > truthful_utility {
+                    violations.push(SpViolation {
+                        profile_index,
+                        agent,
+                        misreport,
+                        truthful_utility,
+                        deviant_utility,
+                    });
+                }
+            }
+        }
+    }
+    StrategyproofReport { checks, violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately manipulable mechanism: pays each agent its own report.
+    /// (First-price flavored; obviously not strategyproof.)
+    struct PayYourReport {
+        n: usize,
+    }
+
+    impl DirectMechanism for PayYourReport {
+        type Type = Money;
+        type Outcome = ();
+
+        fn num_agents(&self) -> usize {
+            self.n
+        }
+
+        fn outcome(&self, _reports: &[Money]) {}
+
+        fn payments(&self, reports: &[Money], _outcome: &()) -> Vec<Money> {
+            reports.to_vec()
+        }
+
+        fn valuation(&self, _agent: usize, _true_type: &Money, _outcome: &()) -> Money {
+            Money::ZERO
+        }
+    }
+
+    /// A trivially strategyproof mechanism: constant outcome, zero payments.
+    struct Dictatorial {
+        n: usize,
+    }
+
+    impl DirectMechanism for Dictatorial {
+        type Type = Money;
+        type Outcome = ();
+
+        fn num_agents(&self) -> usize {
+            self.n
+        }
+
+        fn outcome(&self, _reports: &[Money]) {}
+
+        fn payments(&self, _reports: &[Money], _outcome: &()) -> Vec<Money> {
+            vec![Money::ZERO; self.n]
+        }
+
+        fn valuation(&self, _agent: usize, _true_type: &Money, _outcome: &()) -> Money {
+            Money::ZERO
+        }
+    }
+
+    fn profiles() -> Vec<Vec<Money>> {
+        vec![
+            vec![Money::new(3), Money::new(8)],
+            vec![Money::new(0), Money::new(0)],
+        ]
+    }
+
+    #[test]
+    fn detects_manipulable_mechanism() {
+        let mech = PayYourReport { n: 2 };
+        let report = check_strategyproof(&mech, &profiles(), &MisreportGrid::offsets(&[-1, 1]));
+        assert!(!report.is_strategyproof());
+        // Over-reporting by 1 gains exactly 1.
+        assert_eq!(report.max_gain(), Some(Money::new(1)));
+        // Every (profile, agent) has exactly one profitable direction (+1).
+        assert_eq!(report.violations.len(), 4);
+    }
+
+    #[test]
+    fn accepts_constant_mechanism() {
+        let mech = Dictatorial { n: 2 };
+        let report = check_strategyproof(&mech, &profiles(), &MisreportGrid::standard());
+        assert!(report.is_strategyproof());
+        assert!(report.max_gain().is_none());
+        assert_eq!(report.checks, 2 * 2 * 10);
+    }
+
+    #[test]
+    fn ties_are_not_violations() {
+        // PayYourReport with only offset -1: deviating strictly loses; and a
+        // synthetic tie (offset applied then reverted) cannot occur. Check
+        // the weak-inequality convention with Dictatorial where all
+        // utilities tie at zero.
+        let mech = Dictatorial { n: 1 };
+        let report = check_strategyproof(
+            &mech,
+            &[vec![Money::new(5)]],
+            &MisreportGrid::offsets(&[1, -1]),
+        );
+        assert!(report.is_strategyproof());
+    }
+
+    #[test]
+    fn misreport_grid_for_cost_discards_negatives() {
+        use crate::money::Cost;
+        let grid = MisreportGrid::offsets(&[-5, 5]);
+        let reports = grid.misreports(&Cost::new(2));
+        assert_eq!(reports, vec![Cost::new(7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "misreport offsets must be nonzero")]
+    fn grid_rejects_zero_offset() {
+        let _ = MisreportGrid::offsets(&[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn check_rejects_malformed_profile() {
+        let mech = Dictatorial { n: 2 };
+        let _ = check_strategyproof(
+            &mech,
+            &[vec![Money::new(1)]],
+            &MisreportGrid::offsets(&[1]),
+        );
+    }
+
+    #[test]
+    fn report_display() {
+        let mech = Dictatorial { n: 1 };
+        let report = check_strategyproof(
+            &mech,
+            &[vec![Money::new(5)]],
+            &MisreportGrid::offsets(&[1]),
+        );
+        assert!(report.to_string().contains("strategyproof"));
+    }
+}

@@ -1,0 +1,392 @@
+//! Exact integer cost and money arithmetic.
+//!
+//! Everything economic in this workspace — transit costs, VCG payments,
+//! utilities, penalties — is integer-valued. Exactness matters beyond taste:
+//! the faithful FPSS extension has checker nodes recomputing a principal's
+//! tables and a bank comparing *hashes* of those tables, so the arithmetic
+//! must be bit-reproducible across nodes. Floating point would make honest
+//! nodes disagree.
+//!
+//! Two types are provided:
+//!
+//! * [`Cost`] — a nonnegative per-packet transit cost (`u64`), with a
+//!   dedicated [`Cost::INFINITE`] sentinel for "no path".
+//! * [`Money`] — a signed amount (`i64`) for payments, utilities, penalties.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+/// A nonnegative per-packet transit cost.
+///
+/// Finite costs are bounded by [`Cost::MAX_FINITE`] so that sums along any
+/// realistic path can never overflow and every finite cost converts to
+/// [`Money`] losslessly. [`Cost::INFINITE`] represents "unreachable".
+///
+/// # Example
+///
+/// ```
+/// use specfaith_core::money::Cost;
+///
+/// let a = Cost::new(5);
+/// let b = Cost::new(7);
+/// assert_eq!(a + b, Cost::new(12));
+/// assert!(a + Cost::INFINITE == Cost::INFINITE);
+/// assert!(Cost::new(3) < Cost::INFINITE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cost(u64);
+
+impl Cost {
+    /// The zero cost.
+    pub const ZERO: Cost = Cost(0);
+
+    /// Largest allowed finite cost (2⁴⁰). Keeps any sum of up to ~2²³ hops
+    /// within `u64`/`i64` range.
+    pub const MAX_FINITE: u64 = 1 << 40;
+
+    /// Sentinel for "no path" / unreachable. Absorbing under addition.
+    pub const INFINITE: Cost = Cost(u64::MAX);
+
+    /// Creates a finite cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` exceeds [`Cost::MAX_FINITE`].
+    pub fn new(value: u64) -> Self {
+        assert!(value <= Self::MAX_FINITE, "cost {value} exceeds MAX_FINITE");
+        Cost(value)
+    }
+
+    /// Returns the raw value of a finite cost, or `None` if infinite.
+    pub fn finite(self) -> Option<u64> {
+        if self.is_infinite() {
+            None
+        } else {
+            Some(self.0)
+        }
+    }
+
+    /// Returns the raw value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cost is [`Cost::INFINITE`].
+    pub fn value(self) -> u64 {
+        assert!(!self.is_infinite(), "value() called on Cost::INFINITE");
+        self.0
+    }
+
+    /// Whether this is the unreachable sentinel.
+    pub fn is_infinite(self) -> bool {
+        self.0 == u64::MAX
+    }
+
+    /// Converts a finite cost into [`Money`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cost is infinite.
+    pub fn to_money(self) -> Money {
+        Money::new(i64::try_from(self.value()).expect("finite cost fits in i64"))
+    }
+
+    /// Saturating-but-infinity-preserving addition, also available via `+`.
+    pub fn saturating_add(self, rhs: Cost) -> Cost {
+        if self.is_infinite() || rhs.is_infinite() {
+            Cost::INFINITE
+        } else {
+            // Both operands are ≤ MAX_FINITE = 2^40, so the sum cannot wrap u64;
+            // it may exceed MAX_FINITE for very long paths, which is fine for
+            // comparison purposes as long as it stays below the sentinel.
+            Cost(self.0 + rhs.0)
+        }
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "Cost(∞)")
+        } else {
+            write!(f, "Cost({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl From<u32> for Cost {
+    fn from(value: u32) -> Self {
+        Cost::new(u64::from(value))
+    }
+}
+
+/// A signed monetary amount: payments, utilities, penalties.
+///
+/// Payments in this workspace are always expressed **to** an agent, so a
+/// negative payment means the agent pays. Utility arithmetic is plain `i64`
+/// with overflow checks in debug builds.
+///
+/// # Example
+///
+/// ```
+/// use specfaith_core::money::Money;
+///
+/// let received = Money::new(10);
+/// let cost = Money::new(4);
+/// assert_eq!(received - cost, Money::new(6));
+/// assert_eq!(-received, Money::new(-10));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Money(i64);
+
+impl Money {
+    /// The zero amount.
+    pub const ZERO: Money = Money(0);
+
+    /// Creates an amount.
+    pub const fn new(value: i64) -> Self {
+        Money(value)
+    }
+
+    /// Returns the raw signed value.
+    pub const fn value(self) -> i64 {
+        self.0
+    }
+
+    /// Whether the amount is strictly positive.
+    pub const fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+
+    /// Whether the amount is strictly negative.
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Multiplies by an integer factor (e.g. per-packet price × packet count).
+    pub fn scale(self, factor: i64) -> Money {
+        Money(self.0.checked_mul(factor).expect("money overflow in scale"))
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    fn add(self, rhs: Money) -> Money {
+        Money(self.0.checked_add(rhs.0).expect("money overflow in add"))
+    }
+}
+
+impl AddAssign for Money {
+    fn add_assign(&mut self, rhs: Money) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Money {
+    type Output = Money;
+    fn sub(self, rhs: Money) -> Money {
+        Money(self.0.checked_sub(rhs.0).expect("money overflow in sub"))
+    }
+}
+
+impl SubAssign for Money {
+    fn sub_assign(&mut self, rhs: Money) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Money {
+    type Output = Money;
+    fn neg(self) -> Money {
+        Money(self.0.checked_neg().expect("money overflow in neg"))
+    }
+}
+
+impl Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        iter.fold(Money::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Money({})", self.0)
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<Cost> for Money {
+    /// Converts a finite cost to money.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cost is [`Cost::INFINITE`].
+    fn from(cost: Cost) -> Self {
+        cost.to_money()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_addition_is_exact_for_finite() {
+        assert_eq!(Cost::new(3) + Cost::new(4), Cost::new(7));
+        assert_eq!(Cost::ZERO + Cost::new(9), Cost::new(9));
+    }
+
+    #[test]
+    fn cost_infinity_is_absorbing() {
+        assert_eq!(Cost::INFINITE + Cost::new(1), Cost::INFINITE);
+        assert_eq!(Cost::new(1) + Cost::INFINITE, Cost::INFINITE);
+        assert_eq!(Cost::INFINITE + Cost::INFINITE, Cost::INFINITE);
+    }
+
+    #[test]
+    fn cost_infinity_compares_greater_than_any_finite() {
+        assert!(Cost::new(Cost::MAX_FINITE) < Cost::INFINITE);
+        assert!(Cost::ZERO < Cost::INFINITE);
+    }
+
+    #[test]
+    fn cost_sum_over_iterator() {
+        let total: Cost = [1u64, 2, 3, 4].into_iter().map(Cost::new).sum();
+        assert_eq!(total, Cost::new(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_FINITE")]
+    fn cost_rejects_values_colliding_with_sentinel() {
+        let _ = Cost::new(u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "value() called on Cost::INFINITE")]
+    fn cost_value_panics_on_infinite() {
+        let _ = Cost::INFINITE.value();
+    }
+
+    #[test]
+    fn cost_finite_accessor() {
+        assert_eq!(Cost::new(5).finite(), Some(5));
+        assert_eq!(Cost::INFINITE.finite(), None);
+    }
+
+    #[test]
+    fn money_arithmetic() {
+        let a = Money::new(10);
+        let b = Money::new(-4);
+        assert_eq!(a + b, Money::new(6));
+        assert_eq!(a - b, Money::new(14));
+        assert_eq!(-b, Money::new(4));
+        assert_eq!(b.scale(3), Money::new(-12));
+    }
+
+    #[test]
+    fn money_sum_and_signs() {
+        let total: Money = [1i64, -2, 3].into_iter().map(Money::new).sum();
+        assert_eq!(total, Money::new(2));
+        assert!(Money::new(1).is_positive());
+        assert!(Money::new(-1).is_negative());
+        assert!(!Money::ZERO.is_positive() && !Money::ZERO.is_negative());
+    }
+
+    #[test]
+    fn cost_to_money_roundtrip() {
+        assert_eq!(Cost::new(42).to_money(), Money::new(42));
+        assert_eq!(Money::from(Cost::new(7)), Money::new(7));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Cost::new(5).to_string(), "5");
+        assert_eq!(Cost::INFINITE.to_string(), "∞");
+        assert_eq!(Money::new(-3).to_string(), "-3");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Cost addition is commutative and associative, with infinity
+        /// absorbing — the semiring laws the LCP computation relies on.
+        #[test]
+        fn cost_addition_laws(a in 0u64..1_000_000, b in 0u64..1_000_000, c in 0u64..1_000_000) {
+            let (a, b, c) = (Cost::new(a), Cost::new(b), Cost::new(c));
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_eq!((a + b) + c, a + (b + c));
+            prop_assert_eq!(a + Cost::ZERO, a);
+            prop_assert_eq!(a + Cost::INFINITE, Cost::INFINITE);
+        }
+
+        /// Adding a cost never decreases it (monotonicity under extension).
+        #[test]
+        fn cost_addition_is_monotone(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+            let (a, b) = (Cost::new(a), Cost::new(b));
+            prop_assert!(a + b >= a);
+            prop_assert!(a + b >= b);
+        }
+
+        /// Money forms an ordered abelian group under the tested range.
+        #[test]
+        fn money_group_laws(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+            let (ma, mb) = (Money::new(a), Money::new(b));
+            prop_assert_eq!(ma + mb, mb + ma);
+            prop_assert_eq!(ma + Money::ZERO, ma);
+            prop_assert_eq!(ma - ma, Money::ZERO);
+            prop_assert_eq!(-(-ma), ma);
+            prop_assert_eq!((ma + mb) - mb, ma);
+            // Order is translation-invariant.
+            if ma < mb {
+                prop_assert!(ma + Money::new(7) < mb + Money::new(7));
+            }
+        }
+
+        /// Scaling distributes over addition.
+        #[test]
+        fn money_scaling(a in -10_000i64..10_000, b in -10_000i64..10_000, k in -100i64..100) {
+            let (ma, mb) = (Money::new(a), Money::new(b));
+            prop_assert_eq!((ma + mb).scale(k), ma.scale(k) + mb.scale(k));
+            prop_assert_eq!(ma.scale(1), ma);
+            prop_assert_eq!(ma.scale(0), Money::ZERO);
+        }
+    }
+}

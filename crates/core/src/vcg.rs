@@ -1,0 +1,403 @@
+//! Generic Vickrey–Clarke–Groves payments for cost-minimization problems.
+//!
+//! FPSS pays transit nodes "based on the utility that they bring to the
+//! routing system plus their declared cost" — the Clarke pivot rule for a
+//! procurement (cost-minimization) setting:
+//!
+//! ```text
+//! paymentᵢ = declared_costᵢ(alloc) + [ opt_cost_without_i − opt_cost ]
+//! ```
+//!
+//! This module implements that rule once, generically, over any
+//! [`CostMinimizationProblem`]. The FPSS per-pair payment
+//! `pᵏᵢⱼ = cₖ + d_{G−k}(i,j) − d_G(i,j)` is an instance (path procurement);
+//! so is the Vickrey second-price selection used by the leader-election
+//! example (§3's motivating scenario).
+
+use crate::mechanism::DirectMechanism;
+use crate::money::Money;
+use std::fmt;
+
+/// A cost-minimization (procurement) problem suitable for VCG.
+///
+/// The designer picks the allocation minimizing **declared** total cost;
+/// excluded-agent optima define the Clarke pivot terms.
+pub trait CostMinimizationProblem {
+    /// Per-agent declaration (e.g. a declared transit cost).
+    type Decl: Clone + fmt::Debug;
+    /// An allocation (e.g. a chosen path, or a selected leader).
+    type Alloc: Clone + fmt::Debug;
+
+    /// Number of agents.
+    fn num_agents(&self) -> usize;
+
+    /// The allocation minimizing total declared cost, with that total.
+    /// `None` if the problem is infeasible.
+    fn optimal(&self, decls: &[Self::Decl]) -> Option<(Self::Alloc, Money)>;
+
+    /// The optimal allocation when `excluded` may not participate.
+    /// `None` if infeasible without that agent (VCG then being ill-defined —
+    /// the reason FPSS assumes a biconnected graph).
+    fn optimal_excluding(
+        &self,
+        decls: &[Self::Decl],
+        excluded: usize,
+    ) -> Option<(Self::Alloc, Money)>;
+
+    /// The cost agent `agent` incurs under `alloc`, priced by the given
+    /// declaration (pass the agent's declaration for declared cost, or its
+    /// true type for true cost).
+    fn cost_under(&self, decl: &Self::Decl, alloc: &Self::Alloc, agent: usize) -> Money;
+
+    /// Whether `agent` plays a costly role in `alloc` (is on the chosen
+    /// path, is the selected leader, ...). Non-participants receive zero
+    /// payment; participants receive the Clarke pivot payment even when
+    /// their declared cost is zero.
+    fn participates(&self, alloc: &Self::Alloc, agent: usize) -> bool;
+}
+
+/// Result of running VCG on a [`CostMinimizationProblem`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VcgOutcome<A> {
+    /// The cost-minimizing allocation under declared costs.
+    pub allocation: A,
+    /// Total declared cost of that allocation.
+    pub total_declared_cost: Money,
+    /// VCG payment **to** each agent.
+    pub payments: Vec<Money>,
+}
+
+/// Errors from [`vcg`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VcgError {
+    /// No feasible allocation exists at all.
+    Infeasible,
+    /// Removing this agent makes the problem infeasible, so its Clarke
+    /// pivot payment is undefined (FPSS avoids this via biconnectivity).
+    PivotalMonopoly {
+        /// The agent whose exclusion is infeasible.
+        agent: usize,
+    },
+}
+
+impl fmt::Display for VcgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VcgError::Infeasible => f.write_str("no feasible allocation"),
+            VcgError::PivotalMonopoly { agent } => {
+                write!(f, "agent {agent} is a monopoly: exclusion is infeasible")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VcgError {}
+
+/// Computes the VCG (Clarke pivot) outcome for a cost-minimization problem.
+///
+/// # Errors
+///
+/// Returns [`VcgError::Infeasible`] when no allocation exists, and
+/// [`VcgError::PivotalMonopoly`] when an agent that incurs cost in the
+/// optimum cannot be excluded feasibly.
+pub fn vcg<P: CostMinimizationProblem>(
+    problem: &P,
+    decls: &[P::Decl],
+) -> Result<VcgOutcome<P::Alloc>, VcgError> {
+    assert_eq!(decls.len(), problem.num_agents(), "declaration arity");
+    let (allocation, total) = problem.optimal(decls).ok_or(VcgError::Infeasible)?;
+    let mut payments = Vec::with_capacity(decls.len());
+    for agent in 0..decls.len() {
+        if !problem.participates(&allocation, agent) {
+            // Agent plays no role in the optimum: it is paid nothing.
+            // (FPSS pays only transit nodes actually on the LCP.)
+            payments.push(Money::ZERO);
+            continue;
+        }
+        let declared = problem.cost_under(&decls[agent], &allocation, agent);
+        let (_, total_without) = problem
+            .optimal_excluding(decls, agent)
+            .ok_or(VcgError::PivotalMonopoly { agent })?;
+        payments.push(declared + (total_without - total));
+    }
+    Ok(VcgOutcome {
+        allocation,
+        total_declared_cost: total,
+        payments,
+    })
+}
+
+/// A VCG mechanism viewed as a centralized [`DirectMechanism`], for use with
+/// the strategyproofness tester.
+///
+/// Valuation is the negated **true** cost incurred under the chosen
+/// allocation, making utility `paymentᵢ − true_costᵢ`.
+#[derive(Clone, Debug)]
+pub struct VcgMechanism<P> {
+    problem: P,
+}
+
+impl<P: CostMinimizationProblem> VcgMechanism<P> {
+    /// Wraps a problem.
+    pub fn new(problem: P) -> Self {
+        VcgMechanism { problem }
+    }
+
+    /// The wrapped problem.
+    pub fn problem(&self) -> &P {
+        &self.problem
+    }
+}
+
+impl<P: CostMinimizationProblem> DirectMechanism for VcgMechanism<P> {
+    type Type = P::Decl;
+    type Outcome = VcgOutcome<P::Alloc>;
+
+    fn num_agents(&self) -> usize {
+        self.problem.num_agents()
+    }
+
+    fn outcome(&self, reports: &[P::Decl]) -> VcgOutcome<P::Alloc> {
+        vcg(&self.problem, reports).expect("VCG outcome must be well-defined on tested profiles")
+    }
+
+    fn payments(&self, _reports: &[P::Decl], outcome: &VcgOutcome<P::Alloc>) -> Vec<Money> {
+        outcome.payments.clone()
+    }
+
+    fn valuation(
+        &self,
+        agent: usize,
+        true_type: &P::Decl,
+        outcome: &VcgOutcome<P::Alloc>,
+    ) -> Money {
+        -self.problem.cost_under(true_type, &outcome.allocation, agent)
+    }
+}
+
+/// The paper's §3 leader-election scenario as a procurement problem: each
+/// node declares its cost of serving (inverse of "computational power");
+/// the lowest-cost node is selected and compensated at the second-lowest
+/// declared cost — a Vickrey auction.
+#[derive(Clone, Debug)]
+pub struct SelectionProblem {
+    n: usize,
+}
+
+impl SelectionProblem {
+    /// A selection among `n ≥ 2` agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (VCG needs an excluded-agent optimum).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "selection needs at least two candidates");
+        SelectionProblem { n }
+    }
+
+    fn argmin(decls: &[Money], skip: Option<usize>) -> Option<(usize, Money)> {
+        decls
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| Some(*i) != skip)
+            .min_by_key(|(i, c)| (**c, *i))
+            .map(|(i, c)| (i, *c))
+    }
+}
+
+impl CostMinimizationProblem for SelectionProblem {
+    type Decl = Money;
+    /// The selected leader.
+    type Alloc = usize;
+
+    fn num_agents(&self) -> usize {
+        self.n
+    }
+
+    fn optimal(&self, decls: &[Money]) -> Option<(usize, Money)> {
+        Self::argmin(decls, None)
+    }
+
+    fn optimal_excluding(&self, decls: &[Money], excluded: usize) -> Option<(usize, Money)> {
+        Self::argmin(decls, Some(excluded))
+    }
+
+    fn cost_under(&self, decl: &Money, alloc: &usize, agent: usize) -> Money {
+        if *alloc == agent {
+            *decl
+        } else {
+            Money::ZERO
+        }
+    }
+
+    fn participates(&self, alloc: &usize, agent: usize) -> bool {
+        *alloc == agent
+    }
+}
+
+/// Vickrey (second-price) selection: the ready-made leader-election
+/// mechanism. See [`SelectionProblem`].
+///
+/// # Example
+///
+/// ```
+/// use specfaith_core::vcg::SecondPriceSelection;
+/// use specfaith_core::mechanism::DirectMechanism;
+/// use specfaith_core::money::Money;
+///
+/// let mech = SecondPriceSelection::new(3);
+/// let reports = vec![Money::new(4), Money::new(9), Money::new(6)];
+/// let outcome = mech.outcome(&reports);
+/// assert_eq!(outcome.allocation, 0);                   // lowest cost wins
+/// assert_eq!(outcome.payments[0], Money::new(6));      // paid second price
+/// ```
+#[derive(Clone, Debug)]
+pub struct SecondPriceSelection {
+    inner: VcgMechanism<SelectionProblem>,
+}
+
+impl SecondPriceSelection {
+    /// A Vickrey selection among `n ≥ 2` agents.
+    pub fn new(n: usize) -> Self {
+        SecondPriceSelection {
+            inner: VcgMechanism::new(SelectionProblem::new(n)),
+        }
+    }
+}
+
+impl DirectMechanism for SecondPriceSelection {
+    type Type = Money;
+    type Outcome = VcgOutcome<usize>;
+
+    fn num_agents(&self) -> usize {
+        self.inner.num_agents()
+    }
+
+    fn outcome(&self, reports: &[Money]) -> VcgOutcome<usize> {
+        self.inner.outcome(reports)
+    }
+
+    fn payments(&self, reports: &[Money], outcome: &VcgOutcome<usize>) -> Vec<Money> {
+        self.inner.payments(reports, outcome)
+    }
+
+    fn valuation(&self, agent: usize, true_type: &Money, outcome: &VcgOutcome<usize>) -> Money {
+        self.inner.valuation(agent, true_type, outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::{check_strategyproof, MisreportGrid};
+
+    #[test]
+    fn vickrey_winner_paid_second_price() {
+        let problem = SelectionProblem::new(4);
+        let decls = vec![
+            Money::new(7),
+            Money::new(3),
+            Money::new(5),
+            Money::new(11),
+        ];
+        let outcome = vcg(&problem, &decls).expect("feasible");
+        assert_eq!(outcome.allocation, 1);
+        assert_eq!(outcome.total_declared_cost, Money::new(3));
+        assert_eq!(
+            outcome.payments,
+            vec![Money::ZERO, Money::new(5), Money::ZERO, Money::ZERO]
+        );
+    }
+
+    #[test]
+    fn vickrey_tie_breaks_by_lowest_index() {
+        let problem = SelectionProblem::new(3);
+        let decls = vec![Money::new(4), Money::new(4), Money::new(9)];
+        let outcome = vcg(&problem, &decls).expect("feasible");
+        assert_eq!(outcome.allocation, 0);
+        // Second price equals the tied declaration: winner paid 4, net 0.
+        assert_eq!(outcome.payments[0], Money::new(4));
+    }
+
+    #[test]
+    fn vickrey_is_strategyproof_on_grid() {
+        let mech = SecondPriceSelection::new(3);
+        let profiles = vec![
+            vec![Money::new(10), Money::new(7), Money::new(3)],
+            vec![Money::new(5), Money::new(5), Money::new(9)],
+            vec![Money::new(1), Money::new(2), Money::new(2)],
+            vec![Money::new(0), Money::new(100), Money::new(50)],
+        ];
+        let report = check_strategyproof(&mech, &profiles, &MisreportGrid::standard());
+        assert!(report.is_strategyproof(), "{report}");
+    }
+
+    #[test]
+    fn winner_utility_is_marginal_contribution() {
+        // Winner's utility = second price − true cost > 0 when strictly best.
+        let mech = SecondPriceSelection::new(2);
+        let profile = vec![Money::new(3), Money::new(8)];
+        let u0 = mech.utility(0, &profile[0], &profile);
+        assert_eq!(u0, Money::new(5));
+        let u1 = mech.utility(1, &profile[1], &profile);
+        assert_eq!(u1, Money::ZERO);
+    }
+
+    /// A problem where one agent is a monopoly: excluding it is infeasible.
+    struct Monopoly;
+
+    impl CostMinimizationProblem for Monopoly {
+        type Decl = Money;
+        type Alloc = usize;
+
+        fn num_agents(&self) -> usize {
+            2
+        }
+
+        fn optimal(&self, decls: &[Money]) -> Option<(usize, Money)> {
+            Some((0, decls[0]))
+        }
+
+        fn optimal_excluding(&self, decls: &[Money], excluded: usize) -> Option<(usize, Money)> {
+            if excluded == 0 {
+                None
+            } else {
+                Some((0, decls[0]))
+            }
+        }
+
+        fn cost_under(&self, decl: &Money, alloc: &usize, agent: usize) -> Money {
+            if *alloc == agent {
+                *decl
+            } else {
+                Money::ZERO
+            }
+        }
+
+        fn participates(&self, alloc: &usize, agent: usize) -> bool {
+            *alloc == agent
+        }
+    }
+
+    #[test]
+    fn monopoly_is_reported() {
+        let err = vcg(&Monopoly, &[Money::new(5), Money::new(1)]).unwrap_err();
+        assert_eq!(err, VcgError::PivotalMonopoly { agent: 0 });
+        assert!(err.to_string().contains("monopoly"));
+    }
+
+    #[test]
+    fn zero_cost_agents_are_paid_nothing() {
+        let problem = SelectionProblem::new(3);
+        let decls = vec![Money::new(2), Money::new(4), Money::new(6)];
+        let outcome = vcg(&problem, &decls).expect("feasible");
+        assert_eq!(outcome.payments[1], Money::ZERO);
+        assert_eq!(outcome.payments[2], Money::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two candidates")]
+    fn selection_rejects_singleton() {
+        let _ = SelectionProblem::new(1);
+    }
+}

@@ -1,0 +1,220 @@
+//! Authenticated node↔bank channel.
+//!
+//! §4.2: "All communication between the bank and a node is signed with
+//! acknowledgments to ensure communication compatibility of these
+//! messages." Each node holds a [`ChannelKey`] shared with the bank;
+//! [`ChannelKey::seal`] attaches an HMAC tag binding the payload bytes, the
+//! sender identity, and a sequence number (preventing replay of stale
+//! payment reports); the bank's [`ChannelKey::open`] verifies all three.
+
+use crate::mac::{hmac_sha256, verify_mac};
+use crate::sha256::Digest;
+use std::fmt;
+
+/// A symmetric key shared between one node and the bank.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ChannelKey {
+    key: [u8; 32],
+    owner: u32,
+}
+
+impl fmt::Debug for ChannelKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print key material.
+        write!(f, "ChannelKey(owner=n{})", self.owner)
+    }
+}
+
+/// A payload together with its authentication envelope.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Authenticated {
+    /// Claimed sender (raw node id).
+    pub sender: u32,
+    /// Monotonic per-sender sequence number.
+    pub sequence: u64,
+    /// The payload bytes.
+    pub payload: Vec<u8>,
+    /// HMAC over `(sender, sequence, payload)`.
+    pub tag: Digest,
+}
+
+/// Why verification failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AuthError {
+    /// The tag does not match the payload/sender/sequence.
+    BadTag,
+    /// The message claims a different sender than the key's owner.
+    WrongSender,
+    /// The sequence number did not advance (replay or reordering).
+    StaleSequence {
+        /// Highest sequence number accepted so far.
+        last_accepted: u64,
+    },
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::BadTag => f.write_str("MAC verification failed"),
+            AuthError::WrongSender => f.write_str("sender does not own this channel key"),
+            AuthError::StaleSequence { last_accepted } => {
+                write!(f, "stale sequence (last accepted {last_accepted})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+impl ChannelKey {
+    /// Derives a per-node key from bank key material and the node id.
+    ///
+    /// In production the bank would generate independent random keys; a
+    /// deterministic KDF keeps simulator runs reproducible while preserving
+    /// the property that distinct nodes hold unrelated keys.
+    pub fn derive(bank_secret: &[u8], owner: u32) -> Self {
+        let tag = hmac_sha256(bank_secret, &owner.to_be_bytes());
+        ChannelKey {
+            key: *tag.as_bytes(),
+            owner,
+        }
+    }
+
+    /// The node this key belongs to (raw id).
+    pub fn owner(&self) -> u32 {
+        self.owner
+    }
+
+    fn mac(&self, sender: u32, sequence: u64, payload: &[u8]) -> Digest {
+        let mut message = Vec::with_capacity(12 + payload.len());
+        message.extend_from_slice(&sender.to_be_bytes());
+        message.extend_from_slice(&sequence.to_be_bytes());
+        message.extend_from_slice(payload);
+        hmac_sha256(&self.key, &message)
+    }
+
+    /// Seals a payload for transmission to (or from) the bank.
+    pub fn seal(&self, sequence: u64, payload: Vec<u8>) -> Authenticated {
+        let tag = self.mac(self.owner, sequence, &payload);
+        Authenticated {
+            sender: self.owner,
+            sequence,
+            payload,
+            tag,
+        }
+    }
+
+    /// Verifies an envelope and enforces sequence freshness.
+    ///
+    /// `last_accepted` is the highest sequence number previously accepted
+    /// from this sender (use 0 before any message; sequence numbers start
+    /// at 1).
+    ///
+    /// # Errors
+    ///
+    /// [`AuthError::WrongSender`] if the envelope claims a different owner,
+    /// [`AuthError::BadTag`] on MAC mismatch, and
+    /// [`AuthError::StaleSequence`] when the sequence does not advance.
+    pub fn open(
+        &self,
+        envelope: &Authenticated,
+        last_accepted: u64,
+    ) -> Result<Vec<u8>, AuthError> {
+        if envelope.sender != self.owner {
+            return Err(AuthError::WrongSender);
+        }
+        let expected = self.mac(envelope.sender, envelope.sequence, &envelope.payload);
+        if !verify_mac(&expected, &envelope.tag) {
+            return Err(AuthError::BadTag);
+        }
+        if envelope.sequence <= last_accepted {
+            return Err(AuthError::StaleSequence { last_accepted });
+        }
+        Ok(envelope.payload.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> ChannelKey {
+        ChannelKey::derive(b"bank-root-secret", 7)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let k = key();
+        let env = k.seal(1, b"payment report".to_vec());
+        assert_eq!(k.open(&env, 0).expect("valid"), b"payment report");
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let k = key();
+        let mut env = k.seal(1, b"owe 10".to_vec());
+        env.payload = b"owe 00".to_vec();
+        assert_eq!(k.open(&env, 0), Err(AuthError::BadTag));
+    }
+
+    #[test]
+    fn tampered_tag_rejected() {
+        let k = key();
+        let mut env = k.seal(1, b"owe 10".to_vec());
+        let mut raw = *env.tag.as_bytes();
+        raw[31] ^= 0xff;
+        env.tag = Digest(raw);
+        assert_eq!(k.open(&env, 0), Err(AuthError::BadTag));
+    }
+
+    #[test]
+    fn forged_sender_rejected() {
+        let k = key();
+        let other = ChannelKey::derive(b"bank-root-secret", 8);
+        // Node 8 tries to pass off a message as node 7.
+        let mut env = other.seal(1, b"impersonation".to_vec());
+        env.sender = 7;
+        assert_eq!(k.open(&env, 0), Err(AuthError::BadTag));
+    }
+
+    #[test]
+    fn wrong_owner_claim_rejected() {
+        let k = key();
+        let env = ChannelKey::derive(b"bank-root-secret", 8).seal(1, b"x".to_vec());
+        assert_eq!(k.open(&env, 0), Err(AuthError::WrongSender));
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let k = key();
+        let env = k.seal(3, b"report".to_vec());
+        assert!(k.open(&env, 0).is_ok());
+        assert_eq!(
+            k.open(&env, 3),
+            Err(AuthError::StaleSequence { last_accepted: 3 })
+        );
+    }
+
+    #[test]
+    fn distinct_owners_get_unrelated_keys() {
+        let a = ChannelKey::derive(b"secret", 1);
+        let b = ChannelKey::derive(b"secret", 2);
+        assert_ne!(a.seal(1, b"m".to_vec()).tag, b.seal(1, b"m".to_vec()).tag);
+    }
+
+    #[test]
+    fn debug_never_leaks_key_material() {
+        let k = key();
+        let shown = format!("{k:?}");
+        assert_eq!(shown, "ChannelKey(owner=n7)");
+    }
+
+    #[test]
+    fn sequence_binding_prevents_tag_reuse_across_sequences() {
+        let k = key();
+        let env1 = k.seal(1, b"m".to_vec());
+        let mut env2 = env1.clone();
+        env2.sequence = 2;
+        assert_eq!(k.open(&env2, 1), Err(AuthError::BadTag));
+    }
+}

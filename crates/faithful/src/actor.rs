@@ -1,0 +1,93 @@
+//! Heterogeneous actor wrapper: topology nodes plus the bank in one
+//! simulated network.
+
+use crate::bank::BankNode;
+use crate::node::{FMsg, FaithfulNode};
+use specfaith_core::id::NodeId;
+use specfaith_netsim::{Actor, Ctx};
+
+/// Either a protocol node or the bank.
+#[derive(Debug)]
+pub enum NodeOrBank {
+    /// A faithful (or deviating) protocol node.
+    Node(Box<FaithfulNode>),
+    /// The trusted bank.
+    Bank(Box<BankNode>),
+}
+
+impl NodeOrBank {
+    /// The protocol node, if this is one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is the bank.
+    pub fn node(&self) -> &FaithfulNode {
+        match self {
+            NodeOrBank::Node(n) => n,
+            NodeOrBank::Bank(_) => panic!("expected a protocol node, found the bank"),
+        }
+    }
+
+    /// Mutable access to the protocol node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is the bank.
+    pub fn node_mut(&mut self) -> &mut FaithfulNode {
+        match self {
+            NodeOrBank::Node(n) => n,
+            NodeOrBank::Bank(_) => panic!("expected a protocol node, found the bank"),
+        }
+    }
+
+    /// The bank, if this is it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a protocol node.
+    pub fn bank(&self) -> &BankNode {
+        match self {
+            NodeOrBank::Bank(b) => b,
+            NodeOrBank::Node(_) => panic!("expected the bank, found a protocol node"),
+        }
+    }
+}
+
+impl Actor for NodeOrBank {
+    type Msg = FMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, FMsg>) {
+        match self {
+            NodeOrBank::Node(n) => n.on_start(ctx),
+            NodeOrBank::Bank(b) => b.on_start(ctx),
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, FMsg>, from: NodeId, msg: FMsg) {
+        match self {
+            NodeOrBank::Node(n) => n.on_message(ctx, from, msg),
+            NodeOrBank::Bank(b) => b.on_message(ctx, from, msg),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, FMsg>, tag: u64) {
+        match self {
+            NodeOrBank::Node(n) => n.on_timer(ctx, tag),
+            NodeOrBank::Bank(b) => b.on_timer(ctx, tag),
+        }
+    }
+
+    fn observes_quiescence(&self) -> bool {
+        match self {
+            NodeOrBank::Node(n) => n.observes_quiescence(),
+            NodeOrBank::Bank(b) => b.observes_quiescence(),
+        }
+    }
+
+    fn on_quiescence(&mut self, ctx: &mut Ctx<'_, FMsg>) {
+        match self {
+            NodeOrBank::Node(n) => n.on_quiescence(ctx),
+            NodeOrBank::Bank(b) => b.on_quiescence(ctx),
+        }
+    }
+}

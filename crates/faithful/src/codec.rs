@@ -1,0 +1,459 @@
+//! Canonical byte encoding of bank payloads.
+//!
+//! The bank channel is MAC-authenticated ([`specfaith_crypto::auth`]), and
+//! a MAC signs *bytes*, so every bank payload needs a canonical encoding.
+//! The format is deliberately simple: a one-byte message tag, fixed-width
+//! big-endian integers, and `u32` length prefixes for sequences. Decoding
+//! is strict — trailing bytes, truncation, or unknown tags are errors —
+//! because a deviant transit node tampering with an envelope must never
+//! produce a different *valid* payload.
+
+use specfaith_core::id::NodeId;
+use specfaith_crypto::sha256::Digest;
+use std::fmt;
+
+/// Hashes reported by one node for one principal it checks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MirrorHashes {
+    /// The principal being checked.
+    pub principal: NodeId,
+    /// Hash of the principal's routing table as *announced* to this
+    /// checker.
+    pub announced_routing: Digest,
+    /// Hash of the principal's pricing table as announced.
+    pub announced_pricing: Digest,
+    /// Hash of the routing table this checker *recomputed* from the
+    /// principal's forwarded inputs.
+    pub recomputed_routing: Digest,
+    /// Hash of the recomputed pricing table (including identity tags).
+    pub recomputed_pricing: Digest,
+}
+
+/// A checker's execution-phase observations about one principal.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct PrincipalObservation {
+    /// The observed principal (raw id; set by the codec round-trip).
+    pub principal: u32,
+    /// The principal's declared transit cost (from DATA1).
+    pub declared_cost: u64,
+    /// Packets this checker handed to the principal: `(src, dst, count)`.
+    pub sent_to: Vec<(u32, u32, u64)>,
+    /// Packets this checker received from the principal.
+    pub recv_from: Vec<(u32, u32, u64)>,
+    /// The principal's mirror pricing rows `(dst, transit, price)`.
+    pub mirror_prices: Vec<(u32, u32, i64)>,
+}
+
+/// Payloads exchanged on the authenticated node↔bank channel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BankPayload {
+    /// Bank → nodes: report your table hashes (\[BANK1\]/\[BANK2\]).
+    RequestHashes,
+    /// Node → bank: own table hashes plus one [`MirrorHashes`] per
+    /// checked principal.
+    HashReport {
+        /// Hash of the node's own routing table.
+        own_routing: Digest,
+        /// Hash of the node's own pricing table.
+        own_pricing: Digest,
+        /// Mirror hashes for each neighbor this node checks.
+        mirrors: Vec<MirrorHashes>,
+    },
+    /// Bank → nodes: construction failed verification; restart the phase.
+    Restart,
+    /// Bank → nodes: construction certified; begin the execution phase.
+    GreenLight,
+    /// Bank → nodes: execution finished; report payments & observations.
+    RequestReports,
+    /// Node → bank: \[DATA4\] payment report plus originated traffic.
+    PaymentReport {
+        /// `(payee, amount)` as reported (possibly manipulated).
+        owed: Vec<(u32, i64)>,
+        /// `(dst, packets)` this node claims to have originated.
+        originated: Vec<(u32, u64)>,
+    },
+    /// Node → bank: checker observations for every checked principal.
+    ObservationReport {
+        /// One observation record per checked principal.
+        principals: Vec<PrincipalObservation>,
+    },
+    /// Bank → node: settlement result (net transfer and penalty).
+    Settle {
+        /// Net money transferred to the node (negative = node pays).
+        net_transfer: i64,
+        /// Penalty charged for detected deviations.
+        penalty: i64,
+    },
+}
+
+/// Decoding failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the payload was complete.
+    Truncated,
+    /// Unknown message tag.
+    UnknownTag(u8),
+    /// Bytes remained after a complete payload.
+    TrailingBytes,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => f.write_str("payload truncated"),
+            CodecError::UnknownTag(t) => write!(f, "unknown payload tag {t:#04x}"),
+            CodecError::TrailingBytes => f.write_str("trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new(tag: u8) -> Self {
+        Writer { buf: vec![tag] }
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn digest(&mut self, d: &Digest) {
+        self.buf.extend_from_slice(d.as_bytes());
+    }
+    fn len(&mut self, n: usize) {
+        self.u32(u32::try_from(n).expect("sequence too long"));
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() < n {
+            return Err(CodecError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_be_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn digest(&mut self) -> Result<Digest, CodecError> {
+        Ok(Digest(self.take(32)?.try_into().expect("32")))
+    }
+    fn len(&mut self) -> Result<usize, CodecError> {
+        Ok(self.u32()? as usize)
+    }
+}
+
+const TAG_REQUEST_HASHES: u8 = 1;
+const TAG_HASH_REPORT: u8 = 2;
+const TAG_RESTART: u8 = 3;
+const TAG_GREEN_LIGHT: u8 = 4;
+const TAG_REQUEST_REPORTS: u8 = 5;
+const TAG_PAYMENT_REPORT: u8 = 6;
+const TAG_OBSERVATION_REPORT: u8 = 7;
+const TAG_SETTLE: u8 = 8;
+
+impl BankPayload {
+    /// Encodes the payload to canonical bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            BankPayload::RequestHashes => Writer::new(TAG_REQUEST_HASHES).buf,
+            BankPayload::Restart => Writer::new(TAG_RESTART).buf,
+            BankPayload::GreenLight => Writer::new(TAG_GREEN_LIGHT).buf,
+            BankPayload::RequestReports => Writer::new(TAG_REQUEST_REPORTS).buf,
+            BankPayload::HashReport {
+                own_routing,
+                own_pricing,
+                mirrors,
+            } => {
+                let mut w = Writer::new(TAG_HASH_REPORT);
+                w.digest(own_routing);
+                w.digest(own_pricing);
+                w.len(mirrors.len());
+                for m in mirrors {
+                    w.u32(m.principal.raw());
+                    w.digest(&m.announced_routing);
+                    w.digest(&m.announced_pricing);
+                    w.digest(&m.recomputed_routing);
+                    w.digest(&m.recomputed_pricing);
+                }
+                w.buf
+            }
+            BankPayload::PaymentReport { owed, originated } => {
+                let mut w = Writer::new(TAG_PAYMENT_REPORT);
+                w.len(owed.len());
+                for &(to, amount) in owed {
+                    w.u32(to);
+                    w.i64(amount);
+                }
+                w.len(originated.len());
+                for &(dst, packets) in originated {
+                    w.u32(dst);
+                    w.u64(packets);
+                }
+                w.buf
+            }
+            BankPayload::ObservationReport { principals } => {
+                let mut w = Writer::new(TAG_OBSERVATION_REPORT);
+                w.len(principals.len());
+                for p in principals {
+                    w.u32(p.principal);
+                    w.u64(p.declared_cost);
+                    w.len(p.sent_to.len());
+                    for &(s, d, c) in &p.sent_to {
+                        w.u32(s);
+                        w.u32(d);
+                        w.u64(c);
+                    }
+                    w.len(p.recv_from.len());
+                    for &(s, d, c) in &p.recv_from {
+                        w.u32(s);
+                        w.u32(d);
+                        w.u64(c);
+                    }
+                    w.len(p.mirror_prices.len());
+                    for &(dst, k, price) in &p.mirror_prices {
+                        w.u32(dst);
+                        w.u32(k);
+                        w.i64(price);
+                    }
+                }
+                w.buf
+            }
+            BankPayload::Settle {
+                net_transfer,
+                penalty,
+            } => {
+                let mut w = Writer::new(TAG_SETTLE);
+                w.i64(*net_transfer);
+                w.i64(*penalty);
+                w.buf
+            }
+        }
+    }
+
+    /// Decodes canonical bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncation, unknown tags, or trailing
+    /// bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader { buf: bytes };
+        let payload = match r.u8()? {
+            TAG_REQUEST_HASHES => BankPayload::RequestHashes,
+            TAG_RESTART => BankPayload::Restart,
+            TAG_GREEN_LIGHT => BankPayload::GreenLight,
+            TAG_REQUEST_REPORTS => BankPayload::RequestReports,
+            TAG_HASH_REPORT => {
+                let own_routing = r.digest()?;
+                let own_pricing = r.digest()?;
+                let count = r.len()?;
+                let mut mirrors = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    mirrors.push(MirrorHashes {
+                        principal: NodeId::new(r.u32()?),
+                        announced_routing: r.digest()?,
+                        announced_pricing: r.digest()?,
+                        recomputed_routing: r.digest()?,
+                        recomputed_pricing: r.digest()?,
+                    });
+                }
+                BankPayload::HashReport {
+                    own_routing,
+                    own_pricing,
+                    mirrors,
+                }
+            }
+            TAG_PAYMENT_REPORT => {
+                let count = r.len()?;
+                let mut owed = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    owed.push((r.u32()?, r.i64()?));
+                }
+                let count = r.len()?;
+                let mut originated = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    originated.push((r.u32()?, r.u64()?));
+                }
+                BankPayload::PaymentReport { owed, originated }
+            }
+            TAG_OBSERVATION_REPORT => {
+                let count = r.len()?;
+                let mut principals = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let principal = r.u32()?;
+                    let declared_cost = r.u64()?;
+                    let mut sent_to = Vec::new();
+                    for _ in 0..r.len()? {
+                        sent_to.push((r.u32()?, r.u32()?, r.u64()?));
+                    }
+                    let mut recv_from = Vec::new();
+                    for _ in 0..r.len()? {
+                        recv_from.push((r.u32()?, r.u32()?, r.u64()?));
+                    }
+                    let mut mirror_prices = Vec::new();
+                    for _ in 0..r.len()? {
+                        mirror_prices.push((r.u32()?, r.u32()?, r.i64()?));
+                    }
+                    principals.push(PrincipalObservation {
+                        principal,
+                        declared_cost,
+                        sent_to,
+                        recv_from,
+                        mirror_prices,
+                    });
+                }
+                BankPayload::ObservationReport { principals }
+            }
+            TAG_SETTLE => BankPayload::Settle {
+                net_transfer: r.i64()?,
+                penalty: r.i64()?,
+            },
+            other => return Err(CodecError::UnknownTag(other)),
+        };
+        if !r.buf.is_empty() {
+            return Err(CodecError::TrailingBytes);
+        }
+        Ok(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specfaith_crypto::sha256::sha256;
+
+    fn digest(s: &str) -> Digest {
+        sha256(s.as_bytes())
+    }
+
+    fn roundtrip(payload: BankPayload) {
+        let bytes = payload.encode();
+        assert_eq!(BankPayload::decode(&bytes), Ok(payload));
+    }
+
+    #[test]
+    fn simple_payloads_roundtrip() {
+        roundtrip(BankPayload::RequestHashes);
+        roundtrip(BankPayload::Restart);
+        roundtrip(BankPayload::GreenLight);
+        roundtrip(BankPayload::RequestReports);
+        roundtrip(BankPayload::Settle {
+            net_transfer: -42,
+            penalty: 7,
+        });
+    }
+
+    #[test]
+    fn hash_report_roundtrips() {
+        roundtrip(BankPayload::HashReport {
+            own_routing: digest("r"),
+            own_pricing: digest("p"),
+            mirrors: vec![MirrorHashes {
+                principal: NodeId::new(3),
+                announced_routing: digest("ar"),
+                announced_pricing: digest("ap"),
+                recomputed_routing: digest("rr"),
+                recomputed_pricing: digest("rp"),
+            }],
+        });
+    }
+
+    #[test]
+    fn payment_report_roundtrips() {
+        roundtrip(BankPayload::PaymentReport {
+            owed: vec![(1, 100), (2, -5)],
+            originated: vec![(4, 9)],
+        });
+    }
+
+    #[test]
+    fn observation_report_roundtrips() {
+        roundtrip(BankPayload::ObservationReport {
+            principals: vec![PrincipalObservation {
+                principal: 2,
+                declared_cost: 7,
+                sent_to: vec![(0, 4, 3)],
+                recv_from: vec![(0, 4, 3), (1, 4, 1)],
+                mirror_prices: vec![(4, 2, 105)],
+            }],
+        });
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let bytes = BankPayload::Settle {
+            net_transfer: 1,
+            penalty: 2,
+        }
+        .encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                BankPayload::decode(&bytes[..cut]),
+                Err(CodecError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut bytes = BankPayload::GreenLight.encode();
+        bytes.push(0);
+        assert_eq!(BankPayload::decode(&bytes), Err(CodecError::TrailingBytes));
+    }
+
+    #[test]
+    fn unknown_tag_is_an_error() {
+        assert_eq!(
+            BankPayload::decode(&[0xff]),
+            Err(CodecError::UnknownTag(0xff))
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn payment_reports_roundtrip(
+            owed in proptest::collection::vec((any::<u32>(), any::<i64>()), 0..20),
+            originated in proptest::collection::vec((any::<u32>(), any::<u64>()), 0..20),
+        ) {
+            let payload = BankPayload::PaymentReport { owed, originated };
+            prop_assert_eq!(BankPayload::decode(&payload.encode()), Ok(payload));
+        }
+
+        #[test]
+        fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = BankPayload::decode(&bytes);
+        }
+    }
+}

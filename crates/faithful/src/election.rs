@@ -1,0 +1,517 @@
+//! The paper's §3 leader election as a **distributed** faithful mechanism.
+//!
+//! The motivating story: a designer wants the most capable node elected to
+//! run a CPU-intensive task, but truthfully revealing capability risks
+//! being tasked with the chore, so rational nodes lie and the naive
+//! protocol elects the wrong leader.
+//!
+//! The faithful version applies the same toolkit as the FPSS extension,
+//! scaled down:
+//!
+//! * **Incentives** — the election is a Vickrey procurement: declare your
+//!   cost of serving; cheapest node wins and is paid the second-lowest
+//!   declaration (truthful declaration is dominant).
+//! * **Redundancy** — declarations are flooded, and *every* node computes
+//!   the outcome; nobody is trusted to tally alone.
+//! * **Catch-and-punish** — each node reports its signed `(winner, price)`
+//!   to the bank; any disagreement halts the mechanism (no progress, no
+//!   progress value for anyone).
+//!
+//! This module exists to show the framework generalizes beyond routing
+//! with the same crates: `netsim` for the substrate, `crypto` for the
+//! signed reports, `core` for the equilibrium analysis.
+
+use specfaith_core::id::NodeId;
+use specfaith_core::money::Money;
+use specfaith_crypto::auth::{Authenticated, ChannelKey};
+use specfaith_netsim::{Actor, Connectivity, Ctx, FixedLatency, Network, Payload};
+use specfaith_graph::topology::Topology;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Messages of the distributed election.
+#[derive(Clone, Debug)]
+pub enum ElectMsg {
+    /// Flooded declaration of a node's cost of serving as leader.
+    Declare {
+        /// The declaring node.
+        origin: NodeId,
+        /// Its declared serving cost.
+        cost: Money,
+    },
+    /// A MAC'd `(winner, price)` outcome report to the bank.
+    Outcome(Authenticated),
+}
+
+impl Payload for ElectMsg {
+    fn size_bytes(&self) -> usize {
+        match self {
+            ElectMsg::Declare { .. } => 12,
+            ElectMsg::Outcome(env) => 44 + env.payload.len(),
+        }
+    }
+}
+
+/// The deviation hooks of an election participant.
+pub trait ElectionStrategy: fmt::Debug {
+    /// The cost to declare (information revelation).
+    fn declare(&mut self, true_cost: Money) -> Money {
+        true_cost
+    }
+
+    /// How to re-flood another node's declaration (message passing).
+    fn reflood(&mut self, _origin: NodeId, cost: Money) -> Option<Money> {
+        Some(cost)
+    }
+
+    /// The `(winner, price)` to report after honest tallying
+    /// (computation).
+    fn report(&mut self, honest: (NodeId, Money)) -> (NodeId, Money) {
+        honest
+    }
+}
+
+/// The faithful election strategy.
+#[derive(Clone, Debug, Default)]
+pub struct HonestVoter;
+
+impl ElectionStrategy for HonestVoter {}
+
+fn encode_outcome(winner: NodeId, price: Money) -> Vec<u8> {
+    let mut bytes = winner.raw().to_be_bytes().to_vec();
+    bytes.extend_from_slice(&price.value().to_be_bytes());
+    bytes
+}
+
+fn decode_outcome(bytes: &[u8]) -> Option<(NodeId, Money)> {
+    if bytes.len() != 12 {
+        return None;
+    }
+    let winner = u32::from_be_bytes(bytes[..4].try_into().ok()?);
+    let price = i64::from_be_bytes(bytes[4..].try_into().ok()?);
+    Some((NodeId::new(winner), Money::new(price)))
+}
+
+/// One election participant.
+pub struct Voter {
+    me: NodeId,
+    neighbors: Vec<NodeId>,
+    n: usize,
+    true_cost: Money,
+    strategy: Box<dyn ElectionStrategy>,
+    declared: BTreeMap<NodeId, Money>,
+    bank: NodeId,
+    key: ChannelKey,
+    seq: u64,
+    reported: bool,
+}
+
+impl fmt::Debug for Voter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Voter({})", self.me)
+    }
+}
+
+impl Voter {
+    /// Tallies the Vickrey outcome from the declarations seen so far.
+    fn tally(&self) -> Option<(NodeId, Money)> {
+        if self.declared.len() < self.n {
+            return None;
+        }
+        let mut ranked: Vec<(Money, NodeId)> =
+            self.declared.iter().map(|(&id, &c)| (c, id)).collect();
+        ranked.sort();
+        let (_, winner) = ranked[0];
+        let (second_price, _) = ranked[1];
+        Some((winner, second_price))
+    }
+}
+
+impl Actor for Voter {
+    type Msg = ElectMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ElectMsg>) {
+        let declared = self.strategy.declare(self.true_cost);
+        self.declared.insert(self.me, declared);
+        for &b in &self.neighbors {
+            ctx.send(
+                b,
+                ElectMsg::Declare {
+                    origin: self.me,
+                    cost: declared,
+                },
+            );
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ElectMsg>, from: NodeId, msg: ElectMsg) {
+        let ElectMsg::Declare { origin, cost } = msg else {
+            return; // outcome reports are for the bank only
+        };
+        if self.declared.contains_key(&origin) {
+            return;
+        }
+        self.declared.insert(origin, cost);
+        if let Some(reflooded) = self.strategy.reflood(origin, cost) {
+            for &b in &self.neighbors {
+                if b != from {
+                    ctx.send(
+                        b,
+                        ElectMsg::Declare {
+                            origin,
+                            cost: reflooded,
+                        },
+                    );
+                }
+            }
+        }
+        if !self.reported {
+            if let Some(honest) = self.tally() {
+                self.reported = true;
+                let (winner, price) = self.strategy.report(honest);
+                self.seq += 1;
+                let env = self.key.seal(self.seq, encode_outcome(winner, price));
+                ctx.send(self.bank, ElectMsg::Outcome(env));
+            }
+        }
+    }
+}
+
+/// The election bank: collects signed outcome reports and certifies the
+/// election iff all agree.
+#[derive(Debug)]
+pub struct ElectionBank {
+    n: usize,
+    keys: Vec<ChannelKey>,
+    last_seq: Vec<u64>,
+    reports: BTreeMap<NodeId, (NodeId, Money)>,
+    auth_failures: u64,
+}
+
+impl ElectionBank {
+    fn new(n: usize, secret: &[u8]) -> Self {
+        ElectionBank {
+            n,
+            keys: (0..n as u32).map(|i| ChannelKey::derive(secret, i)).collect(),
+            last_seq: vec![0; n],
+            reports: BTreeMap::new(),
+            auth_failures: 0,
+        }
+    }
+
+    /// The certified outcome: `Some((winner, price))` iff every node
+    /// reported and all reports agree.
+    pub fn certified(&self) -> Option<(NodeId, Money)> {
+        if self.reports.len() < self.n {
+            return None;
+        }
+        let mut values = self.reports.values();
+        let first = *values.next().expect("n >= 1 reports");
+        values.all(|v| *v == first).then_some(first)
+    }
+}
+
+impl Actor for ElectionBank {
+    type Msg = ElectMsg;
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, ElectMsg>, _from: NodeId, msg: ElectMsg) {
+        let ElectMsg::Outcome(env) = msg else {
+            self.auth_failures += 1;
+            return;
+        };
+        let sender = env.sender as usize;
+        if sender >= self.keys.len() {
+            self.auth_failures += 1;
+            return;
+        }
+        match self.keys[sender].open(&env, self.last_seq[sender]) {
+            Ok(bytes) => {
+                self.last_seq[sender] = env.sequence;
+                if let Some(outcome) = decode_outcome(&bytes) {
+                    self.reports.insert(NodeId::new(env.sender), outcome);
+                } else {
+                    self.auth_failures += 1;
+                }
+            }
+            Err(_) => self.auth_failures += 1,
+        }
+    }
+}
+
+enum Participant {
+    Voter(Box<Voter>),
+    Bank(Box<ElectionBank>),
+}
+
+impl Actor for Participant {
+    type Msg = ElectMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ElectMsg>) {
+        if let Participant::Voter(v) = self {
+            v.on_start(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ElectMsg>, from: NodeId, msg: ElectMsg) {
+        match self {
+            Participant::Voter(v) => v.on_message(ctx, from, msg),
+            Participant::Bank(b) => b.on_message(ctx, from, msg),
+        }
+    }
+}
+
+/// Result of a distributed election run.
+#[derive(Clone, Debug)]
+pub struct ElectionResult {
+    /// The certified `(winner, second price)`, or `None` if the bank
+    /// refused (disagreeing or missing reports).
+    pub outcome: Option<(NodeId, Money)>,
+    /// Realized utility per node: progress value, plus `price − true
+    /// cost` for the leader; all zero when the election halts.
+    pub utilities: Vec<Money>,
+}
+
+/// A distributed Vickrey leader election over a topology.
+#[derive(Clone, Debug)]
+pub struct ElectionSim {
+    topo: Topology,
+    true_costs: Vec<Money>,
+    progress_value: Money,
+}
+
+impl ElectionSim {
+    /// An election among the nodes of `topo` (connected; `n ≥ 2`) with the
+    /// given true serving costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arities mismatch or the topology is disconnected.
+    pub fn new(topo: Topology, true_costs: Vec<Money>) -> Self {
+        assert_eq!(topo.num_nodes(), true_costs.len(), "cost arity");
+        assert!(topo.is_connected(), "the flood needs a connected graph");
+        assert!(topo.num_nodes() >= 2, "an election needs two candidates");
+        ElectionSim {
+            topo,
+            true_costs,
+            progress_value: Money::new(1_000),
+        }
+    }
+
+    /// Runs with everyone honest.
+    pub fn run_honest(&self, seed: u64) -> ElectionResult {
+        self.run_with(|_| Box::new(HonestVoter), seed)
+    }
+
+    /// Runs with one deviant.
+    pub fn run_with_deviant(
+        &self,
+        deviant: NodeId,
+        strategy: Box<dyn ElectionStrategy>,
+        seed: u64,
+    ) -> ElectionResult {
+        let mut strategy = Some(strategy);
+        self.run_with(
+            move |node| {
+                if node == deviant {
+                    strategy.take().expect("used once")
+                } else {
+                    Box::new(HonestVoter)
+                }
+            },
+            seed,
+        )
+    }
+
+    /// Runs with an arbitrary strategy assignment.
+    pub fn run_with(
+        &self,
+        mut strategies: impl FnMut(NodeId) -> Box<dyn ElectionStrategy>,
+        seed: u64,
+    ) -> ElectionResult {
+        let n = self.topo.num_nodes();
+        let bank_id = NodeId::from_index(n);
+        let secret = b"election-bank-secret";
+        let mut actors: Vec<Participant> = self
+            .topo
+            .nodes()
+            .map(|me| {
+                Participant::Voter(Box::new(Voter {
+                    me,
+                    neighbors: self.topo.neighbors(me).to_vec(),
+                    n,
+                    true_cost: self.true_costs[me.index()],
+                    strategy: strategies(me),
+                    declared: BTreeMap::new(),
+                    bank: bank_id,
+                    key: ChannelKey::derive(secret, me.raw()),
+                    seq: 0,
+                    reported: false,
+                }))
+            })
+            .collect();
+        actors.push(Participant::Bank(Box::new(ElectionBank::new(n, secret))));
+        let mut net = Network::new(
+            Connectivity::from_topology_with_overlay(&self.topo, 1),
+            actors,
+            FixedLatency::new(10),
+            seed,
+        );
+        net.run();
+        let bank = match net.node(bank_id) {
+            Participant::Bank(b) => b,
+            Participant::Voter(_) => unreachable!("last actor is the bank"),
+        };
+        let outcome = bank.certified();
+        let utilities = match outcome {
+            Some((winner, price)) => self
+                .topo
+                .nodes()
+                .map(|id| {
+                    let serving = if id == winner {
+                        price - self.true_costs[id.index()]
+                    } else {
+                        Money::ZERO
+                    };
+                    serving + self.progress_value
+                })
+                .collect(),
+            None => vec![Money::ZERO; n],
+        };
+        ElectionResult { outcome, utilities }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specfaith_graph::generators::ring;
+
+    /// Over-declare to dodge the chore (the paper's anecdote).
+    #[derive(Debug)]
+    struct DodgeChore;
+    impl ElectionStrategy for DodgeChore {
+        fn declare(&mut self, true_cost: Money) -> Money {
+            true_cost + Money::new(50)
+        }
+    }
+
+    /// Report a self-serving outcome: "I won at a fat price".
+    #[derive(Debug)]
+    struct RigTally {
+        me: NodeId,
+    }
+    impl ElectionStrategy for RigTally {
+        fn report(&mut self, honest: (NodeId, Money)) -> (NodeId, Money) {
+            (self.me, honest.1 + Money::new(100))
+        }
+    }
+
+    /// Tamper with re-flooded declarations.
+    #[derive(Debug)]
+    struct InflateOthers;
+    impl ElectionStrategy for InflateOthers {
+        fn reflood(&mut self, _origin: NodeId, cost: Money) -> Option<Money> {
+            Some(cost + Money::new(100))
+        }
+    }
+
+    fn sim() -> ElectionSim {
+        // Ring of 5; node 2 is cheapest (most powerful), node 0 second.
+        ElectionSim::new(
+            ring(5),
+            vec![
+                Money::new(20),
+                Money::new(40),
+                Money::new(10),
+                Money::new(35),
+                Money::new(60),
+            ],
+        )
+    }
+
+    #[test]
+    fn honest_election_certifies_the_vickrey_outcome() {
+        let result = sim().run_honest(1);
+        assert_eq!(result.outcome, Some((NodeId::new(2), Money::new(20))));
+        // The leader is compensated above its true cost.
+        assert!(result.utilities[2] > result.utilities[0]);
+        assert!(result.utilities.iter().all(|u| u.is_positive()));
+    }
+
+    #[test]
+    fn dodging_the_chore_does_not_pay() {
+        let s = sim();
+        let honest = s.run_honest(1);
+        // The would-be winner over-declares to dodge; it loses the payment
+        // above cost it would have earned.
+        let dodged = s.run_with_deviant(NodeId::new(2), Box::new(DodgeChore), 1);
+        assert_eq!(
+            dodged.outcome,
+            Some((NodeId::new(0), Money::new(35))),
+            "the chore falls to the runner-up"
+        );
+        assert!(
+            dodged.utilities[2] <= honest.utilities[2],
+            "Vickrey compensation makes serving worthwhile"
+        );
+        // A loser over-declaring changes nothing at all.
+        let futile = s.run_with_deviant(NodeId::new(4), Box::new(DodgeChore), 1);
+        assert_eq!(futile.outcome, honest.outcome);
+    }
+
+    #[test]
+    fn rigged_tally_is_caught_by_report_comparison() {
+        let s = sim();
+        let rigged = s.run_with_deviant(
+            NodeId::new(3),
+            Box::new(RigTally { me: NodeId::new(3) }),
+            1,
+        );
+        assert_eq!(rigged.outcome, None, "disagreeing reports halt the election");
+        assert!(rigged.utilities.iter().all(|u| *u == Money::ZERO));
+        let honest = s.run_honest(1);
+        assert!(
+            rigged.utilities[3] < honest.utilities[3],
+            "rigging forfeits the progress value"
+        );
+    }
+
+    #[test]
+    fn tampered_flood_is_caught_by_report_comparison() {
+        // Inflating others' declarations poisons the tamperer's side of
+        // the ring; tallies disagree and the bank refuses to certify.
+        let s = sim();
+        let tampered = s.run_with_deviant(NodeId::new(1), Box::new(InflateOthers), 1);
+        assert_eq!(tampered.outcome, None);
+        let honest = s.run_honest(1);
+        assert!(tampered.utilities[1] < honest.utilities[1]);
+    }
+
+    #[test]
+    fn outcome_codec_roundtrips() {
+        let bytes = encode_outcome(NodeId::new(7), Money::new(-3));
+        assert_eq!(decode_outcome(&bytes), Some((NodeId::new(7), Money::new(-3))));
+        assert_eq!(decode_outcome(&bytes[..5]), None);
+    }
+
+    #[test]
+    fn underdeclaring_to_win_is_a_losing_trade() {
+        #[derive(Debug)]
+        struct BuyTheChore;
+        impl ElectionStrategy for BuyTheChore {
+            fn declare(&mut self, true_cost: Money) -> Money {
+                true_cost - Money::new(15)
+            }
+        }
+        let s = sim();
+        let honest = s.run_honest(1);
+        // Node 0 (true 20) underdeclares to 5, beats node 2's 10, wins at
+        // second price 10 — and serves at a loss of 10.
+        let bought = s.run_with_deviant(NodeId::new(0), Box::new(BuyTheChore), 1);
+        assert_eq!(bought.outcome, Some((NodeId::new(0), Money::new(10))));
+        assert!(
+            bought.utilities[0] < honest.utilities[0],
+            "winning below cost strictly loses"
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Penalty calibration (experiment E10).
+//!
+//! §4.2: the execution-phase penalty "is a well-defined monetary unit that
+//! is epsilon-above the attempted deviation". This module makes the
+//! deterrence condition explicit and analyzable:
+//!
+//! With deviation gain `g`, penalty `π = g + ε`, and detection probability
+//! `p`, the expected deviation utility relative to faithfulness is
+//!
+//! ```text
+//! E[Δu] = g − p·(g + ε)
+//! ```
+//!
+//! which is negative iff `p > g / (g + ε)`. The faithful construction
+//! drives `p` to 1 (full checker coverage, experiment E7), so *any* ε > 0
+//! deters; the analysis quantifies how much slack the design has if
+//! detection were imperfect.
+
+use specfaith_core::money::Money;
+
+/// The ε-above-the-deviation penalty policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PenaltyPolicy {
+    /// The ε margin added above the detected deviation magnitude.
+    pub epsilon: Money,
+}
+
+impl PenaltyPolicy {
+    /// A policy with the given margin.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `epsilon` is strictly positive (a zero margin makes
+    /// deviation utility-neutral, violating strictness).
+    pub fn new(epsilon: Money) -> Self {
+        assert!(epsilon.is_positive(), "epsilon must be strictly positive");
+        PenaltyPolicy { epsilon }
+    }
+
+    /// The penalty charged for a deviation of magnitude `gain`.
+    pub fn penalty_for(&self, gain: Money) -> Money {
+        gain + self.epsilon
+    }
+
+    /// Expected *relative* utility of deviating once, if detection occurs
+    /// with probability `p` (deterministic detection in the faithful
+    /// construction means `p = 1`).
+    pub fn expected_deviation_gain(&self, gain: Money, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "p is a probability");
+        gain.value() as f64 - p * self.penalty_for(gain).value() as f64
+    }
+
+    /// The minimum detection probability that makes a deviation of the
+    /// given magnitude unprofitable in expectation: `p* = g / (g + ε)`.
+    pub fn deterrence_threshold(&self, gain: Money) -> f64 {
+        let g = gain.value().max(0) as f64;
+        let pi = self.penalty_for(gain).value() as f64;
+        if pi <= 0.0 {
+            return 0.0;
+        }
+        g / pi
+    }
+
+    /// Whether detection probability `p` deters a deviation of magnitude
+    /// `gain` (strict inequality).
+    pub fn deters(&self, gain: Money, p: f64) -> bool {
+        self.expected_deviation_gain(gain, p) < 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_detection_always_deters() {
+        let policy = PenaltyPolicy::new(Money::new(1));
+        for gain in [0i64, 1, 10, 1_000_000] {
+            assert!(policy.deters(Money::new(gain), 1.0), "gain {gain}");
+        }
+    }
+
+    #[test]
+    fn threshold_grows_with_gain() {
+        let policy = PenaltyPolicy::new(Money::new(10));
+        let small = policy.deterrence_threshold(Money::new(10));
+        let large = policy.deterrence_threshold(Money::new(1000));
+        assert!(small < large);
+        assert!(large < 1.0, "any positive epsilon keeps p* below 1");
+    }
+
+    #[test]
+    fn below_threshold_deviation_pays() {
+        // gain 10, ε 5 ⇒ p* = 10/15 ≈ 0.667, comfortably inside (0,1).
+        let policy = PenaltyPolicy::new(Money::new(5));
+        let gain = Money::new(10);
+        let p_star = policy.deterrence_threshold(gain);
+        assert!(!policy.deters(gain, p_star - 0.05));
+        assert!(policy.deters(gain, p_star + 0.05));
+    }
+
+    #[test]
+    fn expected_gain_formula() {
+        let policy = PenaltyPolicy::new(Money::new(5));
+        // g = 10, π = 15, p = 0.5: E = 10 − 7.5 = 2.5.
+        let e = policy.expected_deviation_gain(Money::new(10), 0.5);
+        assert!((e - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn zero_epsilon_rejected() {
+        let _ = PenaltyPolicy::new(Money::ZERO);
+    }
+}

@@ -1,0 +1,517 @@
+//! Pure FPSS recomputation functions.
+//!
+//! Everything a node computes in construction phase 2 — its routing table
+//! from neighbors' advertised paths, and its pricing table from neighbors'
+//! advertised prices — is implemented here as **pure functions of the
+//! node's inputs**. Three callers share them:
+//!
+//! * the plain FPSS node ([`crate::node`]),
+//! * the faithful principal, and
+//! * every checker mirror (which recomputes what *its principal* should
+//!   have computed from the forwarded inputs).
+//!
+//! Purity is not a style choice: the bank compares table hashes across
+//! principal and checkers, so the recomputation must be a deterministic
+//! function of the inputs and nothing else.
+
+use crate::msg::{PriceRow, RouteRow};
+use crate::state::{PriceEntry, PricingTable, RoutingTable, TransitCostList};
+use specfaith_core::id::NodeId;
+use specfaith_graph::path::PathMetric;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A node's record of what its neighbors have advertised: routes and
+/// prices, exactly as received (the inputs to recomputation).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NeighborView {
+    /// `(neighbor, dst) → neighbor's advertised path` (starting at the
+    /// neighbor, ending at dst).
+    routes: BTreeMap<(NodeId, NodeId), Vec<NodeId>>,
+    /// `(neighbor, dst, transit) → neighbor's advertised per-packet price`.
+    prices: BTreeMap<(NodeId, NodeId, NodeId), i64>,
+}
+
+impl NeighborView {
+    /// An empty view.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a route advertisement from `neighbor`. Returns `true` if
+    /// the stored row changed. Rows whose path does not start at the
+    /// neighbor or end at the row's destination are rejected (malformed).
+    pub fn learn_route(&mut self, neighbor: NodeId, row: &RouteRow) -> bool {
+        if row.path.first() != Some(&neighbor) || row.path.last() != Some(&row.dst) {
+            return false;
+        }
+        let key = (neighbor, row.dst);
+        if self.routes.get(&key) == Some(&row.path) {
+            return false;
+        }
+        self.routes.insert(key, row.path.clone());
+        true
+    }
+
+    /// Records a price advertisement from `neighbor`. Returns `true` if
+    /// the stored value changed.
+    pub fn learn_price(&mut self, neighbor: NodeId, row: &PriceRow) -> bool {
+        let key = (neighbor, row.dst, row.transit);
+        let value = row.price.value();
+        if self.prices.get(&key) == Some(&value) {
+            return false;
+        }
+        self.prices.insert(key, value);
+        true
+    }
+
+    /// Removes a previously advertised price (the neighbor retracted it).
+    /// Returns `true` if the view changed.
+    pub fn retract_price(&mut self, neighbor: NodeId, dst: NodeId, transit: NodeId) -> bool {
+        self.prices.remove(&(neighbor, dst, transit)).is_some()
+    }
+
+    /// The path `neighbor` advertised toward `dst`, if any.
+    pub fn route(&self, neighbor: NodeId, dst: NodeId) -> Option<&[NodeId]> {
+        self.routes.get(&(neighbor, dst)).map(Vec::as_slice)
+    }
+
+    /// The price `neighbor` advertised for `(dst, transit)`, if any.
+    pub fn price(&self, neighbor: NodeId, dst: NodeId, transit: NodeId) -> Option<i64> {
+        self.prices.get(&(neighbor, dst, transit)).copied()
+    }
+}
+
+/// Recomputes the routing table of `me` from its transit-cost list and
+/// neighbor advertisements.
+///
+/// For each destination, the candidate via neighbor `b` is `[me] ++
+/// path_b(dst)`, **costed locally from DATA1** (advertised costs are never
+/// trusted — this is the \[CHECK1\] verification built into the update rule).
+/// Candidates are compared under the [`PathMetric`] total order, so every
+/// honest node resolves ties identically.
+pub fn recompute_routes(
+    me: NodeId,
+    neighbors: &[NodeId],
+    data1: &TransitCostList,
+    view: &NeighborView,
+) -> RoutingTable {
+    // Destinations: every node we have ever heard of.
+    let mut dsts: BTreeSet<NodeId> = data1.iter().map(|(n, _)| n).collect();
+    for &b in neighbors {
+        dsts.insert(b);
+    }
+    let mut table = RoutingTable::new();
+    table.install(me, vec![me]);
+    for dst in dsts {
+        if dst == me {
+            continue;
+        }
+        let mut best: Option<PathMetric> = None;
+        for &b in neighbors {
+            let candidate_nodes: Vec<NodeId> = if b == dst {
+                vec![me, dst]
+            } else {
+                let Some(path_b) = view.route(b, dst) else {
+                    continue;
+                };
+                if path_b.contains(&me) {
+                    continue; // would loop
+                }
+                std::iter::once(me).chain(path_b.iter().copied()).collect()
+            };
+            let Some(cost) = data1.path_cost(&candidate_nodes) else {
+                continue; // some intermediate's declared cost unknown yet
+            };
+            let candidate = PathMetric::new(candidate_nodes, cost);
+            if best.as_ref().is_none_or(|cur| candidate < *cur) {
+                best = Some(candidate);
+            }
+        }
+        if let Some(metric) = best {
+            table.install(dst, metric.nodes().to_vec());
+        }
+    }
+    table
+}
+
+/// Recomputes the pricing table \[DATA3*\] of `me`.
+///
+/// For each destination `j` on the routing table and each transit `k` on
+/// the chosen path, the per-packet VCG payment is
+/// `pᵏ = ĉ_k + d_{G−k}(me,j) − d(me,j)`, where the `k`-avoiding distance is
+/// estimated by the FPSS iterative rule over neighbors `b ≠ k`:
+///
+/// * if `k` is **not** on `b`'s advertised path to `j`, the detour through
+///   `b` costs `ĉ_b + d_b(j)` (the advertised path itself avoids `k`);
+/// * if `k` **is** on it, `b`'s own advertised price for `k` encodes `b`'s
+///   `k`-avoiding distance: `d_{G−k}(b,j) = pᵏ_b − ĉ_k + d_b(j)`.
+///
+/// The DATA3* identity tags record which neighbor(s) attained the minimum
+/// (union on ties), which is what lets checkers detect spoofed pricing
+/// messages (\[CHECK2\], \[BANK2\]).
+pub fn recompute_prices(
+    me: NodeId,
+    neighbors: &[NodeId],
+    data1: &TransitCostList,
+    routes: &RoutingTable,
+    view: &NeighborView,
+) -> PricingTable {
+    let mut table = PricingTable::new();
+    for (dst, path) in routes.iter() {
+        if dst == me {
+            continue;
+        }
+        let Some(d_me) = data1.path_cost(path) else {
+            continue;
+        };
+        let d_me = d_me.value() as i64;
+        let transits: Vec<NodeId> = if path.len() <= 2 {
+            Vec::new()
+        } else {
+            path[1..path.len() - 1].to_vec()
+        };
+        for k in transits {
+            let Some(c_k) = data1.declared(k) else {
+                continue;
+            };
+            let c_k = c_k.value() as i64;
+            let mut best: Option<i64> = None;
+            let mut tags: BTreeSet<NodeId> = BTreeSet::new();
+            for &b in neighbors {
+                if b == k {
+                    // Problem partitioning (FPSS footnote 8): the priced
+                    // node's own advertisements are never used to price it.
+                    continue;
+                }
+                let (path_b, d_b): (&[NodeId], i64) = if b == dst {
+                    (&[], 0)
+                } else {
+                    let Some(p) = view.route(b, dst) else {
+                        continue;
+                    };
+                    let Some(c) = data1.path_cost(p) else {
+                        continue;
+                    };
+                    (p, c.value() as i64)
+                };
+                let detour = if path_b.contains(&k) {
+                    let Some(p_bk) = view.price(b, dst, k) else {
+                        continue;
+                    };
+                    p_bk - c_k + d_b
+                } else {
+                    d_b
+                };
+                let c_b = if b == dst {
+                    0
+                } else {
+                    let Some(c) = data1.declared(b) else {
+                        continue;
+                    };
+                    c.value() as i64
+                };
+                let candidate = c_k + c_b + detour - d_me;
+                match best {
+                    None => {
+                        best = Some(candidate);
+                        tags.clear();
+                        tags.insert(b);
+                    }
+                    Some(cur) if candidate < cur => {
+                        best = Some(candidate);
+                        tags.clear();
+                        tags.insert(b);
+                    }
+                    Some(cur) if candidate == cur => {
+                        tags.insert(b);
+                    }
+                    Some(_) => {}
+                }
+            }
+            if let Some(price) = best {
+                table.insert(
+                    dst,
+                    k,
+                    PriceEntry {
+                        price: specfaith_core::money::Money::new(price),
+                        tags,
+                    },
+                );
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specfaith_core::money::{Cost, Money};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn data1(costs: &[(u32, u64)]) -> TransitCostList {
+        let mut d = TransitCostList::new();
+        for &(id, c) in costs {
+            d.learn(n(id), Cost::new(c));
+        }
+        d
+    }
+
+    #[test]
+    fn learn_route_rejects_malformed_rows() {
+        let mut view = NeighborView::new();
+        // Path does not start at the claimed neighbor.
+        assert!(!view.learn_route(
+            n(1),
+            &RouteRow {
+                dst: n(2),
+                path: vec![n(0), n(2)],
+            }
+        ));
+        // Path does not end at dst.
+        assert!(!view.learn_route(
+            n(1),
+            &RouteRow {
+                dst: n(2),
+                path: vec![n(1), n(3)],
+            }
+        ));
+        assert!(view.learn_route(
+            n(1),
+            &RouteRow {
+                dst: n(2),
+                path: vec![n(1), n(2)],
+            }
+        ));
+    }
+
+    #[test]
+    fn learn_is_idempotent() {
+        let mut view = NeighborView::new();
+        let row = RouteRow {
+            dst: n(2),
+            path: vec![n(1), n(2)],
+        };
+        assert!(view.learn_route(n(1), &row));
+        assert!(!view.learn_route(n(1), &row));
+        let price = PriceRow {
+            dst: n(2),
+            transit: n(3),
+            price: Money::new(5),
+            tags: BTreeSet::new(),
+        };
+        assert!(view.learn_price(n(1), &price));
+        assert!(!view.learn_price(n(1), &price));
+    }
+
+    #[test]
+    fn routes_prefer_cheaper_advertised_paths() {
+        // me = 0, neighbors 1 (cost 10) and 2 (cost 1); both claim a route
+        // to 3. Via 2 is cheaper.
+        let d1 = data1(&[(0, 0), (1, 10), (2, 1), (3, 0)]);
+        let mut view = NeighborView::new();
+        view.learn_route(
+            n(1),
+            &RouteRow {
+                dst: n(3),
+                path: vec![n(1), n(3)],
+            },
+        );
+        view.learn_route(
+            n(2),
+            &RouteRow {
+                dst: n(3),
+                path: vec![n(2), n(3)],
+            },
+        );
+        let table = recompute_routes(n(0), &[n(1), n(2)], &d1, &view);
+        assert_eq!(table.path(n(3)), Some(&[n(0), n(2), n(3)][..]));
+    }
+
+    #[test]
+    fn routes_never_trust_advertised_costs() {
+        // A neighbor advertising a path through an expensive node cannot
+        // make it look cheap: costs come from DATA1.
+        let d1 = data1(&[(0, 0), (1, 1), (2, 1000), (3, 0)]);
+        let mut view = NeighborView::new();
+        view.learn_route(
+            n(1),
+            &RouteRow {
+                dst: n(3),
+                path: vec![n(1), n(2), n(3)], // through expensive 2
+            },
+        );
+        let table = recompute_routes(n(0), &[n(1)], &d1, &view);
+        let path = table.path(n(3)).expect("route exists");
+        // Cost is recomputed locally: 1 (node 1) + 1000 (node 2).
+        assert_eq!(d1.path_cost(path), Some(Cost::new(1001)));
+    }
+
+    #[test]
+    fn routes_skip_candidates_looping_through_me() {
+        let d1 = data1(&[(0, 0), (1, 1), (2, 1)]);
+        let mut view = NeighborView::new();
+        view.learn_route(
+            n(1),
+            &RouteRow {
+                dst: n(2),
+                path: vec![n(1), n(0), n(2)], // loops through me
+            },
+        );
+        let table = recompute_routes(n(0), &[n(1)], &d1, &view);
+        // No valid candidate survives except... none (1 is not dst 2's
+        // neighbor relation is unknown). Only the adjacency candidate for
+        // dst=1 itself exists.
+        assert_eq!(table.path(n(2)), None);
+        assert_eq!(table.path(n(1)), Some(&[n(0), n(1)][..]));
+    }
+
+    #[test]
+    fn routes_wait_for_unknown_costs() {
+        let d1 = data1(&[(0, 0), (1, 1)]); // node 2's cost unknown
+        let mut view = NeighborView::new();
+        view.learn_route(
+            n(1),
+            &RouteRow {
+                dst: n(3),
+                path: vec![n(1), n(2), n(3)],
+            },
+        );
+        let table = recompute_routes(n(0), &[n(1)], &d1, &view);
+        assert_eq!(table.path(n(3)), None, "intermediate cost unknown");
+    }
+
+    #[test]
+    fn prices_direct_detour() {
+        // Line-ish graph known directly: me=0 routes to 2 via transit 1
+        // (cost 5); neighbor 3 (cost 8) advertises a k-free route to 2.
+        // p¹ = c₁ + d_{G−1}(0,2) − d(0,2) = 5 + 8 − 5 = 8.
+        let d1 = data1(&[(0, 0), (1, 5), (2, 0), (3, 8)]);
+        let mut view = NeighborView::new();
+        view.learn_route(
+            n(1),
+            &RouteRow {
+                dst: n(2),
+                path: vec![n(1), n(2)],
+            },
+        );
+        view.learn_route(
+            n(3),
+            &RouteRow {
+                dst: n(2),
+                path: vec![n(3), n(2)],
+            },
+        );
+        let routes = recompute_routes(n(0), &[n(1), n(3)], &d1, &view);
+        assert_eq!(routes.path(n(2)), Some(&[n(0), n(1), n(2)][..]));
+        let prices = recompute_prices(n(0), &[n(1), n(3)], &d1, &routes, &view);
+        let entry = prices.entry(n(2), n(1)).expect("transit 1 priced");
+        assert_eq!(entry.price, Money::new(8));
+        assert_eq!(entry.tags, [n(3)].into_iter().collect());
+    }
+
+    #[test]
+    fn prices_never_use_the_priced_node_as_witness() {
+        // Only neighbor is k itself: no candidate may be produced.
+        let d1 = data1(&[(0, 0), (1, 5), (2, 0)]);
+        let mut view = NeighborView::new();
+        view.learn_route(
+            n(1),
+            &RouteRow {
+                dst: n(2),
+                path: vec![n(1), n(2)],
+            },
+        );
+        let routes = recompute_routes(n(0), &[n(1)], &d1, &view);
+        let prices = recompute_prices(n(0), &[n(1)], &d1, &routes, &view);
+        assert!(prices.entry(n(2), n(1)).is_none());
+    }
+
+    #[test]
+    fn prices_tie_produces_tag_union() {
+        // Two equal detours through neighbors 3 and 4.
+        let d1 = data1(&[(0, 0), (1, 5), (2, 0), (3, 8), (4, 8)]);
+        let mut view = NeighborView::new();
+        for b in [1u32, 3, 4] {
+            view.learn_route(
+                n(b),
+                &RouteRow {
+                    dst: n(2),
+                    path: vec![n(b), n(2)],
+                },
+            );
+        }
+        let routes = recompute_routes(n(0), &[n(1), n(3), n(4)], &d1, &view);
+        let prices = recompute_prices(n(0), &[n(1), n(3), n(4)], &d1, &routes, &view);
+        let entry = prices.entry(n(2), n(1)).expect("priced");
+        assert_eq!(entry.tags, [n(3), n(4)].into_iter().collect());
+    }
+
+    #[test]
+    fn prices_use_neighbor_price_when_detour_also_crosses_k() {
+        // b's path to dst also goes through k; b's advertised price for k
+        // encodes its k-avoiding distance.
+        // Geometry: 0 -1- 2, and neighbor 3 whose path is 3-1-2 with an
+        // advertised price p¹₃ = 9 (so d_{G−1}(3,2) = 9 − 5 + 5 = 9).
+        let d1 = data1(&[(0, 0), (1, 5), (2, 0), (3, 2)]);
+        let mut view = NeighborView::new();
+        view.learn_route(
+            n(1),
+            &RouteRow {
+                dst: n(2),
+                path: vec![n(1), n(2)],
+            },
+        );
+        view.learn_route(
+            n(3),
+            &RouteRow {
+                dst: n(2),
+                path: vec![n(3), n(1), n(2)],
+            },
+        );
+        view.learn_price(
+            n(3),
+            &PriceRow {
+                dst: n(2),
+                transit: n(1),
+                price: Money::new(9),
+                tags: BTreeSet::new(),
+            },
+        );
+        let routes = recompute_routes(n(0), &[n(1), n(3)], &d1, &view);
+        // Route 0→2: via 1 costs 5; via 3 costs 2+5=7 → via 1.
+        assert_eq!(routes.path(n(2)), Some(&[n(0), n(1), n(2)][..]));
+        let prices = recompute_prices(n(0), &[n(1), n(3)], &d1, &routes, &view);
+        let entry = prices.entry(n(2), n(1)).expect("priced");
+        // p¹₀ = c₁ + [c₃ + (p¹₃ − c₁ + d₃)] − d₀ = 5 + [2 + (9−5+5)] − 5 = 11.
+        assert_eq!(entry.price, Money::new(11));
+    }
+
+    #[test]
+    fn prices_skip_when_neighbor_price_missing() {
+        let d1 = data1(&[(0, 0), (1, 5), (2, 0), (3, 2)]);
+        let mut view = NeighborView::new();
+        view.learn_route(
+            n(1),
+            &RouteRow {
+                dst: n(2),
+                path: vec![n(1), n(2)],
+            },
+        );
+        view.learn_route(
+            n(3),
+            &RouteRow {
+                dst: n(2),
+                path: vec![n(3), n(1), n(2)],
+            },
+        );
+        // No price advertised by 3 yet → no entry (the iteration will
+        // produce it once 3's price arrives).
+        let routes = recompute_routes(n(0), &[n(1), n(3)], &d1, &view);
+        let prices = recompute_prices(n(0), &[n(1), n(3)], &d1, &routes, &view);
+        assert!(prices.entry(n(2), n(1)).is_none());
+    }
+}

@@ -1,0 +1,446 @@
+//! The FPSS node: a reusable pure core plus the plain (no-checkers) actor.
+//!
+//! [`FpssCore`] holds the construction-phase state (DATA1, DATA2, DATA3*,
+//! neighbor view) and applies the pure recompute functions. It is reused
+//! verbatim by the faithful extension's checker mirrors: a mirror of
+//! principal `P` is simply an `FpssCore` with `me = P` fed by the forwarded
+//! copies of `P`'s inputs.
+
+use crate::compute::{recompute_prices, recompute_routes, NeighborView};
+use crate::deviation::{Faithful, RationalStrategy};
+use crate::msg::{FpssMsg, Packet, PriceRow, RouteRow};
+use crate::settle::ExecutionSummary;
+use crate::state::{PaymentLedger, PricingTable, RoutingTable, TransitCostList};
+use specfaith_core::id::NodeId;
+use specfaith_core::money::{Cost, Money};
+use specfaith_netsim::{Actor, Ctx};
+use std::collections::BTreeMap;
+
+/// Timer tag that starts the execution phase (set by the harness once
+/// construction has converged).
+pub const TAG_BEGIN_EXECUTION: u64 = 1;
+
+/// The pure FPSS construction-phase state machine of one node.
+#[derive(Clone, Debug)]
+pub struct FpssCore {
+    me: NodeId,
+    neighbors: Vec<NodeId>,
+    data1: TransitCostList,
+    routes: RoutingTable,
+    prices: PricingTable,
+    view: NeighborView,
+}
+
+impl FpssCore {
+    /// A fresh core for node `me` with the given (sorted) neighbor list.
+    pub fn new(me: NodeId, neighbors: Vec<NodeId>) -> Self {
+        FpssCore {
+            me,
+            neighbors,
+            data1: TransitCostList::new(),
+            routes: RoutingTable::new(),
+            prices: PricingTable::new(),
+            view: NeighborView::new(),
+        }
+    }
+
+    /// This core's node id.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The neighbor list.
+    pub fn neighbors(&self) -> &[NodeId] {
+        &self.neighbors
+    }
+
+    /// \[DATA1\] access.
+    pub fn data1(&self) -> &TransitCostList {
+        &self.data1
+    }
+
+    /// \[DATA2\] access.
+    pub fn routes(&self) -> &RoutingTable {
+        &self.routes
+    }
+
+    /// \[DATA3*\] access.
+    pub fn prices(&self) -> &PricingTable {
+        &self.prices
+    }
+
+    /// Records a declared cost. Returns `true` when new.
+    pub fn learn_cost(&mut self, origin: NodeId, declared: Cost) -> bool {
+        self.data1.learn(origin, declared)
+    }
+
+    /// Records a neighbor's routing row. Returns `true` when the view
+    /// changed.
+    pub fn learn_route(&mut self, from: NodeId, row: &RouteRow) -> bool {
+        self.view.learn_route(from, row)
+    }
+
+    /// Records a neighbor's pricing row. Returns `true` when the view
+    /// changed.
+    pub fn learn_price(&mut self, from: NodeId, row: &PriceRow) -> bool {
+        self.view.learn_price(from, row)
+    }
+
+    /// Records a neighbor's price retraction. Returns `true` when the
+    /// view changed.
+    pub fn learn_price_retraction(
+        &mut self,
+        from: NodeId,
+        dst: NodeId,
+        transit: NodeId,
+    ) -> bool {
+        self.view.retract_price(from, dst, transit)
+    }
+
+    /// Recomputes routing and pricing from the current inputs, installing
+    /// the results and returning the changed routing rows, changed pricing
+    /// rows, and retracted pricing keys (all to be announced).
+    ///
+    /// `install_pricing` post-processes the honestly recomputed pricing
+    /// table before installation — the identity for faithful nodes, a
+    /// manipulation hook for deviants.
+    #[allow(clippy::type_complexity)]
+    pub fn recompute_with(
+        &mut self,
+        install_pricing: impl FnOnce(PricingTable) -> PricingTable,
+    ) -> (Vec<RouteRow>, Vec<PriceRow>, Vec<(NodeId, NodeId)>) {
+        let new_routes = recompute_routes(self.me, &self.neighbors, &self.data1, &self.view);
+        let mut changed_routes = Vec::new();
+        for (dst, path) in new_routes.iter() {
+            if self.routes.path(dst) != Some(path) {
+                changed_routes.push(RouteRow {
+                    dst,
+                    path: path.to_vec(),
+                });
+            }
+        }
+        self.routes = new_routes;
+        let new_prices = install_pricing(recompute_prices(
+            self.me,
+            &self.neighbors,
+            &self.data1,
+            &self.routes,
+            &self.view,
+        ));
+        let (changed_prices, retractions) = self.prices.replace(new_prices);
+        (changed_routes, changed_prices, retractions)
+    }
+
+    /// Faithful recomputation.
+    #[allow(clippy::type_complexity)]
+    pub fn recompute(&mut self) -> (Vec<RouteRow>, Vec<PriceRow>, Vec<(NodeId, NodeId)>) {
+        self.recompute_with(|t| t)
+    }
+}
+
+/// The plain FPSS node actor: construction by flooding + asynchronous
+/// recomputation, execution by source routing over the converged tables.
+/// No checkers, no bank — the trust assumptions of the original FPSS.
+pub struct PlainFpssNode {
+    core: FpssCore,
+    true_cost: Cost,
+    declared: Option<Cost>,
+    strategy: Box<dyn RationalStrategy>,
+    pending_traffic: Vec<(NodeId, u64)>,
+    originated: BTreeMap<NodeId, u64>,
+    delivered_from: BTreeMap<NodeId, u64>,
+    carried: u64,
+    dropped: u64,
+    ledger: PaymentLedger,
+    max_hops: u32,
+}
+
+impl std::fmt::Debug for PlainFpssNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PlainFpssNode({}, strategy={})",
+            self.core.me(),
+            self.strategy.spec().name()
+        )
+    }
+}
+
+impl PlainFpssNode {
+    /// Creates a node with the given true cost and strategy.
+    pub fn new(
+        me: NodeId,
+        neighbors: Vec<NodeId>,
+        true_cost: Cost,
+        strategy: Box<dyn RationalStrategy>,
+        max_hops: u32,
+    ) -> Self {
+        PlainFpssNode {
+            core: FpssCore::new(me, neighbors),
+            true_cost,
+            declared: None,
+            strategy,
+            pending_traffic: Vec::new(),
+            originated: BTreeMap::new(),
+            delivered_from: BTreeMap::new(),
+            carried: 0,
+            dropped: 0,
+            ledger: PaymentLedger::new(),
+            max_hops,
+        }
+    }
+
+    /// A faithful node.
+    pub fn faithful(me: NodeId, neighbors: Vec<NodeId>, true_cost: Cost, max_hops: u32) -> Self {
+        Self::new(me, neighbors, true_cost, Box::new(Faithful), max_hops)
+    }
+
+    /// The construction core (tables, DATA1, view).
+    pub fn core(&self) -> &FpssCore {
+        &self.core
+    }
+
+    /// The cost this node declared (after its strategy), once started.
+    pub fn declared_cost(&self) -> Option<Cost> {
+        self.declared
+    }
+
+    /// Queues traffic to originate when execution begins.
+    pub fn add_traffic(&mut self, dst: NodeId, packets: u64) {
+        self.pending_traffic.push((dst, packets));
+    }
+
+    /// Packets transited (true cost incurred on each).
+    pub fn carried(&self) -> u64 {
+        self.carried
+    }
+
+    /// Packets dropped (by strategy, TTL, or missing route).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Packets delivered here, keyed by originating node.
+    pub fn delivered_from(&self) -> &BTreeMap<NodeId, u64> {
+        &self.delivered_from
+    }
+
+    /// The post-strategy execution summary for settlement.
+    pub fn execution_summary(&mut self) -> ExecutionSummary {
+        let honest = self.ledger.to_entries();
+        let me = self.core.me();
+        ExecutionSummary {
+            node: me,
+            reported_owed: self.strategy.report_owed(me, honest),
+            true_cost: self.true_cost,
+            carried: self.carried,
+            originated: self.originated.clone(),
+            delivered_from: self.delivered_from.clone(),
+        }
+    }
+
+    fn announce(
+        &mut self,
+        ctx: &mut Ctx<'_, FpssMsg>,
+        changed_routes: Vec<RouteRow>,
+        changed_prices: Vec<PriceRow>,
+        retractions: Vec<(NodeId, NodeId)>,
+    ) {
+        let me = self.core.me();
+        let routes = self.strategy.announce_routing(me, changed_routes);
+        if !routes.is_empty() {
+            for &b in self.core.neighbors() {
+                ctx.send(b, FpssMsg::RoutingUpdate { rows: routes.clone() });
+            }
+        }
+        let prices = self.strategy.announce_pricing(me, changed_prices);
+        if !prices.is_empty() || !retractions.is_empty() {
+            for &b in self.core.neighbors() {
+                ctx.send(
+                    b,
+                    FpssMsg::PricingUpdate {
+                        rows: prices.clone(),
+                        retractions: retractions.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn recompute_and_announce(&mut self, ctx: &mut Ctx<'_, FpssMsg>) {
+        let strategy = &mut self.strategy;
+        let me = self.core.me();
+        let (changed_routes, changed_prices, retractions) = self
+            .core
+            .recompute_with(|honest| strategy.install_own_pricing(me, honest));
+        self.announce(ctx, changed_routes, changed_prices, retractions);
+    }
+
+    fn handle_packet(&mut self, ctx: &mut Ctx<'_, FpssMsg>, pkt: Packet) {
+        let me = self.core.me();
+        if pkt.dst == me {
+            *self.delivered_from.entry(pkt.src).or_insert(0) += 1;
+            return;
+        }
+        if pkt.hops > self.max_hops {
+            self.dropped += 1;
+            return;
+        }
+        if pkt.src != me && !self.strategy.forward_packet(me, &pkt) {
+            self.dropped += 1;
+            return;
+        }
+        let Some(next) = self.core.routes().next_hop(pkt.dst) else {
+            self.dropped += 1;
+            return;
+        };
+        if pkt.src != me {
+            self.carried += 1;
+        }
+        ctx.send(
+            next,
+            FpssMsg::Data(Packet {
+                hops: pkt.hops + 1,
+                ..pkt
+            }),
+        );
+    }
+
+    fn begin_execution(&mut self, ctx: &mut Ctx<'_, FpssMsg>) {
+        let me = self.core.me();
+        let flows = std::mem::take(&mut self.pending_traffic);
+        for (dst, packets) in flows {
+            let Some(path) = self.core.routes().path(dst).map(<[NodeId]>::to_vec) else {
+                continue;
+            };
+            let transits: Vec<NodeId> = if path.len() > 2 {
+                path[1..path.len() - 1].to_vec()
+            } else {
+                Vec::new()
+            };
+            for _ in 0..packets {
+                *self.originated.entry(dst).or_insert(0) += 1;
+                for &k in &transits {
+                    let price = self.core.prices().price(dst, k).unwrap_or(Money::ZERO);
+                    self.ledger.accrue(k, price);
+                }
+                self.handle_packet(
+                    ctx,
+                    Packet {
+                        src: me,
+                        dst,
+                        hops: 0,
+                    },
+                );
+            }
+        }
+    }
+}
+
+impl Actor for PlainFpssNode {
+    type Msg = FpssMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, FpssMsg>) {
+        let me = self.core.me();
+        let declared = self.strategy.declare_cost(self.true_cost);
+        self.declared = Some(declared);
+        self.core.learn_cost(me, declared);
+        for &b in self.core.neighbors() {
+            ctx.send(
+                b,
+                FpssMsg::CostAnnounce {
+                    origin: me,
+                    declared,
+                },
+            );
+        }
+        self.recompute_and_announce(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, FpssMsg>, from: NodeId, msg: FpssMsg) {
+        match msg {
+            FpssMsg::CostAnnounce { origin, declared } => {
+                if self.core.learn_cost(origin, declared) {
+                    if let Some(refloooded) = self.strategy.reflood_cost(origin, declared) {
+                        for &b in self.core.neighbors() {
+                            if b != from {
+                                ctx.send(
+                                    b,
+                                    FpssMsg::CostAnnounce {
+                                        origin,
+                                        declared: refloooded,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    self.recompute_and_announce(ctx);
+                }
+            }
+            FpssMsg::RoutingUpdate { rows } => {
+                let mut changed = false;
+                for row in &rows {
+                    changed |= self.core.learn_route(from, row);
+                }
+                if changed {
+                    self.recompute_and_announce(ctx);
+                }
+            }
+            FpssMsg::PricingUpdate { rows, retractions } => {
+                let mut changed = false;
+                for row in &rows {
+                    changed |= self.core.learn_price(from, row);
+                }
+                for &(dst, transit) in &retractions {
+                    changed |= self.core.learn_price_retraction(from, dst, transit);
+                }
+                if changed {
+                    self.recompute_and_announce(ctx);
+                }
+            }
+            FpssMsg::Data(pkt) => self.handle_packet(ctx, pkt),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, FpssMsg>, tag: u64) {
+        if tag == TAG_BEGIN_EXECUTION {
+            self.begin_execution(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn core_recompute_reports_changes_once() {
+        let mut core = FpssCore::new(n(0), vec![n(1)]);
+        core.learn_cost(n(0), Cost::new(0));
+        core.learn_cost(n(1), Cost::new(5));
+        let (routes, _, _) = core.recompute();
+        // Trivial self-row plus the adjacency row to 1.
+        assert!(routes.iter().any(|r| r.dst == n(1)));
+        let (routes2, prices2, retractions2) = core.recompute();
+        assert!(routes2.is_empty(), "no change on re-run");
+        assert!(prices2.is_empty());
+        assert!(retractions2.is_empty());
+    }
+
+    #[test]
+    fn core_me_and_neighbors() {
+        let core = FpssCore::new(n(2), vec![n(0), n(1)]);
+        assert_eq!(core.me(), n(2));
+        assert_eq!(core.neighbors(), &[n(0), n(1)]);
+    }
+
+    #[test]
+    fn node_debug_names_strategy() {
+        let node = PlainFpssNode::faithful(n(0), vec![n(1)], Cost::new(1), 32);
+        assert!(format!("{node:?}").contains("faithful"));
+    }
+}

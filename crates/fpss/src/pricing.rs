@@ -1,0 +1,294 @@
+//! Centralized VCG reference for FPSS routing.
+//!
+//! `pᵏᵢⱼ = ĉ_k + d_{G−k}(i,j) − d_G(i,j)` computed directly with graph
+//! queries. The distributed computation in [`crate::compute`] must converge
+//! to exactly these values (property-tested in [`crate::runner`]); checkers
+//! rely on that equality, and the strategyproofness of the whole mechanism
+//! (Proposition 2's first leg) is tested against this reference via
+//! [`RoutingProblem`].
+
+use crate::state::{PricingTable, RoutingTable};
+use specfaith_core::id::NodeId;
+use specfaith_core::money::{Cost, Money};
+use specfaith_core::vcg::CostMinimizationProblem;
+use specfaith_graph::costs::CostVector;
+use specfaith_graph::lcp::{lcp_avoiding, lcp_tree};
+use specfaith_graph::path::PathMetric;
+use specfaith_graph::topology::Topology;
+
+/// The VCG per-packet payment from `src` to transit `k` for traffic to
+/// `dst`, under declared costs. Returns `None` when `k` is not a transit
+/// node on the `src`→`dst` LCP (no payment due), or when `src` cannot
+/// reach `dst`.
+///
+/// # Panics
+///
+/// Panics if the graph is not biconnected enough for the query (no
+/// `k`-avoiding path), mirroring FPSS's biconnectivity assumption.
+pub fn vcg_payment(
+    topo: &Topology,
+    declared: &CostVector,
+    src: NodeId,
+    dst: NodeId,
+    k: NodeId,
+) -> Option<Money> {
+    let best = specfaith_graph::lcp::lcp(topo, declared, src, dst)?;
+    if !best.transit_nodes().contains(&k) {
+        return None;
+    }
+    let detour = lcp_avoiding(topo, declared, src, dst, k)
+        .expect("biconnected graph admits a k-avoiding path");
+    let c_k = declared.cost(k).value() as i64;
+    let d = best.cost().value() as i64;
+    let d_avoid = detour.cost().value() as i64;
+    Some(Money::new(c_k + d_avoid - d))
+}
+
+/// The routing and pricing tables every node *should* converge to under
+/// the declared costs: `(routing[i], pricing[i])` per node.
+///
+/// Pricing tags are not modeled centrally (they are an artifact of the
+/// distributed iteration); comparisons against this reference use paths
+/// and prices only.
+pub fn expected_tables(
+    topo: &Topology,
+    declared: &CostVector,
+) -> Vec<(RoutingTable, PricingTable)> {
+    topo.nodes()
+        .map(|src| {
+            let tree = lcp_tree(topo, declared, src);
+            let mut routing = RoutingTable::new();
+            let mut pricing = PricingTable::new();
+            for entry in tree.iter().flatten() {
+                routing.install(entry.destination(), entry.nodes().to_vec());
+                for &k in entry.transit_nodes() {
+                    let price = vcg_payment(topo, declared, src, entry.destination(), k)
+                        .expect("k is on the LCP");
+                    pricing.insert(
+                        entry.destination(),
+                        k,
+                        crate::state::PriceEntry {
+                            price,
+                            tags: Default::default(),
+                        },
+                    );
+                }
+            }
+            (routing, pricing)
+        })
+        .collect()
+}
+
+/// Compares a node's converged tables against the centralized reference,
+/// ignoring pricing tags. Returns `true` on exact agreement of paths and
+/// prices.
+pub fn tables_agree(
+    routing: &RoutingTable,
+    pricing: &PricingTable,
+    expected_routing: &RoutingTable,
+    expected_pricing: &PricingTable,
+) -> bool {
+    if routing
+        .iter()
+        .any(|(dst, path)| expected_routing.path(dst) != Some(path))
+        || expected_routing
+            .iter()
+            .any(|(dst, path)| routing.path(dst) != Some(path))
+    {
+        return false;
+    }
+    let prices_of = |t: &PricingTable| -> Vec<((NodeId, NodeId), Money)> {
+        t.iter().map(|(k, e)| (k, e.price)).collect()
+    };
+    prices_of(pricing) == prices_of(expected_pricing)
+}
+
+/// The whole FPSS routing mechanism as a centralized cost-minimization
+/// problem, for the strategyproofness tester (experiment E3): given a
+/// traffic matrix, the allocation is the set of LCPs under declared costs,
+/// and each node's cost is its true transit cost times the packets it
+/// carries.
+#[derive(Clone, Debug)]
+pub struct RoutingProblem {
+    topo: Topology,
+    /// `(src, dst, packets)` flows.
+    flows: Vec<(NodeId, NodeId, u64)>,
+}
+
+impl RoutingProblem {
+    /// A routing problem over a biconnected topology and traffic flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is not biconnected (VCG would be ill-defined)
+    /// or a flow's endpoints coincide.
+    pub fn new(topo: Topology, flows: Vec<(NodeId, NodeId, u64)>) -> Self {
+        assert!(topo.is_biconnected(), "FPSS requires a biconnected graph");
+        assert!(
+            flows.iter().all(|&(s, d, _)| s != d),
+            "flows need distinct endpoints"
+        );
+        RoutingProblem { topo, flows }
+    }
+
+    fn total_cost(&self, paths: &[PathMetric]) -> Money {
+        self.flows
+            .iter()
+            .zip(paths)
+            .map(|(&(_, _, packets), path)| {
+                Money::new(path.cost().value() as i64).scale(packets as i64)
+            })
+            .sum()
+    }
+}
+
+impl CostMinimizationProblem for RoutingProblem {
+    type Decl = Cost;
+    type Alloc = Vec<PathMetric>;
+
+    fn num_agents(&self) -> usize {
+        self.topo.num_nodes()
+    }
+
+    fn optimal(&self, decls: &[Cost]) -> Option<(Vec<PathMetric>, Money)> {
+        let declared = CostVector::from_costs(decls.to_vec());
+        let paths: Option<Vec<PathMetric>> = self
+            .flows
+            .iter()
+            .map(|&(src, dst, _)| specfaith_graph::lcp::lcp(&self.topo, &declared, src, dst))
+            .collect();
+        let paths = paths?;
+        let total = self.total_cost(&paths);
+        Some((paths, total))
+    }
+
+    fn optimal_excluding(&self, decls: &[Cost], excluded: usize) -> Option<(Vec<PathMetric>, Money)> {
+        let declared = CostVector::from_costs(decls.to_vec());
+        let avoid = NodeId::from_index(excluded);
+        let paths: Option<Vec<PathMetric>> = self
+            .flows
+            .iter()
+            .map(|&(src, dst, _)| {
+                if src == avoid || dst == avoid {
+                    // The excluded node's own traffic endpoints are
+                    // unaffected by its exclusion as a *transit*.
+                    specfaith_graph::lcp::lcp(&self.topo, &declared, src, dst)
+                } else {
+                    lcp_avoiding(&self.topo, &declared, src, dst, avoid)
+                }
+            })
+            .collect();
+        let paths = paths?;
+        let total = self.total_cost(&paths);
+        Some((paths, total))
+    }
+
+    fn cost_under(&self, decl: &Cost, alloc: &Vec<PathMetric>, agent: usize) -> Money {
+        let agent = NodeId::from_index(agent);
+        let carried: i64 = self
+            .flows
+            .iter()
+            .zip(alloc)
+            .filter(|((_, _, _), path)| path.transit_nodes().contains(&agent))
+            .map(|(&(_, _, packets), _)| packets as i64)
+            .sum();
+        Money::new(decl.value() as i64).scale(carried)
+    }
+
+    fn participates(&self, alloc: &Vec<PathMetric>, agent: usize) -> bool {
+        let agent = NodeId::from_index(agent);
+        alloc.iter().any(|p| p.transit_nodes().contains(&agent))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specfaith_core::mechanism::{check_strategyproof, MisreportGrid};
+    use specfaith_core::vcg::{vcg, VcgMechanism};
+    use specfaith_graph::generators::figure1;
+
+    #[test]
+    fn figure1_payment_to_c_is_its_marginal_contribution() {
+        let net = figure1();
+        // D→Z transits C; d(D,Z)=1, d_{G−C}(D,Z)=min(B=1000, X,A=105)=105.
+        let p = vcg_payment(&net.topology, &net.costs, net.d, net.z, net.c)
+            .expect("C transits D→Z");
+        assert_eq!(p, Money::new(1 + 105 - 1));
+    }
+
+    #[test]
+    fn payment_is_none_off_path() {
+        let net = figure1();
+        // B is not on the X→Z LCP.
+        assert_eq!(
+            vcg_payment(&net.topology, &net.costs, net.x, net.z, net.b),
+            None
+        );
+    }
+
+    #[test]
+    fn example1_truthful_payment_is_invariant_to_own_declaration() {
+        // The heart of strategyproofness: C's payment for D→Z traffic is
+        // 105 regardless of what C declares (as long as it stays on the
+        // LCP), so inflating its declaration cannot raise its income.
+        let net = figure1();
+        for declared_c in [1u64, 2, 3, 5] {
+            let lied = net.costs.with_cost(net.c, Cost::new(declared_c));
+            let p = vcg_payment(&net.topology, &lied, net.d, net.z, net.c)
+                .expect("C still on LCP");
+            assert_eq!(p, Money::new(105), "declared {declared_c}");
+        }
+    }
+
+    #[test]
+    fn expected_tables_are_consistent_with_direct_queries() {
+        let net = figure1();
+        let tables = expected_tables(&net.topology, &net.costs);
+        let (routing_x, pricing_x) = &tables[net.x.index()];
+        assert_eq!(
+            routing_x.path(net.z),
+            Some(&[net.x, net.d, net.c, net.z][..])
+        );
+        assert_eq!(
+            pricing_x.price(net.z, net.c),
+            vcg_payment(&net.topology, &net.costs, net.x, net.z, net.c)
+        );
+    }
+
+    #[test]
+    fn routing_problem_vcg_matches_direct_payments() {
+        let net = figure1();
+        let flows = vec![(net.x, net.z, 3u64)];
+        let problem = RoutingProblem::new(net.topology.clone(), flows);
+        let decls: Vec<Cost> = net.costs.as_slice().to_vec();
+        let outcome = vcg(&problem, &decls).expect("feasible");
+        // Transit D is paid 3 packets × p^D; same for C.
+        let p_d = vcg_payment(&net.topology, &net.costs, net.x, net.z, net.d).expect("on LCP");
+        let p_c = vcg_payment(&net.topology, &net.costs, net.x, net.z, net.c).expect("on LCP");
+        assert_eq!(outcome.payments[net.d.index()], p_d.scale(3));
+        assert_eq!(outcome.payments[net.c.index()], p_c.scale(3));
+        assert_eq!(outcome.payments[net.b.index()], Money::ZERO);
+    }
+
+    #[test]
+    fn fpss_mechanism_is_strategyproof_on_figure1() {
+        let net = figure1();
+        let flows = vec![(net.x, net.z, 1u64), (net.d, net.z, 1), (net.z, net.x, 2)];
+        let mech = VcgMechanism::new(RoutingProblem::new(net.topology.clone(), flows));
+        let profiles = vec![net.costs.as_slice().to_vec()];
+        let report = check_strategyproof(&mech, &profiles, &MisreportGrid::standard());
+        assert!(report.is_strategyproof(), "{report}");
+    }
+
+    #[test]
+    fn tables_agree_detects_differences() {
+        let net = figure1();
+        let tables = expected_tables(&net.topology, &net.costs);
+        let (r, p) = &tables[net.x.index()];
+        assert!(tables_agree(r, p, r, p));
+        let mut r2 = r.clone();
+        r2.install(net.z, vec![net.x, net.a, net.z]);
+        assert!(!tables_agree(&r2, p, r, p));
+    }
+}

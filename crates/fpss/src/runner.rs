@@ -1,0 +1,299 @@
+//! One-call harness for plain FPSS runs.
+
+use crate::deviation::{Faithful, RationalStrategy};
+use crate::node::{PlainFpssNode, TAG_BEGIN_EXECUTION};
+use crate::pricing::{expected_tables, tables_agree};
+use crate::settle::{settle_plain, SettlementConfig};
+use crate::traffic::TrafficMatrix;
+use specfaith_core::id::NodeId;
+use specfaith_core::money::Money;
+use specfaith_graph::costs::CostVector;
+use specfaith_graph::topology::Topology;
+use specfaith_netsim::{Connectivity, FixedLatency, NetStats, Network, SimDuration};
+
+/// Configuration and entry points for plain-FPSS simulations.
+#[derive(Clone, Debug)]
+pub struct PlainFpssSim {
+    topo: Topology,
+    true_costs: CostVector,
+    traffic: TrafficMatrix,
+    latency_micros: u64,
+    settlement: SettlementConfig,
+    max_events: u64,
+}
+
+/// Result of one plain-FPSS run.
+#[derive(Clone, Debug)]
+pub struct PlainRunResult {
+    /// Realized utility per node.
+    pub utilities: Vec<Money>,
+    /// Whether every node's converged tables equal the centralized
+    /// reference under the *declared* costs. Expected `true` for faithful
+    /// runs; deviant runs may corrupt tables by design.
+    pub tables_match_centralized: bool,
+    /// Network traffic statistics (construction + execution).
+    pub stats: NetStats,
+    /// Whether either run phase hit the event budget.
+    pub truncated: bool,
+}
+
+impl PlainFpssSim {
+    /// A simulation over a biconnected topology with true costs and an
+    /// execution-phase traffic matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is not biconnected or arities mismatch.
+    pub fn new(topo: Topology, true_costs: CostVector, traffic: TrafficMatrix) -> Self {
+        assert!(topo.is_biconnected(), "FPSS requires a biconnected graph");
+        assert_eq!(topo.num_nodes(), true_costs.len(), "cost arity");
+        PlainFpssSim {
+            topo,
+            true_costs,
+            traffic,
+            latency_micros: 10,
+            settlement: SettlementConfig::default(),
+            max_events: 5_000_000,
+        }
+    }
+
+    /// Overrides the settlement configuration.
+    #[must_use]
+    pub fn with_settlement(mut self, settlement: SettlementConfig) -> Self {
+        self.settlement = settlement;
+        self
+    }
+
+    /// Overrides the event budget.
+    #[must_use]
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Runs with every node faithful.
+    pub fn run_faithful(&self, seed: u64) -> PlainRunResult {
+        self.run_with(|_| Box::new(Faithful), seed)
+    }
+
+    /// Runs with `deviant` playing `strategy` and everyone else faithful.
+    pub fn run_with_deviant(
+        &self,
+        deviant: NodeId,
+        strategy: Box<dyn RationalStrategy>,
+        seed: u64,
+    ) -> PlainRunResult {
+        let mut strategy = Some(strategy);
+        self.run_with(
+            move |node| {
+                if node == deviant {
+                    strategy.take().expect("deviant strategy used once")
+                } else {
+                    Box::new(Faithful)
+                }
+            },
+            seed,
+        )
+    }
+
+    /// Runs with an arbitrary per-node strategy assignment.
+    pub fn run_with(
+        &self,
+        mut strategies: impl FnMut(NodeId) -> Box<dyn RationalStrategy>,
+        seed: u64,
+    ) -> PlainRunResult {
+        let n = self.topo.num_nodes();
+        let max_hops = (4 * n) as u32;
+        let actors: Vec<PlainFpssNode> = self
+            .topo
+            .nodes()
+            .map(|me| {
+                PlainFpssNode::new(
+                    me,
+                    self.topo.neighbors(me).to_vec(),
+                    self.true_costs.cost(me),
+                    strategies(me),
+                    max_hops,
+                )
+            })
+            .collect();
+        let mut net = Network::new(
+            Connectivity::from_topology(&self.topo),
+            actors,
+            FixedLatency::new(self.latency_micros),
+            seed,
+        )
+        .with_max_events(self.max_events);
+
+        // Construction: flood costs, converge routing and pricing.
+        let construction = net.run();
+
+        // Compare converged tables with the centralized reference under
+        // the declared costs.
+        let declared: CostVector = self
+            .topo
+            .nodes()
+            .map(|id| net.node(id).declared_cost().expect("started"))
+            .collect();
+        let reference = expected_tables(&self.topo, &declared);
+        let tables_match_centralized = self.topo.nodes().all(|id| {
+            let core = net.node(id).core();
+            let (expected_routing, expected_pricing) = &reference[id.index()];
+            tables_agree(core.routes(), core.prices(), expected_routing, expected_pricing)
+        });
+
+        // Execution: queue traffic, start all sources at once.
+        for flow in self.traffic.flows() {
+            net.node_mut(flow.src).add_traffic(flow.dst, flow.packets);
+        }
+        let sources: std::collections::BTreeSet<NodeId> =
+            self.traffic.flows().iter().map(|f| f.src).collect();
+        for src in sources {
+            net.schedule_timer(src, SimDuration::ZERO, TAG_BEGIN_EXECUTION);
+        }
+        let execution = net.run();
+
+        let summaries: Vec<_> = self
+            .topo
+            .nodes()
+            .map(|id| net.node_mut(id).execution_summary())
+            .collect();
+        let utilities = settle_plain(&summaries, &self.settlement);
+
+        PlainRunResult {
+            utilities,
+            tables_match_centralized,
+            stats: net.stats().clone(),
+            truncated: construction.truncated || execution.truncated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deviation::{
+        DropTransitPackets, MisreportCost, SpoofShortRoutes, UnderreportPayments,
+    };
+    use specfaith_graph::generators::figure1;
+
+    fn figure1_sim() -> (specfaith_graph::generators::Figure1, PlainFpssSim) {
+        let net = figure1();
+        let traffic = TrafficMatrix::from_flows(vec![
+            crate::traffic::Flow {
+                src: net.x,
+                dst: net.z,
+                packets: 5,
+            },
+            crate::traffic::Flow {
+                src: net.d,
+                dst: net.z,
+                packets: 5,
+            },
+        ]);
+        let sim = PlainFpssSim::new(net.topology.clone(), net.costs.clone(), traffic);
+        (net, sim)
+    }
+
+    #[test]
+    fn faithful_run_converges_to_centralized_tables() {
+        let (_, sim) = figure1_sim();
+        let result = sim.run_faithful(3);
+        assert!(result.tables_match_centralized);
+        assert!(!result.truncated);
+    }
+
+    #[test]
+    fn faithful_utilities_balance_payments() {
+        let (net, sim) = figure1_sim();
+        let result = sim.run_faithful(3);
+        // C transits both flows (X→Z and D→Z): it is paid above true cost.
+        assert!(
+            result.utilities[net.c.index()] > Money::ZERO,
+            "transit C profits: {:?}",
+            result.utilities
+        );
+        // Sources gain packet value minus payments, still positive.
+        assert!(result.utilities[net.x.index()] > Money::ZERO);
+    }
+
+    #[test]
+    fn misreporting_cost_is_unprofitable_even_in_plain_fpss() {
+        // FPSS's own contribution: the VCG pricing makes cost lies useless.
+        let (net, sim) = figure1_sim();
+        let faithful = sim.run_faithful(3);
+        for delta in [2i64, 4, -1] {
+            let deviant = sim.run_with_deviant(net.c, Box::new(MisreportCost { delta }), 3);
+            assert!(
+                deviant.utilities[net.c.index()] <= faithful.utilities[net.c.index()],
+                "delta {delta}: {:?} vs faithful {:?}",
+                deviant.utilities[net.c.index()],
+                faithful.utilities[net.c.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn underreporting_payments_is_profitable_in_plain_fpss() {
+        let (net, sim) = figure1_sim();
+        let faithful = sim.run_faithful(3);
+        let deviant =
+            sim.run_with_deviant(net.x, Box::new(UnderreportPayments { keep_percent: 0 }), 3);
+        assert!(
+            deviant.utilities[net.x.index()] > faithful.utilities[net.x.index()],
+            "plain FPSS cannot stop payment fraud"
+        );
+    }
+
+    #[test]
+    fn dropping_transit_packets_is_profitable_in_plain_fpss() {
+        let (net, sim) = figure1_sim();
+        let faithful = sim.run_faithful(3);
+        let deviant = sim.run_with_deviant(net.c, Box::new(DropTransitPackets), 3);
+        assert!(
+            deviant.utilities[net.c.index()] > faithful.utilities[net.c.index()],
+            "plain FPSS pays for transit work that was never done: {:?} vs {:?}",
+            deviant.utilities[net.c.index()],
+            faithful.utilities[net.c.index()]
+        );
+    }
+
+    #[test]
+    fn distributed_equals_centralized_on_random_graphs() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use specfaith_graph::generators::random_biconnected;
+
+        for seed in 0..12u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 5 + (seed as usize % 7);
+            let topo = random_biconnected(n, n / 2, &mut rng);
+            let costs = CostVector::random(n, 0, 15, &mut rng);
+            let traffic = TrafficMatrix::random(n, 3, 2, &mut rng);
+            let sim = PlainFpssSim::new(topo, costs, traffic);
+            let result = sim.run_faithful(seed);
+            assert!(!result.truncated, "seed {seed} truncated");
+            assert!(
+                result.tables_match_centralized,
+                "seed {seed}: distributed FPSS diverged from the VCG reference"
+            );
+        }
+    }
+
+    #[test]
+    fn spoofed_routes_corrupt_tables_in_plain_fpss() {
+        // C claiming fake adjacency to X (true LCP Z→X is Z-C-D-X, cost 2)
+        // makes Z adopt the nonexistent route Z-C-X of apparent cost 1.
+        let (net, sim) = figure1_sim();
+        let deviant = sim.run_with_deviant(net.c, Box::new(SpoofShortRoutes), 3);
+        assert!(
+            !deviant.tables_match_centralized,
+            "spoofed adjacency must corrupt someone's tables"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Settlement: turning execution-phase state into realized utilities.
+//!
+//! In **plain FPSS** there is no bank: payments flow exactly as payers
+//! report them ("whatever accounting and charging mechanisms are used"),
+//! nobody audits transit work, and the settlement here simply tallies the
+//! consequences. This is the substrate on which the §4.3 manipulations are
+//! profitable — experiment E5.
+//!
+//! The faithful extension replaces this with bank-reconciled settlement
+//! (`specfaith-faithful`), where reports are corrected and deviations
+//! penalized.
+
+use specfaith_core::id::NodeId;
+use specfaith_core::money::{Cost, Money};
+use std::collections::BTreeMap;
+
+/// What one node ends the execution phase with (post-strategy reports,
+/// plus ground-truth counters for utility computation).
+#[derive(Clone, Debug)]
+pub struct ExecutionSummary {
+    /// The reporting node.
+    pub node: NodeId,
+    /// \[DATA4\] as *reported* (a deviant may underreport).
+    pub reported_owed: Vec<(NodeId, Money)>,
+    /// The node's true per-packet transit cost.
+    pub true_cost: Cost,
+    /// Packets the node actually transited (incurring true cost each).
+    pub carried: u64,
+    /// Packets the node originated, per destination.
+    pub originated: BTreeMap<NodeId, u64>,
+    /// Packets delivered *to* this node, keyed by originator.
+    pub delivered_from: BTreeMap<NodeId, u64>,
+}
+
+/// Utility model parameters shared by plain and faithful settlement.
+#[derive(Clone, Copy, Debug)]
+pub struct SettlementConfig {
+    /// Value a source derives from each packet that reaches its
+    /// destination. Must exceed any possible per-packet path price, so
+    /// that participating is worthwhile (sources would not send
+    /// otherwise).
+    pub per_packet_value: Money,
+}
+
+impl Default for SettlementConfig {
+    fn default() -> Self {
+        SettlementConfig {
+            per_packet_value: Money::new(100_000),
+        }
+    }
+}
+
+/// Plain-FPSS settlement: utilities when payments flow exactly as payers
+/// report them and no one audits.
+///
+/// `uᵢ = W·delivered(i) + Σⱼ reportedⱼ→ᵢ − Σ reportedᵢ→· − cᵢ·carriedᵢ`
+pub fn settle_plain(summaries: &[ExecutionSummary], config: &SettlementConfig) -> Vec<Money> {
+    let n = summaries.len();
+    let mut utilities = vec![Money::ZERO; n];
+    // Delivered packets credited to their originators.
+    for summary in summaries {
+        for (&src, &count) in &summary.delivered_from {
+            utilities[src.index()] += config.per_packet_value.scale(count as i64);
+        }
+    }
+    for summary in summaries {
+        let payer = summary.node.index();
+        for &(to, amount) in &summary.reported_owed {
+            utilities[payer] -= amount;
+            utilities[to.index()] += amount;
+        }
+        utilities[payer] -=
+            Money::new(summary.true_cost.value() as i64).scale(summary.carried as i64);
+    }
+    utilities
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn summary(node: u32) -> ExecutionSummary {
+        ExecutionSummary {
+            node: n(node),
+            reported_owed: Vec::new(),
+            true_cost: Cost::new(2),
+            carried: 0,
+            originated: BTreeMap::new(),
+            delivered_from: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn delivered_packets_credit_the_source() {
+        let mut dst = summary(1);
+        dst.delivered_from.insert(n(0), 3);
+        let utilities = settle_plain(
+            &[summary(0), dst],
+            &SettlementConfig {
+                per_packet_value: Money::new(10),
+            },
+        );
+        assert_eq!(utilities[0], Money::new(30));
+        assert_eq!(utilities[1], Money::ZERO);
+    }
+
+    #[test]
+    fn reported_payments_transfer() {
+        let mut payer = summary(0);
+        payer.reported_owed = vec![(n(1), Money::new(7))];
+        let utilities = settle_plain(&[payer, summary(1)], &SettlementConfig::default());
+        assert_eq!(utilities[0], Money::new(-7));
+        assert_eq!(utilities[1], Money::new(7));
+    }
+
+    #[test]
+    fn transit_cost_charged_on_carried_packets() {
+        let mut transit = summary(1);
+        transit.carried = 4;
+        let utilities = settle_plain(&[summary(0), transit], &SettlementConfig::default());
+        assert_eq!(utilities[1], Money::new(-8));
+    }
+
+    #[test]
+    fn underreporting_shifts_utility_from_payee_to_payer() {
+        let honest = {
+            let mut payer = summary(0);
+            payer.reported_owed = vec![(n(1), Money::new(100))];
+            settle_plain(&[payer, summary(1)], &SettlementConfig::default())
+        };
+        let cheating = {
+            let mut payer = summary(0);
+            payer.reported_owed = vec![(n(1), Money::new(10))];
+            settle_plain(&[payer, summary(1)], &SettlementConfig::default())
+        };
+        assert!(cheating[0] > honest[0], "cheater gains");
+        assert!(cheating[1] < honest[1], "payee loses");
+    }
+}

@@ -1,0 +1,192 @@
+//! The FPSS suggested specification as a formal state machine (§3.1).
+//!
+//! The paper says "this specification could be formalized with a state
+//! machine" and classifies each external action: declaring the transit
+//! cost and providing connectivity information are information-revelation
+//! actions; relaying other nodes' transit-cost announcements are
+//! message-passing actions; updating and forwarding routing and pricing
+//! tables are computation actions; reporting payments to the bank is a
+//! computation action.
+//!
+//! This module writes that paragraph down as a
+//! `StateMachine` — a
+//! coarse-grained lifecycle model whose audit mechanically confirms that
+//! the suggested specification is well-formed and that its actions carry
+//! exactly the classifications §4.1 assigns. The executable protocol in
+//! [`crate::node`] refines this machine; the correspondence of action
+//! classes is what justifies tagging deviation strategies the way
+//! [`crate::deviation`] does.
+
+use specfaith_core::actions::ExternalActionKind;
+use specfaith_core::statemachine::{ActionKind, Specification, StateMachine};
+
+/// Lifecycle states of one FPSS node under the faithful specification.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum FpssState {
+    /// Fresh node; nothing declared yet.
+    Start,
+    /// Own cost declared; flooding / construction phase 1.
+    Phase1Flooding,
+    /// Transit-cost list complete; computing routing and pricing tables.
+    Phase2Computing,
+    /// Tables converged; awaiting the bank's checkpoint verdict.
+    AwaitCheckpoint,
+    /// Green-lighted; routing traffic and accruing payments.
+    Executing,
+    /// Traffic done; reporting payments and observations to the bank.
+    Reporting,
+    /// Settled.
+    Done,
+}
+
+/// Actions of the suggested FPSS specification, with their §4.1 classes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FpssAction {
+    /// Declare own transit cost (information revelation).
+    DeclareCost,
+    /// Relay another node's cost announcement (message passing).
+    RelayCostAnnounce,
+    /// Recompute tables and announce changes; forward inbound updates to
+    /// checkers (computation — it affects the outcome rule).
+    UpdateAndAnnounceTables,
+    /// Report table hashes to the bank (computation).
+    ReportHashes,
+    /// Forward a data packet along the LCP (message passing).
+    ForwardPacket,
+    /// Report the payment ledger to the bank (computation).
+    ReportPayments,
+    /// Local bookkeeping (internal).
+    Bookkeep,
+}
+
+/// The coarse-grained FPSS lifecycle machine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FpssSpecMachine;
+
+impl StateMachine for FpssSpecMachine {
+    type State = FpssState;
+    type Action = FpssAction;
+
+    fn initial_states(&self) -> Vec<FpssState> {
+        vec![FpssState::Start]
+    }
+
+    fn transitions(&self, state: &FpssState) -> Vec<(FpssAction, FpssState)> {
+        use FpssAction::*;
+        use FpssState::*;
+        match state {
+            Start => vec![(DeclareCost, Phase1Flooding)],
+            Phase1Flooding => vec![
+                (RelayCostAnnounce, Phase1Flooding),
+                (Bookkeep, Phase2Computing),
+            ],
+            Phase2Computing => vec![
+                (UpdateAndAnnounceTables, Phase2Computing),
+                (ReportHashes, AwaitCheckpoint),
+            ],
+            AwaitCheckpoint => vec![
+                // Restart sends the node back to recomputation.
+                (Bookkeep, Phase2Computing),
+                (ForwardPacket, Executing),
+            ],
+            Executing => vec![(ForwardPacket, Executing), (ReportPayments, Reporting)],
+            Reporting => vec![(Bookkeep, Done)],
+            Done => vec![],
+        }
+    }
+
+    fn action_kind(&self, action: &FpssAction) -> ActionKind {
+        use ExternalActionKind::*;
+        match action {
+            FpssAction::DeclareCost => ActionKind::External(InformationRevelation),
+            FpssAction::RelayCostAnnounce => ActionKind::External(MessagePassing),
+            FpssAction::UpdateAndAnnounceTables => ActionKind::External(Computation),
+            FpssAction::ReportHashes => ActionKind::External(Computation),
+            FpssAction::ForwardPacket => ActionKind::External(MessagePassing),
+            FpssAction::ReportPayments => ActionKind::External(Computation),
+            FpssAction::Bookkeep => ActionKind::Internal,
+        }
+    }
+}
+
+/// The suggested (faithful) specification over the lifecycle machine: one
+/// canonical pass through the protocol.
+pub fn suggested_specification(machine: &FpssSpecMachine) -> Specification<'_, FpssSpecMachine> {
+    Specification::new(machine, |state| {
+        use FpssAction::*;
+        use FpssState::*;
+        match state {
+            Start => Some(DeclareCost),
+            Phase1Flooding => Some(Bookkeep),
+            Phase2Computing => Some(ReportHashes),
+            AwaitCheckpoint => Some(ForwardPacket),
+            Executing => Some(ReportPayments),
+            Reporting => Some(Bookkeep),
+            Done => None,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suggested_specification_is_well_formed() {
+        let machine = FpssSpecMachine;
+        let audit = suggested_specification(&machine).audit();
+        assert!(audit.is_well_formed(), "{audit:?}");
+        assert_eq!(audit.reachable_states, 7);
+        assert_eq!(audit.terminal_states, 1);
+    }
+
+    #[test]
+    fn suggested_path_touches_all_three_action_classes() {
+        let machine = FpssSpecMachine;
+        let audit = suggested_specification(&machine).audit();
+        assert_eq!(audit.revelation_actions, 1, "declare cost");
+        assert!(audit.message_passing_actions >= 1, "packet forwarding");
+        assert!(audit.computation_actions >= 2, "hash + payment reports");
+        assert!(audit.internal_actions >= 1);
+    }
+
+    #[test]
+    fn action_classification_matches_section_4_1() {
+        let m = FpssSpecMachine;
+        assert_eq!(
+            m.action_kind(&FpssAction::DeclareCost),
+            ActionKind::External(ExternalActionKind::InformationRevelation)
+        );
+        assert_eq!(
+            m.action_kind(&FpssAction::RelayCostAnnounce),
+            ActionKind::External(ExternalActionKind::MessagePassing)
+        );
+        assert_eq!(
+            m.action_kind(&FpssAction::UpdateAndAnnounceTables),
+            ActionKind::External(ExternalActionKind::Computation)
+        );
+        assert_eq!(
+            m.action_kind(&FpssAction::ReportPayments),
+            ActionKind::External(ExternalActionKind::Computation)
+        );
+    }
+
+    #[test]
+    fn a_specification_skipping_reports_is_flagged() {
+        // A "specification" that tries to route packets straight from
+        // phase 2 (skipping the hash report) suggests an unenabled action.
+        let machine = FpssSpecMachine;
+        let spec = Specification::new(&machine, |state| match state {
+            FpssState::Start => Some(FpssAction::DeclareCost),
+            FpssState::Phase1Flooding => Some(FpssAction::Bookkeep),
+            FpssState::Phase2Computing => Some(FpssAction::ForwardPacket),
+            _ => None,
+        });
+        let audit = spec.audit();
+        assert!(!audit.is_well_formed());
+        assert_eq!(
+            audit.unenabled_suggestions,
+            vec![FpssState::Phase2Computing]
+        );
+    }
+}

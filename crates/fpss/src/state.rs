@@ -1,0 +1,479 @@
+//! The per-node data of FPSS §4.1: DATA1–DATA4, with canonical bank hashes.
+
+use crate::msg::{PriceRow, RouteRow};
+use specfaith_core::id::NodeId;
+use specfaith_core::money::{Cost, Money};
+use specfaith_crypto::sha256::Digest;
+use specfaith_crypto::tablehash::TableHasher;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// \[DATA1\] Transit-cost list: this node's knowledge of declared transit
+/// costs across the network, filled by the phase-1 flood.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TransitCostList {
+    costs: BTreeMap<NodeId, Cost>,
+}
+
+impl TransitCostList {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `origin`'s declared cost. Returns `true` when this is new
+    /// information (first declaration wins; FPSS assumes a static network,
+    /// so re-declarations are duplicates from the flood).
+    pub fn learn(&mut self, origin: NodeId, declared: Cost) -> bool {
+        match self.costs.entry(origin) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(declared);
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(_) => false,
+        }
+    }
+
+    /// The declared cost of `node`, if known.
+    pub fn declared(&self, node: NodeId) -> Option<Cost> {
+        self.costs.get(&node).copied()
+    }
+
+    /// Number of nodes with known costs.
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Whether no costs are known yet.
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+
+    /// Iterates `(node, declared cost)` in node order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Cost)> + '_ {
+        self.costs.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Sum of declared costs of the *intermediate* nodes of `path`.
+    /// Returns `None` if any intermediate's cost is unknown.
+    pub fn path_cost(&self, path: &[NodeId]) -> Option<Cost> {
+        if path.len() <= 2 {
+            return Some(Cost::ZERO);
+        }
+        path[1..path.len() - 1]
+            .iter()
+            .try_fold(Cost::ZERO, |acc, v| self.declared(*v).map(|c| acc + c))
+    }
+
+    /// Canonical hash (for completeness; the bank compares DATA2/DATA3*).
+    pub fn digest(&self) -> Digest {
+        let mut h = TableHasher::new("fpss/data1");
+        for (node, cost) in &self.costs {
+            h.put_u32(node.raw()).put_u64(cost.value()).row_boundary();
+        }
+        h.finish()
+    }
+}
+
+/// \[DATA2\] Routing table: this node's current lowest-cost path per
+/// destination.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoutingTable {
+    routes: BTreeMap<NodeId, Vec<NodeId>>,
+}
+
+impl RoutingTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current path to `dst`, if any (starts at the owner, ends at
+    /// `dst`).
+    pub fn path(&self, dst: NodeId) -> Option<&[NodeId]> {
+        self.routes.get(&dst).map(Vec::as_slice)
+    }
+
+    /// The next hop toward `dst`, if a route exists.
+    pub fn next_hop(&self, dst: NodeId) -> Option<NodeId> {
+        self.routes.get(&dst).and_then(|p| p.get(1)).copied()
+    }
+
+    /// Installs a route, returning `true` if the entry changed.
+    pub fn install(&mut self, dst: NodeId, path: Vec<NodeId>) -> bool {
+        if self.routes.get(&dst).map(Vec::as_slice) == Some(path.as_slice()) {
+            return false;
+        }
+        self.routes.insert(dst, path);
+        true
+    }
+
+    /// Number of destinations with routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Iterates `(dst, path)` in destination order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &[NodeId])> + '_ {
+        self.routes.iter().map(|(&d, p)| (d, p.as_slice()))
+    }
+
+    /// The table as announcement rows.
+    pub fn to_rows(&self) -> Vec<RouteRow> {
+        self.iter()
+            .map(|(dst, path)| RouteRow {
+                dst,
+                path: path.to_vec(),
+            })
+            .collect()
+    }
+
+    /// Canonical hash compared by \[BANK1\].
+    pub fn digest(&self) -> Digest {
+        let mut h = TableHasher::new("fpss/data2");
+        for (dst, path) in &self.routes {
+            h.put_u32(dst.raw());
+            for v in path {
+                h.put_u32(v.raw());
+            }
+            h.row_boundary();
+        }
+        h.finish()
+    }
+}
+
+/// One entry of the extended pricing table \[DATA3*\]: the per-packet price
+/// of a transit node plus the identity tags of §4.2.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PriceEntry {
+    /// Per-packet VCG payment.
+    pub price: Money,
+    /// The neighbor(s) whose information produced this entry (union on
+    /// pricing ties) — the spoof-detection extension of the paper.
+    pub tags: BTreeSet<NodeId>,
+}
+
+/// \[DATA3*\] Pricing table: per `(destination, transit)` pair, the
+/// per-packet payment this node owes that transit, with identity tags.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PricingTable {
+    entries: BTreeMap<(NodeId, NodeId), PriceEntry>,
+}
+
+impl PricingTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The entry for traffic to `dst` transiting `transit`.
+    pub fn entry(&self, dst: NodeId, transit: NodeId) -> Option<&PriceEntry> {
+        self.entries.get(&(dst, transit))
+    }
+
+    /// The price for `(dst, transit)`, if present.
+    pub fn price(&self, dst: NodeId, transit: NodeId) -> Option<Money> {
+        self.entry(dst, transit).map(|e| e.price)
+    }
+
+    /// Total per-packet payment this node owes along its route to `dst`.
+    pub fn total_price_to(&self, dst: NodeId) -> Money {
+        self.entries
+            .iter()
+            .filter(|((d, _), _)| *d == dst)
+            .map(|(_, e)| e.price)
+            .sum()
+    }
+
+    /// Replaces the whole table (the recompute functions build fresh
+    /// tables). Returns `(changed rows, retracted keys)` — exactly what
+    /// must be announced to neighbors. Retractions matter for the checker
+    /// protocol: the announced table accumulated by checkers must track
+    /// removals, or the \[BANK2\] hash comparison would flag honest nodes.
+    pub fn replace(&mut self, new: PricingTable) -> (Vec<PriceRow>, Vec<(NodeId, NodeId)>) {
+        let mut changed = Vec::new();
+        for (&(dst, transit), entry) in &new.entries {
+            if self.entries.get(&(dst, transit)) != Some(entry) {
+                changed.push(PriceRow {
+                    dst,
+                    transit,
+                    price: entry.price,
+                    tags: entry.tags.clone(),
+                });
+            }
+        }
+        let retracted: Vec<(NodeId, NodeId)> = self
+            .entries
+            .keys()
+            .filter(|key| !new.entries.contains_key(*key))
+            .copied()
+            .collect();
+        self.entries = new.entries;
+        (changed, retracted)
+    }
+
+    /// Removes an entry, returning whether it was present.
+    pub fn remove(&mut self, dst: NodeId, transit: NodeId) -> bool {
+        self.entries.remove(&(dst, transit)).is_some()
+    }
+
+    /// Inserts a single entry (used by mirrors and tests).
+    pub fn insert(&mut self, dst: NodeId, transit: NodeId, entry: PriceEntry) {
+        self.entries.insert((dst, transit), entry);
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `((dst, transit), entry)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = ((NodeId, NodeId), &PriceEntry)> + '_ {
+        self.entries.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// The table as announcement rows.
+    pub fn to_rows(&self) -> Vec<PriceRow> {
+        self.iter()
+            .map(|((dst, transit), e)| PriceRow {
+                dst,
+                transit,
+                price: e.price,
+                tags: e.tags.clone(),
+            })
+            .collect()
+    }
+
+    /// Canonical hash compared by \[BANK2\]. Includes the identity tags —
+    /// that inclusion is what catches spoofed pricing messages (§4.3).
+    pub fn digest(&self) -> Digest {
+        let mut h = TableHasher::new("fpss/data3*");
+        for (&(dst, transit), entry) in &self.entries {
+            h.put_u32(dst.raw())
+                .put_u32(transit.raw())
+                .put_i64(entry.price.value());
+            for tag in &entry.tags {
+                h.put_u32(tag.raw());
+            }
+            h.row_boundary();
+        }
+        h.finish()
+    }
+
+    /// Ablation of the paper's DATA3* extension: the hash the *original*
+    /// FPSS \[DATA3\] would give — prices only, no identity tags. Exists to
+    /// demonstrate (in tests and EXPERIMENTS.md) that without tags in the
+    /// hash, a pure tag forgery passes \[BANK2\] undetected.
+    pub fn digest_without_tags(&self) -> Digest {
+        let mut h = TableHasher::new("fpss/data3");
+        for (&(dst, transit), entry) in &self.entries {
+            h.put_u32(dst.raw())
+                .put_u32(transit.raw())
+                .put_i64(entry.price.value());
+            h.row_boundary();
+        }
+        h.finish()
+    }
+}
+
+/// \[DATA4\] Payment ledger: amounts this node owes each transit node for
+/// traffic it originated.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PaymentLedger {
+    owed: BTreeMap<NodeId, Money>,
+}
+
+impl PaymentLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accrues `amount` owed to `transit`.
+    pub fn accrue(&mut self, transit: NodeId, amount: Money) {
+        let slot = self.owed.entry(transit).or_insert(Money::ZERO);
+        *slot += amount;
+    }
+
+    /// The amount owed to `transit`.
+    pub fn owed_to(&self, transit: NodeId) -> Money {
+        self.owed.get(&transit).copied().unwrap_or(Money::ZERO)
+    }
+
+    /// Total owed across all transits.
+    pub fn total_owed(&self) -> Money {
+        self.owed.values().copied().sum()
+    }
+
+    /// Iterates `(transit, amount)` in node order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Money)> + '_ {
+        self.owed.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// The ledger as a vector of `(transit, amount)` pairs.
+    pub fn to_entries(&self) -> Vec<(NodeId, Money)> {
+        self.iter().collect()
+    }
+}
+
+impl fmt::Display for PaymentLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "owes ")?;
+        let mut first = true;
+        for (node, amount) in &self.owed {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{node}:{amount}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "nothing")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn data1_first_declaration_wins() {
+        let mut list = TransitCostList::new();
+        assert!(list.learn(n(1), Cost::new(5)));
+        assert!(!list.learn(n(1), Cost::new(9)));
+        assert_eq!(list.declared(n(1)), Some(Cost::new(5)));
+        assert_eq!(list.len(), 1);
+    }
+
+    #[test]
+    fn data1_path_cost_counts_intermediates_only() {
+        let mut list = TransitCostList::new();
+        for (id, c) in [(0, 10), (1, 2), (2, 3), (3, 10)] {
+            list.learn(n(id), Cost::new(c));
+        }
+        assert_eq!(
+            list.path_cost(&[n(0), n(1), n(2), n(3)]),
+            Some(Cost::new(5))
+        );
+        assert_eq!(list.path_cost(&[n(0), n(3)]), Some(Cost::ZERO));
+        assert_eq!(list.path_cost(&[n(0)]), Some(Cost::ZERO));
+    }
+
+    #[test]
+    fn data1_path_cost_requires_known_costs() {
+        let mut list = TransitCostList::new();
+        list.learn(n(0), Cost::new(1));
+        assert_eq!(list.path_cost(&[n(0), n(9), n(1)]), None);
+    }
+
+    #[test]
+    fn data2_install_reports_changes() {
+        let mut table = RoutingTable::new();
+        assert!(table.install(n(1), vec![n(0), n(1)]));
+        assert!(!table.install(n(1), vec![n(0), n(1)]));
+        assert!(table.install(n(1), vec![n(0), n(2), n(1)]));
+        assert_eq!(table.next_hop(n(1)), Some(n(2)));
+    }
+
+    #[test]
+    fn data2_digest_changes_with_contents() {
+        let mut a = RoutingTable::new();
+        a.install(n(1), vec![n(0), n(1)]);
+        let mut b = RoutingTable::new();
+        b.install(n(1), vec![n(0), n(2), n(1)]);
+        assert_ne!(a.digest(), b.digest());
+        let mut c = RoutingTable::new();
+        c.install(n(1), vec![n(0), n(1)]);
+        assert_eq!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn data3_replace_returns_changed_rows() {
+        let mut table = PricingTable::new();
+        let mut next = PricingTable::new();
+        next.insert(
+            n(1),
+            n(2),
+            PriceEntry {
+                price: Money::new(4),
+                tags: [n(3)].into_iter().collect(),
+            },
+        );
+        let (changed, retracted) = table.replace(next.clone());
+        assert_eq!(changed.len(), 1);
+        assert_eq!(changed[0].price, Money::new(4));
+        assert!(retracted.is_empty());
+        // Replacing with identical contents reports nothing.
+        let (changed, retracted) = table.replace(next);
+        assert!(changed.is_empty() && retracted.is_empty());
+        // Replacing with an empty table retracts the entry.
+        let (changed, retracted) = table.replace(PricingTable::new());
+        assert!(changed.is_empty());
+        assert_eq!(retracted, vec![(n(1), n(2))]);
+    }
+
+    #[test]
+    fn data3_digest_covers_tags() {
+        let entry = |tags: &[u32]| PriceEntry {
+            price: Money::new(4),
+            tags: tags.iter().map(|&t| n(t)).collect(),
+        };
+        let mut a = PricingTable::new();
+        a.insert(n(1), n(2), entry(&[3]));
+        let mut b = PricingTable::new();
+        b.insert(n(1), n(2), entry(&[4]));
+        assert_ne!(a.digest(), b.digest(), "tags are part of the hash");
+    }
+
+    #[test]
+    fn data3_total_price_sums_transits() {
+        let mut table = PricingTable::new();
+        for (t, p) in [(2, 4), (3, 6)] {
+            table.insert(
+                n(1),
+                n(t),
+                PriceEntry {
+                    price: Money::new(p),
+                    tags: BTreeSet::new(),
+                },
+            );
+        }
+        assert_eq!(table.total_price_to(n(1)), Money::new(10));
+        assert_eq!(table.total_price_to(n(9)), Money::ZERO);
+    }
+
+    #[test]
+    fn data4_accrues() {
+        let mut ledger = PaymentLedger::new();
+        ledger.accrue(n(1), Money::new(3));
+        ledger.accrue(n(1), Money::new(4));
+        ledger.accrue(n(2), Money::new(1));
+        assert_eq!(ledger.owed_to(n(1)), Money::new(7));
+        assert_eq!(ledger.total_owed(), Money::new(8));
+        assert_eq!(ledger.to_entries().len(), 2);
+    }
+
+    #[test]
+    fn data4_display() {
+        let mut ledger = PaymentLedger::new();
+        assert_eq!(ledger.to_string(), "owes nothing");
+        ledger.accrue(n(1), Money::new(3));
+        assert_eq!(ledger.to_string(), "owes n1:3");
+    }
+}

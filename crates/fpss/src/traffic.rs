@@ -1,0 +1,143 @@
+//! Traffic matrices for the execution phase.
+
+use rand::Rng;
+use specfaith_core::id::NodeId;
+
+/// One traffic flow: `packets` packets from `src` to `dst`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Flow {
+    /// Originating node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Number of packets.
+    pub packets: u64,
+}
+
+/// The execution-phase workload.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TrafficMatrix {
+    flows: Vec<Flow>,
+}
+
+impl TrafficMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A single flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`.
+    pub fn single(src: NodeId, dst: NodeId, packets: u64) -> Self {
+        TrafficMatrix::from_flows(vec![Flow { src, dst, packets }])
+    }
+
+    /// Builds from explicit flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any flow has identical endpoints.
+    pub fn from_flows(flows: Vec<Flow>) -> Self {
+        assert!(
+            flows.iter().all(|f| f.src != f.dst),
+            "flows need distinct endpoints"
+        );
+        TrafficMatrix { flows }
+    }
+
+    /// Every ordered pair of `n` nodes sends `packets` packets.
+    pub fn all_pairs(n: usize, packets: u64) -> Self {
+        let mut flows = Vec::new();
+        for s in 0..n {
+            for d in 0..n {
+                if s != d {
+                    flows.push(Flow {
+                        src: NodeId::from_index(s),
+                        dst: NodeId::from_index(d),
+                        packets,
+                    });
+                }
+            }
+        }
+        TrafficMatrix { flows }
+    }
+
+    /// `count` random flows among `n` nodes with `1..=max_packets` packets.
+    pub fn random<R: Rng>(n: usize, count: usize, max_packets: u64, rng: &mut R) -> Self {
+        assert!(n >= 2, "need at least two nodes for traffic");
+        let mut flows = Vec::with_capacity(count);
+        while flows.len() < count {
+            let s = rng.gen_range(0..n);
+            let d = rng.gen_range(0..n);
+            if s != d {
+                flows.push(Flow {
+                    src: NodeId::from_index(s),
+                    dst: NodeId::from_index(d),
+                    packets: rng.gen_range(1..=max_packets),
+                });
+            }
+        }
+        TrafficMatrix { flows }
+    }
+
+    /// The flows.
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// Total packets across flows.
+    pub fn total_packets(&self) -> u64 {
+        self.flows.iter().map(|f| f.packets).sum()
+    }
+}
+
+impl FromIterator<Flow> for TrafficMatrix {
+    fn from_iter<T: IntoIterator<Item = Flow>>(iter: T) -> Self {
+        TrafficMatrix::from_flows(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn single_flow() {
+        let t = TrafficMatrix::single(n(0), n(1), 5);
+        assert_eq!(t.flows().len(), 1);
+        assert_eq!(t.total_packets(), 5);
+    }
+
+    #[test]
+    fn all_pairs_counts() {
+        let t = TrafficMatrix::all_pairs(4, 2);
+        assert_eq!(t.flows().len(), 12);
+        assert_eq!(t.total_packets(), 24);
+    }
+
+    #[test]
+    fn random_respects_bounds_and_seed() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = TrafficMatrix::random(6, 10, 4, &mut rng);
+        assert_eq!(a.flows().len(), 10);
+        assert!(a.flows().iter().all(|f| f.src != f.dst));
+        assert!(a.flows().iter().all(|f| (1..=4).contains(&f.packets)));
+        let mut rng2 = StdRng::seed_from_u64(5);
+        assert_eq!(a, TrafficMatrix::random(6, 10, 4, &mut rng2));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct endpoints")]
+    fn rejects_self_flow() {
+        let _ = TrafficMatrix::single(n(1), n(1), 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! Per-node transit cost vectors.
+
+use rand::Rng;
+use specfaith_core::id::NodeId;
+use specfaith_core::money::Cost;
+use std::fmt;
+
+/// Per-node transit costs — the (private) type `θᵢ` of each node in the
+/// FPSS mechanism.
+///
+/// # Example
+///
+/// ```
+/// use specfaith_graph::costs::CostVector;
+/// use specfaith_core::id::NodeId;
+/// use specfaith_core::money::Cost;
+///
+/// let costs = CostVector::from_values(&[5, 1000, 1]);
+/// assert_eq!(costs.cost(NodeId::new(2)), Cost::new(1));
+/// let lied = costs.with_cost(NodeId::new(2), Cost::new(5));
+/// assert_eq!(lied.cost(NodeId::new(2)), Cost::new(5));
+/// assert_eq!(costs.cost(NodeId::new(2)), Cost::new(1)); // original intact
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct CostVector {
+    costs: Vec<Cost>,
+}
+
+impl CostVector {
+    /// Builds a cost vector from raw values.
+    pub fn from_values(values: &[u64]) -> Self {
+        CostVector {
+            costs: values.iter().map(|&v| Cost::new(v)).collect(),
+        }
+    }
+
+    /// Builds a cost vector from [`Cost`]s.
+    pub fn from_costs(costs: Vec<Cost>) -> Self {
+        assert!(
+            costs.iter().all(|c| !c.is_infinite()),
+            "transit costs must be finite"
+        );
+        CostVector { costs }
+    }
+
+    /// A uniform cost vector.
+    pub fn uniform(n: usize, cost: u64) -> Self {
+        CostVector {
+            costs: vec![Cost::new(cost); n],
+        }
+    }
+
+    /// Uniformly random integer costs in `lo..=hi` for `n` nodes.
+    pub fn random<R: Rng>(n: usize, lo: u64, hi: u64, rng: &mut R) -> Self {
+        assert!(lo <= hi, "empty cost range");
+        CostVector {
+            costs: (0..n).map(|_| Cost::new(rng.gen_range(lo..=hi))).collect(),
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+
+    /// The transit cost of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn cost(&self, node: NodeId) -> Cost {
+        self.costs[node.index()]
+    }
+
+    /// A copy with `node`'s cost replaced — the standard way to build a
+    /// misreport profile `(θ̂ᵢ, θ₋ᵢ)`.
+    #[must_use]
+    pub fn with_cost(&self, node: NodeId, cost: Cost) -> CostVector {
+        let mut copy = self.clone();
+        copy.costs[node.index()] = cost;
+        copy
+    }
+
+    /// Iterates `(node, cost)` pairs in node order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Cost)> + '_ {
+        self.costs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (NodeId::from_index(i), c))
+    }
+
+    /// The raw cost slice, indexed by node.
+    pub fn as_slice(&self) -> &[Cost] {
+        &self.costs
+    }
+}
+
+impl fmt::Debug for CostVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CostVector(")?;
+        for (i, c) in self.costs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<Cost> for CostVector {
+    fn from_iter<T: IntoIterator<Item = Cost>>(iter: T) -> Self {
+        CostVector::from_costs(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_values_and_access() {
+        let costs = CostVector::from_values(&[3, 0, 7]);
+        assert_eq!(costs.len(), 3);
+        assert_eq!(costs.cost(NodeId::new(0)), Cost::new(3));
+        assert_eq!(costs.cost(NodeId::new(1)), Cost::ZERO);
+    }
+
+    #[test]
+    fn with_cost_is_persistent() {
+        let costs = CostVector::from_values(&[1, 2]);
+        let changed = costs.with_cost(NodeId::new(0), Cost::new(9));
+        assert_eq!(changed.cost(NodeId::new(0)), Cost::new(9));
+        assert_eq!(costs.cost(NodeId::new(0)), Cost::new(1));
+    }
+
+    #[test]
+    fn uniform_fills() {
+        let costs = CostVector::uniform(4, 6);
+        assert!(costs.iter().all(|(_, c)| c == Cost::new(6)));
+    }
+
+    #[test]
+    fn random_respects_bounds_and_seed() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = CostVector::random(20, 2, 9, &mut rng);
+        assert!(a.iter().all(|(_, c)| (2..=9).contains(&c.value())));
+        let mut rng2 = StdRng::seed_from_u64(11);
+        let b = CostVector::random(20, 2, 9, &mut rng2);
+        assert_eq!(a, b, "same seed must reproduce the same costs");
+    }
+
+    #[test]
+    fn iter_yields_node_order() {
+        let costs = CostVector::from_values(&[4, 5]);
+        let pairs: Vec<_> = costs.iter().collect();
+        assert_eq!(
+            pairs,
+            vec![
+                (NodeId::new(0), Cost::new(4)),
+                (NodeId::new(1), Cost::new(5))
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_infinite_costs() {
+        let _ = CostVector::from_costs(vec![Cost::INFINITE]);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let costs: CostVector = [Cost::new(1), Cost::new(2)].into_iter().collect();
+        assert_eq!(costs.len(), 2);
+    }
+}

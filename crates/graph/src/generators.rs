@@ -1,0 +1,254 @@
+//! Topology generators: the paper's Figure 1 and synthetic families.
+
+use crate::costs::CostVector;
+use crate::topology::Topology;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use specfaith_core::id::NodeId;
+
+/// The paper's Figure 1 network, with named nodes and the stated transit
+/// costs.
+///
+/// The figure shows a 6-node biconnected AS graph with per-node costs
+/// `A=5, B=1000, C=1, D=1, Z=6, X=100`, reconstructed from the facts stated
+/// in §4.1 and Example 1:
+///
+/// * the X→Z LCP is `X-D-C-Z` with total cost 2 (so `c_D + c_C = 2`);
+/// * the Z→D LCP costs 1 (via C, so `c_C = 1`, hence `c_D = 1`);
+/// * B→D costs 0 (a direct edge);
+/// * if C declared 5, `X-A-Z` would become the X→Z LCP (so `c_A = 5` and
+///   A links X and Z).
+#[derive(Clone, Debug)]
+pub struct Figure1 {
+    /// The 6-node topology.
+    pub topology: Topology,
+    /// True transit costs.
+    pub costs: CostVector,
+    /// Node A (cost 5): the X–Z alternative transit.
+    pub a: NodeId,
+    /// Node B (cost 1000): expensive transit adjacent to Z and D.
+    pub b: NodeId,
+    /// Node C (cost 1): the manipulating node of Example 1.
+    pub c: NodeId,
+    /// Node D (cost 1).
+    pub d: NodeId,
+    /// Node Z (cost 6): the source of the figure's LCP tree.
+    pub z: NodeId,
+    /// Node X (cost 100).
+    pub x: NodeId,
+}
+
+/// Builds the paper's Figure 1 network.
+pub fn figure1() -> Figure1 {
+    let (a, b, c, d, z, x) = (
+        NodeId::new(0),
+        NodeId::new(1),
+        NodeId::new(2),
+        NodeId::new(3),
+        NodeId::new(4),
+        NodeId::new(5),
+    );
+    let topology = Topology::builder(6)
+        .edge_ids(a, z)
+        .edge_ids(a, x)
+        .edge_ids(z, c)
+        .edge_ids(c, d)
+        .edge_ids(d, x)
+        .edge_ids(d, b)
+        .edge_ids(z, b)
+        .build();
+    let costs = CostVector::from_values(&[5, 1000, 1, 1, 6, 100]);
+    Figure1 {
+        topology,
+        costs,
+        a,
+        b,
+        c,
+        d,
+        z,
+        x,
+    }
+}
+
+/// A cycle on `n ≥ 3` nodes (the smallest biconnected family).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize) -> Topology {
+    assert!(n >= 3, "a ring needs at least 3 nodes");
+    let mut builder = Topology::builder(n);
+    for i in 0..n {
+        builder = builder.edge(i as u32, ((i + 1) % n) as u32);
+    }
+    builder.build()
+}
+
+/// The complete graph on `n ≥ 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn complete(n: usize) -> Topology {
+    assert!(n >= 3, "a complete graph needs at least 3 nodes");
+    let mut builder = Topology::builder(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            builder = builder.edge(i as u32, j as u32);
+        }
+    }
+    builder.build()
+}
+
+/// A wheel: a ring of `n − 1` nodes plus a hub adjacent to all of them.
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+pub fn wheel(n: usize) -> Topology {
+    assert!(n >= 4, "a wheel needs at least 4 nodes");
+    let rim = n - 1;
+    let hub = (n - 1) as u32;
+    let mut builder = Topology::builder(n);
+    for i in 0..rim {
+        builder = builder
+            .edge(i as u32, ((i + 1) % rim) as u32)
+            .edge(i as u32, hub);
+    }
+    builder.build()
+}
+
+/// A `w × h` grid (biconnected for `w, h ≥ 2`).
+///
+/// # Panics
+///
+/// Panics if `w < 2` or `h < 2`.
+pub fn grid(w: usize, h: usize) -> Topology {
+    assert!(w >= 2 && h >= 2, "a grid needs both dimensions ≥ 2");
+    let idx = |x: usize, y: usize| (y * w + x) as u32;
+    let mut builder = Topology::builder(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                builder = builder.edge(idx(x, y), idx(x + 1, y));
+            }
+            if y + 1 < h {
+                builder = builder.edge(idx(x, y), idx(x, y + 1));
+            }
+        }
+    }
+    builder.build()
+}
+
+/// A random biconnected topology: a random Hamiltonian cycle (biconnected
+/// by construction) plus `extra_edges` random chords.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn random_biconnected<R: Rng>(n: usize, extra_edges: usize, rng: &mut R) -> Topology {
+    assert!(n >= 3, "biconnectivity needs at least 3 nodes");
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+    let mut builder = Topology::builder(n);
+    for i in 0..n {
+        builder = builder.edge(order[i], order[(i + 1) % n]);
+    }
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    // Chords may collide with existing edges; bound the retry loop.
+    while added < extra_edges && attempts < extra_edges * 20 + 64 {
+        attempts += 1;
+        let a = rng.gen_range(0..n as u32);
+        let b = rng.gen_range(0..n as u32);
+        if a != b {
+            builder = builder.edge(a, b);
+            added += 1;
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn figure1_is_biconnected_with_stated_costs() {
+        let net = figure1();
+        assert!(net.topology.is_biconnected());
+        assert_eq!(net.costs.cost(net.a).value(), 5);
+        assert_eq!(net.costs.cost(net.b).value(), 1000);
+        assert_eq!(net.costs.cost(net.c).value(), 1);
+        assert_eq!(net.costs.cost(net.d).value(), 1);
+        assert_eq!(net.costs.cost(net.z).value(), 6);
+        assert_eq!(net.costs.cost(net.x).value(), 100);
+    }
+
+    #[test]
+    fn figure1_edge_set_matches_reconstruction() {
+        let net = figure1();
+        assert_eq!(net.topology.num_edges(), 7);
+        assert!(net.topology.has_edge(net.b, net.d), "B-D is direct");
+        assert!(net.topology.has_edge(net.a, net.x) && net.topology.has_edge(net.a, net.z));
+        assert!(!net.topology.has_edge(net.x, net.z), "X-Z must transit");
+    }
+
+    #[test]
+    fn rings_are_biconnected() {
+        for n in [3, 4, 7, 12] {
+            assert!(ring(n).is_biconnected(), "ring({n})");
+        }
+    }
+
+    #[test]
+    fn complete_graphs_are_biconnected() {
+        for n in [3, 5, 8] {
+            let topo = complete(n);
+            assert!(topo.is_biconnected());
+            assert_eq!(topo.num_edges(), n * (n - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn wheels_are_biconnected() {
+        for n in [4, 6, 9] {
+            let topo = wheel(n);
+            assert!(topo.is_biconnected(), "wheel({n})");
+            assert_eq!(topo.degree(NodeId::new((n - 1) as u32)), n - 1);
+        }
+    }
+
+    #[test]
+    fn grids_are_biconnected() {
+        for (w, h) in [(2, 2), (3, 4), (5, 2)] {
+            assert!(grid(w, h).is_biconnected(), "grid({w},{h})");
+        }
+    }
+
+    #[test]
+    fn random_biconnected_really_is() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [3, 6, 10, 20, 33] {
+            for extra in [0, 2, n / 2] {
+                let topo = random_biconnected(n, extra, &mut rng);
+                assert!(topo.is_biconnected(), "n={n}, extra={extra}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_biconnected_is_seed_deterministic() {
+        let a = random_biconnected(12, 4, &mut StdRng::seed_from_u64(7));
+        let b = random_biconnected(12, 4, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn ring_rejects_tiny() {
+        let _ = ring(2);
+    }
+}

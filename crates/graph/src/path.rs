@@ -1,0 +1,321 @@
+//! Paths and the deterministic path-preference order.
+//!
+//! Distributed FPSS only works if every node resolves lowest-cost-path ties
+//! identically: a principal and its checkers must agree bit-for-bit on
+//! routing tables, or the bank would restart honest networks. [`PathMetric`]
+//! therefore defines a **total** preference order:
+//!
+//! 1. lower total transit cost, then
+//! 2. fewer hops, then
+//! 3. lexicographically smaller node sequence.
+//!
+//! The order is preserved by path extension (appending the same next hop to
+//! two comparable paths keeps their order), which is what makes both
+//! centralized Dijkstra and the distributed Bellman–Ford updates converge
+//! to the same unique table.
+
+use specfaith_core::id::NodeId;
+use specfaith_core::money::Cost;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A concrete path together with its total transit cost.
+///
+/// The node sequence includes both endpoints; the cost counts only the
+/// intermediate nodes' transit costs (endpoints transit their own traffic
+/// for free, per FPSS).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct PathMetric {
+    cost: Cost,
+    nodes: Vec<NodeId>,
+}
+
+impl PathMetric {
+    /// A zero-cost, zero-hop path from a node to itself.
+    pub fn trivial(node: NodeId) -> Self {
+        PathMetric {
+            cost: Cost::ZERO,
+            nodes: vec![node],
+        }
+    }
+
+    /// Builds a path from its node sequence and precomputed cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty or repeats a node (paths are simple).
+    pub fn new(nodes: Vec<NodeId>, cost: Cost) -> Self {
+        assert!(!nodes.is_empty(), "a path has at least one node");
+        let mut sorted = nodes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), nodes.len(), "paths must be simple");
+        PathMetric { cost, nodes }
+    }
+
+    /// Total transit cost of the path.
+    pub fn cost(&self) -> Cost {
+        self.cost
+    }
+
+    /// The full node sequence, source first.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The source node.
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// The destination node.
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().expect("paths are nonempty")
+    }
+
+    /// Number of edges traversed.
+    pub fn hops(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// The intermediate (transit) nodes — the nodes that are paid.
+    pub fn transit_nodes(&self) -> &[NodeId] {
+        if self.nodes.len() <= 2 {
+            &[]
+        } else {
+            &self.nodes[1..self.nodes.len() - 1]
+        }
+    }
+
+    /// Whether `node` appears anywhere on the path.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// Extends the path by one hop to `next`, charging `next_transit_cost`
+    /// for the *current* destination becoming an intermediate node.
+    ///
+    /// `transit_cost_of_current_destination` is the transit cost of the
+    /// node that was the destination before extension (it now carries the
+    /// packet onward). Returns `None` if the extension would revisit a node.
+    pub fn extended(
+        &self,
+        next: NodeId,
+        transit_cost_of_current_destination: Cost,
+    ) -> Option<PathMetric> {
+        if self.contains(next) {
+            return None;
+        }
+        // The current destination becomes an intermediate node, except when
+        // the path is trivial (source == current destination transits free).
+        let added = if self.nodes.len() == 1 {
+            Cost::ZERO
+        } else {
+            transit_cost_of_current_destination
+        };
+        let mut nodes = self.nodes.clone();
+        nodes.push(next);
+        Some(PathMetric {
+            cost: self.cost + added,
+            nodes,
+        })
+    }
+}
+
+impl PartialOrd for PathMetric {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PathMetric {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cost
+            .cmp(&other.cost)
+            .then_with(|| self.nodes.len().cmp(&other.nodes.len()))
+            .then_with(|| self.nodes.cmp(&other.nodes))
+    }
+}
+
+impl fmt::Debug for PathMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PathMetric({self})")
+    }
+}
+
+impl fmt::Display for PathMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, node) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                f.write_str("-")?;
+            }
+            write!(f, "{node}")?;
+        }
+        write!(f, " (cost {})", self.cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn trivial_path() {
+        let p = PathMetric::trivial(n(3));
+        assert_eq!(p.cost(), Cost::ZERO);
+        assert_eq!(p.hops(), 0);
+        assert_eq!(p.source(), n(3));
+        assert_eq!(p.destination(), n(3));
+        assert!(p.transit_nodes().is_empty());
+    }
+
+    #[test]
+    fn transit_nodes_exclude_endpoints() {
+        let p = PathMetric::new(vec![n(0), n(1), n(2), n(3)], Cost::new(5));
+        assert_eq!(p.transit_nodes(), &[n(1), n(2)]);
+        assert_eq!(p.hops(), 3);
+    }
+
+    #[test]
+    fn two_node_path_has_no_transit() {
+        let p = PathMetric::new(vec![n(0), n(1)], Cost::ZERO);
+        assert!(p.transit_nodes().is_empty());
+    }
+
+    #[test]
+    fn extension_charges_previous_destination() {
+        // 0 → 1 costs nothing (no intermediates); 0 → 1 → 2 charges node 1.
+        let p = PathMetric::trivial(n(0))
+            .extended(n(1), Cost::new(99))
+            .expect("fresh node");
+        assert_eq!(p.cost(), Cost::ZERO);
+        let p2 = p.extended(n(2), Cost::new(7)).expect("fresh node");
+        assert_eq!(p2.cost(), Cost::new(7));
+        assert_eq!(p2.nodes(), &[n(0), n(1), n(2)]);
+    }
+
+    #[test]
+    fn extension_refuses_revisits() {
+        let p = PathMetric::new(vec![n(0), n(1)], Cost::ZERO);
+        assert!(p.extended(n(0), Cost::ZERO).is_none());
+    }
+
+    #[test]
+    fn order_prefers_cost_then_hops_then_lex() {
+        let cheap = PathMetric::new(vec![n(0), n(9), n(1)], Cost::new(1));
+        let pricey = PathMetric::new(vec![n(0), n(1)], Cost::new(2));
+        assert!(cheap < pricey, "cost dominates hop count");
+
+        let short = PathMetric::new(vec![n(0), n(1)], Cost::new(2));
+        let long = PathMetric::new(vec![n(0), n(3), n(1)], Cost::new(2));
+        assert!(short < long, "fewer hops breaks cost ties");
+
+        let lex_small = PathMetric::new(vec![n(0), n(2), n(1)], Cost::new(2));
+        let lex_big = PathMetric::new(vec![n(0), n(3), n(1)], Cost::new(2));
+        assert!(lex_small < lex_big, "lexicographic order breaks the rest");
+    }
+
+    #[test]
+    fn order_is_preserved_by_extension() {
+        // If p < q (same endpoints), then p+w < q+w with the same charge.
+        let p = PathMetric::new(vec![n(0), n(2)], Cost::new(0));
+        let q = PathMetric::new(vec![n(0), n(1), n(2)], Cost::new(0));
+        assert!(p < q);
+        let pw = p.extended(n(5), Cost::new(3)).expect("ok");
+        let qw = q.extended(n(5), Cost::new(3)).expect("ok");
+        assert!(pw < qw);
+    }
+
+    #[test]
+    #[should_panic(expected = "simple")]
+    fn rejects_repeated_nodes() {
+        let _ = PathMetric::new(vec![n(0), n(1), n(0)], Cost::ZERO);
+    }
+
+    #[test]
+    fn display_renders_route() {
+        let p = PathMetric::new(vec![n(0), n(4), n(2)], Cost::new(3));
+        assert_eq!(p.to_string(), "n0-n4-n2 (cost 3)");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strategy producing an arbitrary simple path with an arbitrary cost.
+    fn arb_path() -> impl Strategy<Value = PathMetric> {
+        (proptest::collection::vec(0u32..24, 1..8), 0u64..1000).prop_map(|(mut ids, cost)| {
+            ids.sort_unstable();
+            ids.dedup();
+            let nodes: Vec<NodeId> = ids.into_iter().map(NodeId::new).collect();
+            PathMetric::new(nodes, Cost::new(cost))
+        })
+    }
+
+    proptest! {
+        /// The preference order is a total order: antisymmetric and
+        /// transitive on arbitrary triples.
+        #[test]
+        fn order_is_total(a in arb_path(), b in arb_path(), c in arb_path()) {
+            // Antisymmetry.
+            if a < b {
+                prop_assert!(b > a);
+            }
+            if a == b {
+                prop_assert!(a.cmp(&b) == std::cmp::Ordering::Equal);
+            }
+            // Transitivity.
+            if a <= b && b <= c {
+                prop_assert!(a <= c);
+            }
+        }
+
+        /// Extension preserves strict order between same-endpoint paths:
+        /// the property that makes distributed tie-breaking converge to
+        /// the centralized choice.
+        #[test]
+        fn extension_preserves_order(
+            cost_a in 0u64..100,
+            cost_b in 0u64..100,
+            charge in 0u64..50,
+        ) {
+            // Two paths 0→2 (different intermediate sets), extended by the
+            // same next hop and the same charge.
+            let a = PathMetric::new(vec![NodeId::new(0), NodeId::new(2)], Cost::new(cost_a));
+            let b = PathMetric::new(
+                vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)],
+                Cost::new(cost_b),
+            );
+            let (Some(aw), Some(bw)) = (
+                a.extended(NodeId::new(5), Cost::new(charge)),
+                b.extended(NodeId::new(5), Cost::new(charge)),
+            ) else {
+                return Ok(());
+            };
+            prop_assert_eq!(a < b, aw < bw);
+            prop_assert_eq!(a > b, aw > bw);
+        }
+
+        /// Extension adds exactly the charge (when non-trivial) and keeps
+        /// the path simple.
+        #[test]
+        fn extension_cost_accounting(p in arb_path(), charge in 0u64..50) {
+            let next = NodeId::new(99);
+            let extended = p.extended(next, Cost::new(charge)).expect("99 unused");
+            let expected = if p.nodes().len() == 1 {
+                p.cost()
+            } else {
+                p.cost() + Cost::new(charge)
+            };
+            prop_assert_eq!(extended.cost(), expected);
+            prop_assert_eq!(extended.hops(), p.hops() + 1);
+            prop_assert_eq!(extended.destination(), next);
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! Undirected simple-graph topologies with biconnectivity queries.
+
+use specfaith_core::id::{node_ids, NodeId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An immutable, undirected, simple network topology.
+///
+/// Nodes are the dense ids `0..n`; adjacency lists are sorted so iteration
+/// order — and therefore every distributed computation driven by it — is
+/// deterministic.
+///
+/// # Example
+///
+/// ```
+/// use specfaith_graph::topology::Topology;
+/// use specfaith_core::id::NodeId;
+///
+/// let topo = Topology::builder(3)
+///     .edge(0, 1)
+///     .edge(1, 2)
+///     .edge(2, 0)
+///     .build();
+/// assert!(topo.is_biconnected());
+/// assert_eq!(topo.neighbors(NodeId::new(1)), &[NodeId::new(0), NodeId::new(2)]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Topology {
+    n: usize,
+    adj: Vec<Vec<NodeId>>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl fmt::Debug for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Topology({} nodes, {} edges)", self.n, self.edges.len())
+    }
+}
+
+/// Incremental builder for [`Topology`].
+#[derive(Clone, Debug)]
+pub struct TopologyBuilder {
+    n: usize,
+    edges: BTreeSet<(u32, u32)>,
+}
+
+impl TopologyBuilder {
+    /// Adds an undirected edge between nodes `a` and `b` (raw indices).
+    /// Duplicate edges are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range indices.
+    pub fn edge(mut self, a: u32, b: u32) -> Self {
+        assert_ne!(a, b, "self-loops are not allowed");
+        assert!(
+            (a as usize) < self.n && (b as usize) < self.n,
+            "edge ({a},{b}) references a node outside 0..{}",
+            self.n
+        );
+        self.edges.insert((a.min(b), a.max(b)));
+        self
+    }
+
+    /// Adds an edge given [`NodeId`]s.
+    ///
+    /// # Panics
+    ///
+    /// As for [`TopologyBuilder::edge`].
+    pub fn edge_ids(self, a: NodeId, b: NodeId) -> Self {
+        self.edge(a.raw(), b.raw())
+    }
+
+    /// Finalizes the topology.
+    pub fn build(self) -> Topology {
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); self.n];
+        let mut edges = Vec::with_capacity(self.edges.len());
+        for &(a, b) in &self.edges {
+            let (a, b) = (NodeId::new(a), NodeId::new(b));
+            adj[a.index()].push(b);
+            adj[b.index()].push(a);
+            edges.push((a, b));
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        Topology {
+            n: self.n,
+            adj,
+            edges,
+        }
+    }
+}
+
+impl Topology {
+    /// Starts building a topology over `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn builder(n: usize) -> TopologyBuilder {
+        assert!(n > 0, "a topology needs at least one node");
+        TopologyBuilder {
+            n,
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All node ids, in increasing order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + Clone {
+        node_ids(self.n)
+    }
+
+    /// The sorted neighbor list of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.adj[node.index()]
+    }
+
+    /// The degree of `node`.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.neighbors(node).len()
+    }
+
+    /// The undirected edges, each reported once with the smaller id first.
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Whether nodes `a` and `b` are adjacent.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.adj[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// Whether the graph is connected.
+    pub fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![NodeId::new(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &w in self.neighbors(v) {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == self.n
+    }
+
+    /// The articulation points (cut vertices) of the graph, ascending.
+    ///
+    /// Uses an iterative Tarjan low-link computation, so deep topologies
+    /// cannot overflow the call stack.
+    pub fn articulation_points(&self) -> Vec<NodeId> {
+        let n = self.n;
+        let mut disc = vec![usize::MAX; n]; // discovery times; MAX = unvisited
+        let mut low = vec![usize::MAX; n];
+        let mut parent = vec![usize::MAX; n];
+        let mut is_cut = vec![false; n];
+        let mut timer = 0usize;
+
+        for root in 0..n {
+            if disc[root] != usize::MAX {
+                continue;
+            }
+            // Iterative DFS: (node, next-neighbor-index) frames.
+            let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+            disc[root] = timer;
+            low[root] = timer;
+            timer += 1;
+            let mut root_children = 0usize;
+
+            while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+                if *next < self.adj[v].len() {
+                    let w = self.adj[v][*next].index();
+                    *next += 1;
+                    if disc[w] == usize::MAX {
+                        parent[w] = v;
+                        disc[w] = timer;
+                        low[w] = timer;
+                        timer += 1;
+                        if v == root {
+                            root_children += 1;
+                        }
+                        stack.push((w, 0));
+                    } else if w != parent[v] {
+                        low[v] = low[v].min(disc[w]);
+                    }
+                } else {
+                    stack.pop();
+                    if let Some(&(p, _)) = stack.last() {
+                        low[p] = low[p].min(low[v]);
+                        if p != root && low[v] >= disc[p] {
+                            is_cut[p] = true;
+                        }
+                    }
+                }
+            }
+            if root_children > 1 {
+                is_cut[root] = true;
+            }
+        }
+        (0..n)
+            .filter(|&v| is_cut[v])
+            .map(NodeId::from_index)
+            .collect()
+    }
+
+    /// Whether the graph is biconnected: connected, at least three nodes,
+    /// and free of articulation points. FPSS assumes biconnectivity so that
+    /// every VCG excluded-node path `d_{G−k}(i,j)` exists.
+    pub fn is_biconnected(&self) -> bool {
+        self.n >= 3 && self.is_connected() && self.articulation_points().is_empty()
+    }
+
+    /// The topology with `removed` (and its incident edges) deleted, node
+    /// ids unchanged. The removed node remains as an isolated vertex so
+    /// that indices keep their meaning.
+    pub fn without_node(&self, removed: NodeId) -> Topology {
+        let mut builder = Topology::builder(self.n);
+        for &(a, b) in &self.edges {
+            if a != removed && b != removed {
+                builder = builder.edge_ids(a, b);
+            }
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Topology {
+        Topology::builder(3).edge(0, 1).edge(1, 2).edge(2, 0).build()
+    }
+
+    /// Two triangles sharing node 2 — node 2 is an articulation point.
+    fn bowtie() -> Topology {
+        Topology::builder(5)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 0)
+            .edge(2, 3)
+            .edge(3, 4)
+            .edge(4, 2)
+            .build()
+    }
+
+    fn path3() -> Topology {
+        Topology::builder(3).edge(0, 1).edge(1, 2).build()
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_deduplicated() {
+        let topo = Topology::builder(4)
+            .edge(3, 0)
+            .edge(0, 1)
+            .edge(1, 0) // duplicate, reversed
+            .build();
+        assert_eq!(
+            topo.neighbors(NodeId::new(0)),
+            &[NodeId::new(1), NodeId::new(3)]
+        );
+        assert_eq!(topo.num_edges(), 2);
+    }
+
+    #[test]
+    fn has_edge_and_degree() {
+        let topo = triangle();
+        assert!(topo.has_edge(NodeId::new(0), NodeId::new(2)));
+        assert!(!topo.has_edge(NodeId::new(0), NodeId::new(0)));
+        assert_eq!(topo.degree(NodeId::new(1)), 2);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(triangle().is_connected());
+        let disconnected = Topology::builder(4).edge(0, 1).edge(2, 3).build();
+        assert!(!disconnected.is_connected());
+    }
+
+    #[test]
+    fn triangle_is_biconnected() {
+        assert!(triangle().is_biconnected());
+        assert!(triangle().articulation_points().is_empty());
+    }
+
+    #[test]
+    fn path_has_internal_articulation_point() {
+        let topo = path3();
+        assert_eq!(topo.articulation_points(), vec![NodeId::new(1)]);
+        assert!(!topo.is_biconnected());
+    }
+
+    #[test]
+    fn bowtie_articulation_point() {
+        assert_eq!(bowtie().articulation_points(), vec![NodeId::new(2)]);
+        assert!(!bowtie().is_biconnected());
+    }
+
+    #[test]
+    fn two_nodes_are_not_biconnected() {
+        let k2 = Topology::builder(2).edge(0, 1).build();
+        assert!(k2.is_connected());
+        assert!(!k2.is_biconnected());
+    }
+
+    #[test]
+    fn without_node_removes_incident_edges() {
+        let topo = triangle().without_node(NodeId::new(2));
+        assert_eq!(topo.num_edges(), 1);
+        assert!(topo.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(!topo.is_connected()); // node 2 is now isolated
+    }
+
+    #[test]
+    fn removing_articulation_point_disconnects() {
+        let topo = bowtie().without_node(NodeId::new(2));
+        // 0-1 and 3-4 remain, plus isolated node 2 — three components.
+        assert!(!topo.is_connected());
+    }
+
+    #[test]
+    fn articulation_points_on_larger_ring_with_tail() {
+        // Ring 0-1-2-3-0 plus tail 3-4: node 3 is the only cut vertex.
+        let topo = Topology::builder(5)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .edge(3, 0)
+            .edge(3, 4)
+            .build();
+        assert_eq!(topo.articulation_points(), vec![NodeId::new(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn builder_rejects_self_loop() {
+        let _ = Topology::builder(2).edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn builder_rejects_out_of_range() {
+        let _ = Topology::builder(2).edge(0, 2);
+    }
+
+    #[test]
+    fn debug_is_informative() {
+        assert_eq!(format!("{:?}", triangle()), "Topology(3 nodes, 3 edges)");
+    }
+}

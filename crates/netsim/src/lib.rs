@@ -1,0 +1,73 @@
+//! # specfaith-netsim
+//!
+//! A deterministic discrete-event simulator for message-passing protocols
+//! on static topologies — the substrate every experiment in this workspace
+//! runs on.
+//!
+//! Design constraints, all imposed by the paper's setting:
+//!
+//! * **Determinism.** Faithfulness experiments compare a faithful run
+//!   against thousands of single-deviation runs; any nondeterminism would
+//!   confound utility differences. Events are ordered by `(time, sequence
+//!   number)`, randomness comes only from a seeded RNG, and two runs with
+//!   the same seed produce identical traces (tested).
+//! * **Virtual time.** The paper's model (after Griffin–Wilfong) is an
+//!   asynchronous static network; a virtual-clock DES reproduces it exactly
+//!   and runs orders of magnitude faster than wall-clock async runtimes.
+//! * **Quiescence hooks.** FPSS's bank checkpoints "at a network quiescence
+//!   point"; the simulator detects global quiescence exactly (drained event
+//!   queue) and hands control to registered observers.
+//! * **Accounting.** Per-node message and byte counters feed the overhead
+//!   experiments (E8) that quantify the cost of checkpointing the paper
+//!   warns about.
+//!
+//! # Example
+//!
+//! ```
+//! use specfaith_netsim::{Actor, Connectivity, Ctx, FixedLatency, Network, Payload};
+//! use specfaith_core::id::NodeId;
+//!
+//! #[derive(Clone, Debug)]
+//! struct Ping(u32);
+//! impl Payload for Ping {
+//!     fn size_bytes(&self) -> usize { 4 }
+//! }
+//!
+//! struct Echo;
+//! impl Actor for Echo {
+//!     type Msg = Ping;
+//!     fn on_start(&mut self, ctx: &mut Ctx<'_, Ping>) {
+//!         if ctx.id() == NodeId::new(0) {
+//!             ctx.send(NodeId::new(1), Ping(1));
+//!         }
+//!     }
+//!     fn on_message(&mut self, ctx: &mut Ctx<'_, Ping>, from: NodeId, msg: Ping) {
+//!         if msg.0 < 3 {
+//!             ctx.send(from, Ping(msg.0 + 1));
+//!         }
+//!     }
+//! }
+//!
+//! let mut net = Network::new(
+//!     Connectivity::fully_connected(2),
+//!     vec![Echo, Echo],
+//!     FixedLatency::new(10),
+//!     42,
+//! );
+//! let outcome = net.run();
+//! assert_eq!(outcome.messages_delivered, 3);
+//! ```
+
+pub mod connect;
+pub mod latency;
+pub mod payload;
+pub mod sim;
+pub mod time;
+
+pub use connect::Connectivity;
+pub use latency::{FixedLatency, JitteredLatency, LatencyModel};
+pub use payload::Payload;
+pub use sim::{Actor, Ctx, NetStats, Network, RunOutcome};
+pub use time::{SimDuration, SimTime};
+
+pub use specfaith_core::id::NodeId;

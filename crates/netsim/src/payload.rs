@@ -1,0 +1,49 @@
+//! Message payloads and size accounting.
+
+use std::fmt;
+
+/// A message payload that knows its wire size.
+///
+/// The simulator never serializes messages (they move between actors as
+/// cloned Rust values), but the overhead experiments need byte accounting:
+/// the faithful FPSS extension multiplies message traffic by forwarding
+/// everything to checkers, and E8 quantifies that in bytes as well as
+/// message counts.
+pub trait Payload: Clone + fmt::Debug {
+    /// Estimated serialized size in bytes.
+    fn size_bytes(&self) -> usize;
+}
+
+impl Payload for () {
+    fn size_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl Payload for u64 {
+    fn size_bytes(&self) -> usize {
+        8
+    }
+}
+
+impl<T: Payload> Payload for Vec<T> {
+    fn size_bytes(&self) -> usize {
+        8 + self.iter().map(Payload::size_bytes).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_is_free() {
+        assert_eq!(().size_bytes(), 0);
+    }
+
+    #[test]
+    fn vec_adds_header() {
+        let v: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(v.size_bytes(), 8 + 24);
+    }
+}

@@ -1,0 +1,739 @@
+//! The discrete-event engine: actors, contexts, and the network.
+
+use crate::connect::Connectivity;
+use crate::latency::LatencyModel;
+use crate::payload::Payload;
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use specfaith_core::id::NodeId;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// A protocol node.
+///
+/// All callbacks receive a [`Ctx`] through which the node sends messages,
+/// sets timers, and reads the clock. Every mutation of the outside world
+/// goes through the context, which is what lets deviation strategies in
+/// `specfaith-faithful` interpose on exactly the externally visible
+/// actions.
+pub trait Actor {
+    /// The message type this protocol exchanges.
+    type Msg: Payload;
+
+    /// Called once, at time zero, in increasing node-id order.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, Self::Msg>) {}
+
+    /// Called when a message addressed to this node is delivered.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, from: NodeId, msg: Self::Msg);
+
+    /// Called when a timer set via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, Self::Msg>, _tag: u64) {}
+
+    /// Whether this node wants [`Actor::on_quiescence`] callbacks.
+    fn observes_quiescence(&self) -> bool {
+        false
+    }
+
+    /// Called when the network is globally quiescent (no in-flight
+    /// messages or timers). FPSS's bank checkpoints from this hook.
+    fn on_quiescence(&mut self, _ctx: &mut Ctx<'_, Self::Msg>) {}
+}
+
+/// The side-effect interface handed to actor callbacks.
+pub struct Ctx<'a, M> {
+    id: NodeId,
+    now: SimTime,
+    outbox: &'a mut Vec<(NodeId, M)>,
+    timers: &'a mut Vec<(SimDuration, u64)>,
+    rng: &'a mut StdRng,
+}
+
+impl<M> Ctx<'_, M> {
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Queues a message to `to`. Delivery is asynchronous; the connectivity
+    /// check happens at flush time and panics on illegal links (a protocol
+    /// bug, not a runtime condition).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Schedules an [`Actor::on_timer`] callback after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) {
+        self.timers.push((delay, tag));
+    }
+
+    /// The simulation RNG (shared, seeded; use for protocol randomness so
+    /// runs stay reproducible).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+enum EventKind<M> {
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Timer { node: NodeId, tag: u64 },
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // (time, then insertion sequence) — a deterministic total order.
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Per-run message accounting.
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    /// Messages sent per node.
+    pub msgs_sent: Vec<u64>,
+    /// Estimated bytes sent per node.
+    pub bytes_sent: Vec<u64>,
+    /// Total messages delivered.
+    pub msgs_delivered: u64,
+    /// Total timer callbacks fired.
+    pub timers_fired: u64,
+}
+
+impl NetStats {
+    fn new(n: usize) -> Self {
+        NetStats {
+            msgs_sent: vec![0; n],
+            bytes_sent: vec![0; n],
+            msgs_delivered: 0,
+            timers_fired: 0,
+        }
+    }
+
+    /// Total messages sent across all nodes.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs_sent.iter().sum()
+    }
+
+    /// Total bytes sent across all nodes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent.iter().sum()
+    }
+}
+
+/// Summary of a [`Network::run`].
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Messages delivered during the run.
+    pub messages_delivered: u64,
+    /// Timer callbacks fired.
+    pub timers_fired: u64,
+    /// Number of quiescence rounds in which observers were invoked.
+    pub quiescence_rounds: u64,
+    /// Virtual time when the run ended.
+    pub final_time: SimTime,
+    /// Whether the run hit the event budget before reaching quiescence
+    /// (indicates a livelocked protocol; treated as a failed run by
+    /// experiments).
+    pub truncated: bool,
+}
+
+/// A simulated network of homogeneous actors.
+pub struct Network<A: Actor, L> {
+    connectivity: Connectivity,
+    actors: Vec<A>,
+    latency: L,
+    rng: StdRng,
+    queue: BinaryHeap<Reverse<Event<A::Msg>>>,
+    now: SimTime,
+    seq: u64,
+    stats: NetStats,
+    started: bool,
+    max_events: u64,
+    max_quiescence_rounds: u64,
+}
+
+impl<A: Actor, L> fmt::Debug for Network<A, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Network({} nodes, {} queued, {})",
+            self.actors.len(),
+            self.queue.len(),
+            self.now
+        )
+    }
+}
+
+impl<A: Actor, L: LatencyModel> Network<A, L> {
+    /// Builds a network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of actors differs from the connectivity's node
+    /// count.
+    pub fn new(connectivity: Connectivity, actors: Vec<A>, latency: L, seed: u64) -> Self {
+        assert_eq!(
+            connectivity.num_nodes(),
+            actors.len(),
+            "one actor per connectivity node"
+        );
+        let n = actors.len();
+        Network {
+            connectivity,
+            actors,
+            latency,
+            rng: StdRng::seed_from_u64(seed),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            stats: NetStats::new(n),
+            started: false,
+            max_events: 10_000_000,
+            max_quiescence_rounds: 10_000,
+        }
+    }
+
+    /// Caps total processed events (protection against livelocked
+    /// protocols under deviation).
+    #[must_use]
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Caps quiescence rounds (protection against observers that restart
+    /// forever).
+    #[must_use]
+    pub fn with_max_quiescence_rounds(mut self, rounds: u64) -> Self {
+        self.max_quiescence_rounds = rounds;
+        self
+    }
+
+    /// Immutable access to a node's actor.
+    pub fn node(&self, id: NodeId) -> &A {
+        &self.actors[id.index()]
+    }
+
+    /// Mutable access to a node's actor (used by experiment harnesses to
+    /// inspect or prime state between runs).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut A {
+        &mut self.actors[id.index()]
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + Clone {
+        specfaith_core::id::node_ids(self.actors.len())
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Schedules a timer for `node` from outside the simulation — how
+    /// experiment harnesses hand control to actors between [`Network::run`]
+    /// calls (e.g. to start the FPSS execution phase after construction
+    /// has converged).
+    pub fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            at: self.now + delay,
+            seq: self.seq,
+            kind: EventKind::Timer { node, tag },
+        }));
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn flush(&mut self, from: NodeId, outbox: Vec<(NodeId, A::Msg)>, timers: Vec<(SimDuration, u64)>) {
+        for (to, msg) in outbox {
+            assert!(
+                self.connectivity.can_send(from, to),
+                "protocol bug: {from} attempted to send to non-neighbor {to}"
+            );
+            self.stats.msgs_sent[from.index()] += 1;
+            self.stats.bytes_sent[from.index()] += msg.size_bytes() as u64;
+            let delay = self.latency.delay(from, to, &mut self.rng);
+            self.seq += 1;
+            self.queue.push(Reverse(Event {
+                at: self.now + delay,
+                seq: self.seq,
+                kind: EventKind::Deliver { from, to, msg },
+            }));
+        }
+        for (delay, tag) in timers {
+            self.seq += 1;
+            self.queue.push(Reverse(Event {
+                at: self.now + delay,
+                seq: self.seq,
+                kind: EventKind::Timer { node: from, tag },
+            }));
+        }
+    }
+
+    fn invoke(&mut self, node: NodeId, call: impl FnOnce(&mut A, &mut Ctx<'_, A::Msg>)) {
+        let mut outbox = Vec::new();
+        let mut timers = Vec::new();
+        {
+            let mut ctx = Ctx {
+                id: node,
+                now: self.now,
+                outbox: &mut outbox,
+                timers: &mut timers,
+                rng: &mut self.rng,
+            };
+            call(&mut self.actors[node.index()], &mut ctx);
+        }
+        self.flush(node, outbox, timers);
+    }
+
+    /// Runs to global quiescence: starts actors (first call only), drains
+    /// the event queue, invokes quiescence observers, and repeats until no
+    /// observer generates further work.
+    pub fn run(&mut self) -> RunOutcome {
+        if !self.started {
+            self.started = true;
+            for node in self.node_ids().collect::<Vec<_>>() {
+                self.invoke(node, |actor, ctx| actor.on_start(ctx));
+            }
+        }
+        let mut processed = 0u64;
+        let mut quiescence_rounds = 0u64;
+        let mut truncated = false;
+        'outer: loop {
+            while let Some(Reverse(event)) = self.queue.pop() {
+                if processed >= self.max_events {
+                    truncated = true;
+                    break 'outer;
+                }
+                processed += 1;
+                debug_assert!(event.at >= self.now, "time must be monotone");
+                self.now = event.at;
+                match event.kind {
+                    EventKind::Deliver { from, to, msg } => {
+                        self.stats.msgs_delivered += 1;
+                        self.invoke(to, |actor, ctx| actor.on_message(ctx, from, msg));
+                    }
+                    EventKind::Timer { node, tag } => {
+                        self.stats.timers_fired += 1;
+                        self.invoke(node, |actor, ctx| actor.on_timer(ctx, tag));
+                    }
+                }
+            }
+            // Queue drained: give quiescence observers a chance.
+            if quiescence_rounds >= self.max_quiescence_rounds {
+                truncated = true;
+                break;
+            }
+            let observers: Vec<NodeId> = self
+                .node_ids()
+                .filter(|&id| self.actors[id.index()].observes_quiescence())
+                .collect();
+            if observers.is_empty() {
+                break;
+            }
+            quiescence_rounds += 1;
+            for node in observers {
+                self.invoke(node, |actor, ctx| actor.on_quiescence(ctx));
+            }
+            if self.queue.is_empty() {
+                break;
+            }
+        }
+        RunOutcome {
+            messages_delivered: self.stats.msgs_delivered,
+            timers_fired: self.stats.timers_fired,
+            quiescence_rounds,
+            final_time: self.now,
+            truncated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::{FixedLatency, JitteredLatency};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[derive(Clone, Debug)]
+    struct Token(u64);
+
+    impl Payload for Token {
+        fn size_bytes(&self) -> usize {
+            8
+        }
+    }
+
+    /// Passes a token around the full ring `hops` times, recording the
+    /// order in which this node saw tokens.
+    struct RingActor {
+        n: u32,
+        hops: u64,
+        seen: Vec<u64>,
+    }
+
+    impl Actor for RingActor {
+        type Msg = Token;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Token>) {
+            if ctx.id() == NodeId::new(0) {
+                let next = NodeId::new(1 % self.n);
+                ctx.send(next, Token(0));
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Token>, _from: NodeId, msg: Token) {
+            self.seen.push(msg.0);
+            if msg.0 + 1 < self.hops {
+                let next = NodeId::new((ctx.id().raw() + 1) % self.n);
+                ctx.send(next, Token(msg.0 + 1));
+            }
+        }
+    }
+
+    fn ring_network(nodes: u32, hops: u64, seed: u64) -> Network<RingActor, FixedLatency> {
+        let actors = (0..nodes)
+            .map(|_| RingActor {
+                n: nodes,
+                hops,
+                seen: Vec::new(),
+            })
+            .collect();
+        Network::new(
+            Connectivity::fully_connected(nodes as usize),
+            actors,
+            FixedLatency::new(10),
+            seed,
+        )
+    }
+
+    #[test]
+    fn token_ring_delivers_all_hops() {
+        let mut net = ring_network(4, 8, 1);
+        let outcome = net.run();
+        assert_eq!(outcome.messages_delivered, 8);
+        assert!(!outcome.truncated);
+        assert_eq!(outcome.final_time, SimTime::from_micros(80));
+        // Node 1 saw tokens 0 and 4.
+        assert_eq!(net.node(n(1)).seen, vec![0, 4]);
+    }
+
+    #[test]
+    fn stats_account_messages_and_bytes() {
+        let mut net = ring_network(4, 8, 1);
+        net.run();
+        let stats = net.stats();
+        assert_eq!(stats.total_msgs(), 8);
+        assert_eq!(stats.total_bytes(), 64);
+        assert_eq!(stats.msgs_sent[0], 2); // tokens 0 (start) and 4→5 hop
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_traces() {
+        let mut a = ring_network(5, 20, 7);
+        let mut b = ring_network(5, 20, 7);
+        a.run();
+        b.run();
+        for i in 0..5 {
+            assert_eq!(a.node(n(i)).seen, b.node(n(i)).seen);
+        }
+        assert_eq!(a.stats().msgs_sent, b.stats().msgs_sent);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let build = |seed| {
+            let actors = (0..3)
+                .map(|_| RingActor {
+                    n: 3,
+                    hops: 12,
+                    seen: Vec::new(),
+                })
+                .collect::<Vec<_>>();
+            Network::new(
+                Connectivity::fully_connected(3),
+                actors,
+                JitteredLatency::new(5, 10),
+                seed,
+            )
+        };
+        let mut a = build(3);
+        let mut b = build(3);
+        assert_eq!(a.run().final_time, b.run().final_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn sends_outside_connectivity_panic() {
+        struct Rogue;
+        impl Actor for Rogue {
+            type Msg = Token;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Token>) {
+                ctx.send(NodeId::new(1), Token(0));
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, Token>, _: NodeId, _: Token) {}
+        }
+        let mut net = Network::new(
+            Connectivity::disconnected(2),
+            vec![Rogue, Rogue],
+            FixedLatency::new(1),
+            0,
+        );
+        net.run();
+    }
+
+    /// Fires a chain of timers and records tags in order.
+    struct TimerActor {
+        fired: Vec<u64>,
+    }
+
+    impl Actor for TimerActor {
+        type Msg = ();
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            ctx.set_timer(SimDuration::from_micros(30), 3);
+            ctx.set_timer(SimDuration::from_micros(10), 1);
+            ctx.set_timer(SimDuration::from_micros(20), 2);
+        }
+
+        fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+
+        fn on_timer(&mut self, _: &mut Ctx<'_, ()>, tag: u64) {
+            self.fired.push(tag);
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_time_order() {
+        let mut net = Network::new(
+            Connectivity::disconnected(1),
+            vec![TimerActor { fired: Vec::new() }],
+            FixedLatency::new(1),
+            0,
+        );
+        let outcome = net.run();
+        assert_eq!(outcome.timers_fired, 3);
+        assert_eq!(net.node(n(0)).fired, vec![1, 2, 3]);
+    }
+
+    /// A quiescence observer that kicks off `rounds` extra rounds of work.
+    struct Checkpointer {
+        rounds_left: u32,
+        observed: u32,
+    }
+
+    impl Actor for Checkpointer {
+        type Msg = Token;
+
+        fn on_message(&mut self, _: &mut Ctx<'_, Token>, _: NodeId, _: Token) {}
+
+        fn observes_quiescence(&self) -> bool {
+            true
+        }
+
+        fn on_quiescence(&mut self, ctx: &mut Ctx<'_, Token>) {
+            self.observed += 1;
+            if self.rounds_left > 0 {
+                self.rounds_left -= 1;
+                ctx.send(NodeId::new(1), Token(0));
+            }
+        }
+    }
+
+    struct Sink;
+    impl Actor for Sink {
+        type Msg = Token;
+        fn on_message(&mut self, _: &mut Ctx<'_, Token>, _: NodeId, _: Token) {}
+    }
+
+    #[test]
+    fn quiescence_observers_run_until_silent() {
+        enum Either {
+            Check(Checkpointer),
+            Sink(Sink),
+        }
+        impl Actor for Either {
+            type Msg = Token;
+            fn on_message(&mut self, ctx: &mut Ctx<'_, Token>, from: NodeId, msg: Token) {
+                match self {
+                    Either::Check(c) => c.on_message(ctx, from, msg),
+                    Either::Sink(s) => s.on_message(ctx, from, msg),
+                }
+            }
+            fn observes_quiescence(&self) -> bool {
+                matches!(self, Either::Check(_))
+            }
+            fn on_quiescence(&mut self, ctx: &mut Ctx<'_, Token>) {
+                if let Either::Check(c) = self {
+                    c.on_quiescence(ctx);
+                }
+            }
+        }
+        let mut net = Network::new(
+            Connectivity::fully_connected(2),
+            vec![
+                Either::Check(Checkpointer {
+                    rounds_left: 3,
+                    observed: 0,
+                }),
+                Either::Sink(Sink),
+            ],
+            FixedLatency::new(5),
+            0,
+        );
+        let outcome = net.run();
+        // 3 rounds generate work, the 4th is silent and ends the run.
+        assert_eq!(outcome.quiescence_rounds, 4);
+        assert_eq!(outcome.messages_delivered, 3);
+        match net.node(n(0)) {
+            Either::Check(c) => assert_eq!(c.observed, 4),
+            Either::Sink(_) => panic!("node 0 is the checkpointer"),
+        }
+    }
+
+    #[test]
+    fn event_budget_truncates_livelock() {
+        /// Two nodes bounce a message forever.
+        struct Bouncer;
+        impl Actor for Bouncer {
+            type Msg = Token;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Token>) {
+                if ctx.id() == NodeId::new(0) {
+                    ctx.send(NodeId::new(1), Token(0));
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, Token>, from: NodeId, msg: Token) {
+                ctx.send(from, msg);
+            }
+        }
+        let mut net = Network::new(
+            Connectivity::fully_connected(2),
+            vec![Bouncer, Bouncer],
+            FixedLatency::new(1),
+            0,
+        )
+        .with_max_events(100);
+        let outcome = net.run();
+        assert!(outcome.truncated);
+        assert_eq!(outcome.messages_delivered, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "one actor per connectivity node")]
+    fn actor_count_must_match() {
+        let _ = Network::new(
+            Connectivity::fully_connected(3),
+            vec![Sink, Sink],
+            FixedLatency::new(1),
+            0,
+        );
+    }
+
+    #[test]
+    fn externally_scheduled_timers_fire() {
+        let mut net = Network::new(
+            Connectivity::disconnected(2),
+            vec![
+                TimerActor { fired: Vec::new() },
+                TimerActor { fired: Vec::new() },
+            ],
+            FixedLatency::new(1),
+            0,
+        );
+        net.run();
+        // First run consumed the actors' own timers; schedule fresh ones
+        // externally (the harness pattern for starting execution phases).
+        net.schedule_timer(n(1), SimDuration::from_micros(5), 42);
+        net.schedule_timer(n(0), SimDuration::from_micros(3), 41);
+        let outcome = net.run();
+        assert_eq!(outcome.timers_fired, 3 + 3 + 2);
+        assert_eq!(net.node(n(1)).fired.last(), Some(&42));
+        assert_eq!(net.node(n(0)).fired.last(), Some(&41));
+    }
+
+    #[test]
+    fn time_advances_across_runs() {
+        let mut net = Network::new(
+            Connectivity::disconnected(1),
+            vec![TimerActor { fired: Vec::new() }],
+            FixedLatency::new(1),
+            0,
+        );
+        let first = net.run();
+        net.schedule_timer(n(0), SimDuration::from_micros(100), 9);
+        let second = net.run();
+        assert!(second.final_time > first.final_time);
+        assert_eq!(second.final_time - first.final_time, SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn zero_latency_preserves_send_order() {
+        /// Sender emits 0,1,2 to the sink; sink must see them in order
+        /// (seq numbers break the time tie deterministically).
+        struct Seq;
+        struct Collect(Vec<u64>);
+        enum Node {
+            Seq(Seq),
+            Collect(Collect),
+        }
+        impl Actor for Node {
+            type Msg = Token;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Token>) {
+                if matches!(self, Node::Seq(_)) {
+                    for i in 0..3 {
+                        ctx.send(NodeId::new(1), Token(i));
+                    }
+                }
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, Token>, _: NodeId, msg: Token) {
+                if let Node::Collect(c) = self {
+                    c.0.push(msg.0);
+                }
+            }
+        }
+        let mut net = Network::new(
+            Connectivity::fully_connected(2),
+            vec![Node::Seq(Seq), Node::Collect(Collect(Vec::new()))],
+            FixedLatency::new(0),
+            0,
+        );
+        net.run();
+        match net.node(n(1)) {
+            Node::Collect(c) => assert_eq!(c.0, vec![0, 1, 2]),
+            Node::Seq(_) => panic!("node 1 collects"),
+        }
+    }
+}

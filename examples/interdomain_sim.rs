@@ -1,0 +1,71 @@
+//! A larger interdomain-routing scenario: a random 16-AS biconnected
+//! topology, random transit costs, random traffic, full faithful
+//! lifecycle, and the price of faithfulness (overhead vs plain FPSS).
+//!
+//! ```sh
+//! cargo run --example interdomain_sim
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use specfaith::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2004);
+    let n = 16;
+    let topo = random_biconnected(n, n / 2, &mut rng);
+    let costs = CostVector::random(n, 1, 20, &mut rng);
+    let traffic = TrafficMatrix::random(n, 12, 5, &mut rng);
+    println!(
+        "topology: {} ASes, {} links, biconnected: {}",
+        topo.num_nodes(),
+        topo.num_edges(),
+        topo.is_biconnected()
+    );
+    println!("traffic: {} flows, {} packets total", traffic.flows().len(), traffic.total_packets());
+
+    // Plain FPSS: converges to the centralized VCG tables.
+    let plain = PlainFpssSim::new(topo.clone(), costs.clone(), traffic.clone());
+    let plain_run = plain.run_faithful(7);
+    println!(
+        "\nplain FPSS: tables match centralized VCG reference: {}",
+        plain_run.tables_match_centralized
+    );
+    println!(
+        "plain FPSS traffic: {} msgs / {} bytes",
+        plain_run.stats.total_msgs(),
+        plain_run.stats.total_bytes()
+    );
+
+    // Faithful extension: checkers + bank, full lifecycle in one run.
+    let faithful = FaithfulSim::new(topo.clone(), costs.clone(), traffic.clone());
+    let run = faithful.run_faithful(7);
+    println!(
+        "\nfaithful FPSS: green-lighted: {}, restarts: {}, detected: {}",
+        run.green_lighted, run.restarts, run.detected
+    );
+    println!(
+        "faithful traffic: {} msgs / {} bytes",
+        run.stats.total_msgs(),
+        run.stats.total_bytes()
+    );
+
+    let overhead = measure_overhead(&topo, &costs, &traffic, 7);
+    println!("\nthe price of faithfulness (checker redundancy + checkpoints):");
+    println!("  {overhead}");
+
+    // Utility summary: who earned what.
+    println!("\nrealized utilities (faithful run):");
+    let mut ranked: Vec<(NodeId, Money)> = topo
+        .nodes()
+        .map(|id| (id, run.utilities[id.index()]))
+        .collect();
+    ranked.sort_by_key(|&(_, u)| std::cmp::Reverse(u));
+    for (id, u) in ranked.iter().take(5) {
+        println!("  {id}: {u}");
+    }
+    println!("  ... ({} nodes total, all strictly positive: {})",
+        n,
+        run.utilities.iter().all(|u| u.is_positive())
+    );
+}

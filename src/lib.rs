@@ -1,0 +1,69 @@
+//! # specfaith
+//!
+//! A Rust reproduction of *"Specification Faithfulness in Networks with
+//! Rational Nodes"* (Jeffrey Shneidman & David C. Parkes, PODC 2004): a
+//! framework for building — and empirically certifying — distributed
+//! mechanism specifications that rational, utility-maximizing nodes will
+//! choose to follow.
+//!
+//! This facade re-exports the whole workspace:
+//!
+//! * [`core`] — the mechanism-design formalism: action classification
+//!   (information-revelation / message-passing / computation),
+//!   strategyproofness and ex post Nash testers, generic VCG, phase
+//!   decomposition, and the extended failure taxonomy.
+//! * [`crypto`] — SHA-256, HMAC, authenticated bank channels, table
+//!   hashing.
+//! * [`graph`] — node-weighted topologies, biconnectivity, lowest-cost
+//!   paths with deterministic tie-breaking, the paper's Figure 1.
+//! * [`netsim`] — the deterministic discrete-event simulator.
+//! * [`fpss`] — plain FPSS lowest-cost interdomain routing (distributed
+//!   LCP + VCG pricing), its execution phase, and the deviation library.
+//! * [`faithful`] — the paper's faithful extension: checker nodes, the
+//!   checkpointing bank, catch-and-punish, and the Theorem-1 experiment
+//!   harness.
+//!
+//! # Quickstart
+//!
+//! Run the faithful mechanism on the paper's Figure 1 network and check
+//! that the standard deviation catalog is unprofitable:
+//!
+//! ```
+//! use specfaith::faithful::harness::FaithfulSim;
+//! use specfaith::fpss::traffic::TrafficMatrix;
+//! use specfaith::graph::generators::figure1;
+//!
+//! let net = figure1();
+//! let sim = FaithfulSim::new(
+//!     net.topology.clone(),
+//!     net.costs.clone(),
+//!     TrafficMatrix::single(net.x, net.z, 5),
+//! );
+//! let report = sim.equilibrium_report(42);
+//! assert!(report.is_ex_post_nash());
+//! assert!(report.strong_cc_holds() && report.strong_ac_holds());
+//! ```
+
+pub use specfaith_core as core;
+pub use specfaith_crypto as crypto;
+pub use specfaith_faithful as faithful;
+pub use specfaith_fpss as fpss;
+pub use specfaith_graph as graph;
+pub use specfaith_netsim as netsim;
+
+/// Convenient single-import surface for examples and downstream users.
+pub mod prelude {
+    pub use specfaith_core::actions::{CompatibilityKind, DeviationSurface, ExternalActionKind};
+    pub use specfaith_core::equilibrium::{DeviationSpec, EquilibriumReport, EquilibriumSuite};
+    pub use specfaith_core::faithfulness::FaithfulnessCertificate;
+    pub use specfaith_core::id::NodeId;
+    pub use specfaith_core::money::{Cost, Money};
+    pub use specfaith_faithful::harness::{FaithfulRunResult, FaithfulSim};
+    pub use specfaith_faithful::metrics::measure_overhead;
+    pub use specfaith_fpss::deviation::{Faithful, RationalStrategy};
+    pub use specfaith_fpss::runner::{PlainFpssSim, PlainRunResult};
+    pub use specfaith_fpss::traffic::{Flow, TrafficMatrix};
+    pub use specfaith_graph::costs::CostVector;
+    pub use specfaith_graph::generators::{figure1, random_biconnected};
+    pub use specfaith_graph::topology::Topology;
+}

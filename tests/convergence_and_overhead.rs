@@ -1,0 +1,82 @@
+//! Distributed-equals-centralized convergence (experiment E4) and the
+//! overhead of faithfulness (experiment E8) across topology families.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use specfaith::graph::generators::{grid, ring, wheel};
+use specfaith::prelude::*;
+
+#[test]
+fn convergence_on_topology_families() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let families: Vec<(&str, Topology)> = vec![
+        ("ring-8", ring(8)),
+        ("wheel-7", wheel(7)),
+        ("grid-3x3", grid(3, 3)),
+        ("random-10", random_biconnected(10, 5, &mut rng)),
+    ];
+    for (label, topo) in families {
+        let n = topo.num_nodes();
+        let costs = CostVector::random(n, 0, 12, &mut rng);
+        let traffic = TrafficMatrix::random(n, 3, 2, &mut rng);
+        let run = PlainFpssSim::new(topo, costs, traffic).run_faithful(5);
+        assert!(!run.truncated, "{label} truncated");
+        assert!(
+            run.tables_match_centralized,
+            "{label}: distributed FPSS diverged from centralized VCG"
+        );
+    }
+}
+
+#[test]
+fn faithful_lifecycle_works_on_topology_families() {
+    let mut rng = StdRng::seed_from_u64(78);
+    let families: Vec<(&str, Topology)> = vec![
+        ("ring-6", ring(6)),
+        ("wheel-6", wheel(6)),
+        ("grid-2x3", grid(2, 3)),
+    ];
+    for (label, topo) in families {
+        let n = topo.num_nodes();
+        let costs = CostVector::random(n, 1, 10, &mut rng);
+        let traffic = TrafficMatrix::random(n, 3, 2, &mut rng);
+        let run = FaithfulSim::new(topo, costs, traffic).run_faithful(5);
+        assert!(run.green_lighted, "{label} failed to certify");
+        assert!(!run.detected, "{label} false positive");
+    }
+}
+
+#[test]
+fn overhead_grows_but_stays_a_constant_factor() {
+    let mut rng = StdRng::seed_from_u64(79);
+    let mut factors = Vec::new();
+    for n in [6usize, 10, 14] {
+        let topo = random_biconnected(n, n / 2, &mut rng);
+        let costs = CostVector::random(n, 1, 10, &mut rng);
+        let traffic = TrafficMatrix::random(n, 4, 2, &mut rng);
+        let report = measure_overhead(&topo, &costs, &traffic, 5);
+        assert!(report.msg_factor() > 1.0, "n={n}: {report}");
+        assert!(
+            report.msg_factor() < 25.0,
+            "n={n}: overhead exploded: {report}"
+        );
+        factors.push(report.msg_factor());
+    }
+    // The paper's warning is about cost, not asymptotics: the factor
+    // should not blow up with n (checkers are per-edge, a local notion).
+    let spread = factors.iter().cloned().fold(f64::MIN, f64::max)
+        / factors.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread < 6.0, "factor spread {spread}: {factors:?}");
+}
+
+#[test]
+fn deterministic_runs_reproduce_exactly() {
+    let net = figure1();
+    let traffic = TrafficMatrix::single(net.x, net.z, 5);
+    let sim = FaithfulSim::new(net.topology.clone(), net.costs.clone(), traffic);
+    let a = sim.run_faithful(123);
+    let b = sim.run_faithful(123);
+    assert_eq!(a.utilities, b.utilities);
+    assert_eq!(a.stats.total_msgs(), b.stats.total_msgs());
+    assert_eq!(a.stats.total_bytes(), b.stats.total_bytes());
+}

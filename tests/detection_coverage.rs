@@ -1,0 +1,121 @@
+//! Detection coverage (experiment E7): every deviation in the standard
+//! catalog that has any externally visible effect is flagged by the
+//! enforcement layer, and the flagging mechanism matches the paper's
+//! argument (construction deviations → hash mismatch → restart/halt;
+//! execution deviations → reconciliation penalty).
+
+use specfaith::fpss::deviation::standard_catalog;
+use specfaith::prelude::*;
+
+fn figure1_sim() -> (specfaith::graph::generators::Figure1, FaithfulSim) {
+    let net = figure1();
+    let traffic = TrafficMatrix::from_flows(vec![
+        Flow { src: net.x, dst: net.z, packets: 4 },
+        Flow { src: net.d, dst: net.z, packets: 4 },
+        Flow { src: net.z, dst: net.x, packets: 2 },
+    ]);
+    let sim = FaithfulSim::new(net.topology.clone(), net.costs.clone(), traffic);
+    (net, sim)
+}
+
+/// Deviations with *effects* must be detected. Two catalog entries can be
+/// no-ops for particular nodes (a node with no transit traffic "drops"
+/// nothing; a cost misreport is legitimate information revelation, not a
+/// detectable protocol violation), so coverage is asserted per category.
+#[test]
+fn construction_deviations_always_hash_mismatch() {
+    let (net, sim) = figure1_sim();
+    for deviant in [net.a, net.c, net.d] {
+        for strategy in standard_catalog(deviant) {
+            let spec = strategy.spec();
+            if spec.phase() != Some("construction-2") {
+                continue;
+            }
+            let run = sim.run_with_deviant(deviant, strategy, 5);
+            assert!(
+                run.detected,
+                "deviant {deviant} playing {spec} escaped detection"
+            );
+            assert!(
+                !run.green_lighted,
+                "deviant {deviant} playing {spec} was green-lighted"
+            );
+        }
+    }
+}
+
+#[test]
+fn execution_deviations_are_penalized_when_effective() {
+    let (net, sim) = figure1_sim();
+    // C transits traffic; X pays. Both deviants have real opportunities.
+    let cases = [
+        (net.c, "drop-transit-packets"),
+        (net.x, "underreport-payments(10%)"),
+        (net.c, "drop-and-underreport"),
+    ];
+    for (deviant, name) in cases {
+        let strategy = standard_catalog(deviant)
+            .into_iter()
+            .find(|s| s.spec().name() == name)
+            .expect("catalog name");
+        let run = sim.run_with_deviant(deviant, strategy, 5);
+        assert!(run.green_lighted, "{name}: honest construction certifies");
+        assert!(run.detected, "{name} escaped detection");
+        assert!(
+            run.penalties[deviant.index()].is_positive(),
+            "{name}: no penalty charged"
+        );
+    }
+}
+
+#[test]
+fn cost_misreports_are_legitimate_but_useless() {
+    // Information revelation is allowed to be untruthful — the mechanism
+    // does not *detect* it, it makes it pointless (strategyproofness).
+    let (net, sim) = figure1_sim();
+    let faithful = sim.run_faithful(5);
+    for delta in [5i64, -1] {
+        let strategy = standard_catalog(net.c)
+            .into_iter()
+            .find(|s| s.spec().name() == format!("misreport-cost({delta:+})"))
+            .expect("catalog name");
+        let run = sim.run_with_deviant(net.c, strategy, 5);
+        assert!(run.green_lighted, "misreports still certify");
+        assert!(
+            run.utilities[net.c.index()] <= faithful.utilities[net.c.index()],
+            "misreport({delta}) must not profit"
+        );
+    }
+}
+
+#[test]
+fn faithful_baseline_triggers_nothing() {
+    let (_, sim) = figure1_sim();
+    for seed in [1u64, 2, 3] {
+        let run = sim.run_faithful(seed);
+        assert!(!run.detected, "seed {seed}: false positive");
+        assert_eq!(run.restarts, 0);
+        assert!(run.penalties.iter().all(|p| *p == Money::ZERO));
+    }
+}
+
+#[test]
+fn detection_rate_in_sweep_matches_expectation() {
+    let (_, sim) = figure1_sim();
+    let report = sim.equilibrium_report(5);
+    // Every *effective* deviation is detected; ineffective ones (no-op for
+    // that node) and legitimate misreports are not. The overall rate must
+    // be well above half on this traffic pattern.
+    let rate = report.detection_rate().expect("deviations were tested");
+    assert!(rate > 0.5, "detection rate {rate}");
+    // And crucially: every undetected deviation is also unprofitable.
+    for outcome in &report.outcomes {
+        if !outcome.detected {
+            assert!(
+                !outcome.strictly_profitable(),
+                "undetected AND profitable: {}",
+                outcome.deviation
+            );
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Ablation of the DATA3* identity-tag extension (§4.2).
+//!
+//! The paper extends FPSS's pricing table with an "identity tag" naming
+//! the node(s) that triggered each entry, precisely so that spoofed
+//! pricing information "will create an inconsistency in the identity tag
+//! information in [DATA3*] … caught by [BANK2]". This test demonstrates
+//! the extension is load-bearing: a forgery that leaves every *price*
+//! intact and only fabricates provenance
+//!
+//! * changes the DATA3* (tagged) hash — caught, and
+//! * does **not** change the original DATA3 (untagged) hash — the
+//!   original FPSS table format would let it pass the bank unnoticed.
+
+use specfaith::core::actions::{DeviationSurface, ExternalActionKind};
+use specfaith::core::equilibrium::DeviationSpec;
+use specfaith::fpss::msg::PriceRow;
+use specfaith::fpss::state::{PriceEntry, PricingTable};
+use specfaith::prelude::*;
+
+#[test]
+fn tag_only_forgery_is_invisible_without_tags_in_the_hash() {
+    let mut honest = PricingTable::new();
+    honest.insert(
+        NodeId::new(4),
+        NodeId::new(2),
+        PriceEntry {
+            price: Money::new(105),
+            tags: [NodeId::new(1)].into_iter().collect(),
+        },
+    );
+    let mut forged = PricingTable::new();
+    forged.insert(
+        NodeId::new(4),
+        NodeId::new(2),
+        PriceEntry {
+            price: Money::new(105), // identical price
+            tags: [NodeId::new(9)].into_iter().collect(), // fabricated origin
+        },
+    );
+    // The paper's DATA3* hash distinguishes them…
+    assert_ne!(honest.digest(), forged.digest());
+    // …the original FPSS DATA3 hash would not.
+    assert_eq!(honest.digest_without_tags(), forged.digest_without_tags());
+}
+
+/// A pure tag forgery in the live protocol: announced prices are honest,
+/// announced tags are fabricated.
+#[derive(Debug)]
+struct ForgeTagsOnly;
+
+impl RationalStrategy for ForgeTagsOnly {
+    fn spec(&self) -> DeviationSpec {
+        DeviationSpec::new(
+            "forge-tags-only",
+            DeviationSurface::only(ExternalActionKind::Computation),
+        )
+        .in_phase("construction-2")
+    }
+
+    fn announce_pricing(&mut self, me: NodeId, honest: Vec<PriceRow>) -> Vec<PriceRow> {
+        honest
+            .into_iter()
+            .map(|row| PriceRow {
+                tags: [me].into_iter().collect(), // a node is never its own checker
+                ..row
+            })
+            .collect()
+    }
+}
+
+#[test]
+fn live_tag_forgery_is_caught_by_bank2() {
+    let net = figure1();
+    let traffic = TrafficMatrix::from_flows(vec![
+        Flow { src: net.x, dst: net.z, packets: 4 },
+        Flow { src: net.d, dst: net.z, packets: 4 },
+    ]);
+    let sim = FaithfulSim::new(net.topology.clone(), net.costs.clone(), traffic);
+    let run = sim.run_with_deviant(net.d, Box::new(ForgeTagsOnly), 1);
+    assert!(run.detected, "tagged hashes expose provenance forgery");
+    assert!(!run.green_lighted);
+    // And it gains nothing relative to faithfulness.
+    let faithful = sim.run_faithful(1);
+    assert!(run.utilities[net.d.index()] <= faithful.utilities[net.d.index()]);
+}

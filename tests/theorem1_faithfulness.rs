@@ -1,0 +1,109 @@
+//! Integration test for the paper's Theorem 1: the extended FPSS
+//! specification is a faithful implementation — the full deviation catalog
+//! is unprofitable for every node, across topologies and cost profiles.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use specfaith::core::faithfulness::FaithfulnessCertificate;
+use specfaith::core::mechanism::{check_strategyproof, MisreportGrid};
+use specfaith::core::vcg::VcgMechanism;
+use specfaith::fpss::pricing::RoutingProblem;
+use specfaith::prelude::*;
+
+fn random_instance(seed: u64, n: usize) -> (Topology, CostVector, TrafficMatrix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = random_biconnected(n, n / 2, &mut rng);
+    let costs = CostVector::random(n, 1, 20, &mut rng);
+    let traffic = TrafficMatrix::random(n, 4, 3, &mut rng);
+    (topo, costs, traffic)
+}
+
+#[test]
+fn figure1_is_ex_post_nash_under_the_catalog() {
+    let net = figure1();
+    let traffic = TrafficMatrix::from_flows(vec![
+        Flow { src: net.x, dst: net.z, packets: 4 },
+        Flow { src: net.d, dst: net.z, packets: 4 },
+    ]);
+    let sim = FaithfulSim::new(net.topology, net.costs, traffic);
+    let report = sim.equilibrium_report(9);
+    assert!(report.is_ex_post_nash(), "{report}");
+    assert!(report.strong_cc_holds());
+    assert!(report.strong_ac_holds());
+    assert!(report.ic_holds());
+}
+
+#[test]
+fn random_instances_are_ex_post_nash() {
+    for seed in [1u64, 2] {
+        let (topo, costs, traffic) = random_instance(seed, 6);
+        let sim = FaithfulSim::new(topo, costs, traffic);
+        let report = sim.equilibrium_report(seed);
+        assert!(report.is_ex_post_nash(), "seed {seed}: {report}");
+    }
+}
+
+#[test]
+fn proposition2_certificate_assembles_faithful() {
+    // Leg 1: centralized strategyproofness on the same instance.
+    let net = figure1();
+    let flows = vec![(net.x, net.z, 4u64), (net.d, net.z, 4)];
+    let mech = VcgMechanism::new(RoutingProblem::new(net.topology.clone(), flows.clone()));
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut profiles = vec![net.costs.as_slice().to_vec()];
+    for _ in 0..4 {
+        profiles.push(CostVector::random(6, 0, 25, &mut rng).as_slice().to_vec());
+    }
+    let sp = check_strategyproof(&mech, &profiles, &MisreportGrid::standard());
+    assert!(sp.is_strategyproof(), "{sp}");
+
+    // Legs 2–3: deviation sweeps on two cost profiles.
+    let traffic = TrafficMatrix::from_flows(
+        flows
+            .iter()
+            .map(|&(src, dst, packets)| Flow { src, dst, packets })
+            .collect(),
+    );
+    let mut suite = EquilibriumSuite::new();
+    for (label, costs) in [
+        ("paper-costs", net.costs.clone()),
+        ("uniform-costs", CostVector::uniform(6, 3)),
+    ] {
+        let sim = FaithfulSim::new(net.topology.clone(), costs, traffic.clone());
+        suite.push(label, sim.equilibrium_report(1));
+    }
+    let certificate = FaithfulnessCertificate::assemble(sp.is_strategyproof(), &suite);
+    assert!(certificate.is_faithful(), "{certificate}");
+    // The catalog covers all three phases.
+    assert_eq!(certificate.phases.len(), 3, "{certificate}");
+}
+
+#[test]
+fn plain_fpss_fails_exactly_where_faithful_holds() {
+    // The same deviations that Theorem 1 neutralizes are profitable in
+    // plain FPSS — the contrast that motivates the whole construction.
+    use specfaith::fpss::deviation::{DropTransitPackets, UnderreportPayments};
+
+    let net = figure1();
+    let traffic = TrafficMatrix::from_flows(vec![
+        Flow { src: net.x, dst: net.z, packets: 4 },
+        Flow { src: net.d, dst: net.z, packets: 4 },
+    ]);
+    let plain = PlainFpssSim::new(net.topology.clone(), net.costs.clone(), traffic.clone());
+    let faithful = FaithfulSim::new(net.topology.clone(), net.costs.clone(), traffic);
+    let plain_base = plain.run_faithful(3);
+    let faithful_base = faithful.run_faithful(3);
+
+    // Transit C dropping packets: profitable in plain, losing in faithful.
+    let plain_drop = plain.run_with_deviant(net.c, Box::new(DropTransitPackets), 3);
+    assert!(plain_drop.utilities[net.c.index()] > plain_base.utilities[net.c.index()]);
+    let faithful_drop = faithful.run_with_deviant(net.c, Box::new(DropTransitPackets), 3);
+    assert!(faithful_drop.utilities[net.c.index()] < faithful_base.utilities[net.c.index()]);
+
+    // Payer X underreporting: profitable in plain, losing in faithful.
+    let cheat = || Box::new(UnderreportPayments { keep_percent: 0 });
+    let plain_cheat = plain.run_with_deviant(net.x, cheat(), 3);
+    assert!(plain_cheat.utilities[net.x.index()] > plain_base.utilities[net.x.index()]);
+    let faithful_cheat = faithful.run_with_deviant(net.x, cheat(), 3);
+    assert!(faithful_cheat.utilities[net.x.index()] < faithful_base.utilities[net.x.index()]);
+}
