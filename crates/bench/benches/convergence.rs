@@ -1,18 +1,23 @@
 //! Benchmark: distributed FPSS construction + execution (experiment E4's
-//! workload) as network size grows.
+//! workload) as network size grows, through the scenario API.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use specfaith::scenario::{CostModel, Mechanism, Scenario, TopologySource, TrafficModel};
 use specfaith_bench::instance;
-use specfaith_fpss::runner::PlainFpssSim;
 
 fn bench_plain_lifecycle(c: &mut Criterion) {
     let mut group = c.benchmark_group("plain_fpss_lifecycle");
     group.sample_size(10);
     for n in [6usize, 10, 16, 24] {
         let inst = instance(n, 7);
-        let sim = PlainFpssSim::new(inst.topo.clone(), inst.costs.clone(), inst.traffic.clone());
-        group.bench_with_input(BenchmarkId::from_parameter(n), &sim, |b, sim| {
-            b.iter(|| sim.run_faithful(7));
+        let scenario = Scenario::builder()
+            .topology(TopologySource::Explicit(inst.topo))
+            .costs(CostModel::Explicit(inst.costs))
+            .traffic(TrafficModel::Flows(inst.traffic.flows().to_vec()))
+            .mechanism(Mechanism::Plain)
+            .build();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &scenario, |b, scenario| {
+            b.iter(|| scenario.run(7));
         });
     }
     group.finish();

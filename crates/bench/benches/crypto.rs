@@ -33,7 +33,10 @@ fn bench_table_hash(c: &mut Criterion) {
             b.iter(|| {
                 let mut h = TableHasher::new("bench");
                 for i in 0..rows as u64 {
-                    h.put_u32(i as u32).put_u64(i).put_i64(-(i as i64)).row_boundary();
+                    h.put_u32(i as u32)
+                        .put_u64(i)
+                        .put_i64(-(i as i64))
+                        .row_boundary();
                 }
                 h.finish()
             });
@@ -55,5 +58,11 @@ fn bench_seal_open(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sha256, bench_hmac, bench_table_hash, bench_seal_open);
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_hmac,
+    bench_table_hash,
+    bench_seal_open
+);
 criterion_main!(benches);

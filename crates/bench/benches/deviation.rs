@@ -1,37 +1,34 @@
 //! Benchmark: the faithfulness harness — one deviant run and a full
-//! catalog sweep (the Theorem-1 workload).
+//! catalog sweep (the Theorem-1 workload), through the scenario API.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use specfaith::scenario::{Catalog, Mechanism, Scenario, TopologySource, TrafficModel};
 use specfaith_core::id::NodeId;
-use specfaith_faithful::harness::FaithfulSim;
 use specfaith_fpss::deviation::DropTransitPackets;
-use specfaith_fpss::traffic::TrafficMatrix;
-use specfaith_graph::generators::figure1;
+
+fn figure1_scenario() -> Scenario {
+    Scenario::builder()
+        .topology(TopologySource::Figure1)
+        .traffic(TrafficModel::single_by_index(5, 4, 5)) // X -> Z
+        .mechanism(Mechanism::faithful())
+        .build()
+}
 
 fn bench_single_deviant_run(c: &mut Criterion) {
-    let net = figure1();
-    let sim = FaithfulSim::new(
-        net.topology.clone(),
-        net.costs.clone(),
-        TrafficMatrix::single(net.x, net.z, 5),
-    );
-    let deviant: NodeId = net.c;
+    let scenario = figure1_scenario();
+    let deviant = NodeId::new(2); // C
     c.bench_function("faithful_run_with_deviant", |b| {
-        b.iter(|| sim.run_with_deviant(deviant, Box::new(DropTransitPackets), 7));
+        b.iter(|| scenario.run_with_deviant(deviant, Box::new(DropTransitPackets), 7));
     });
 }
 
 fn bench_catalog_sweep(c: &mut Criterion) {
-    let net = figure1();
-    let sim = FaithfulSim::new(
-        net.topology.clone(),
-        net.costs.clone(),
-        TrafficMatrix::single(net.x, net.z, 5),
-    );
+    let scenario = figure1_scenario();
+    let catalog = Catalog::standard();
     let mut group = c.benchmark_group("equilibrium_sweep");
     group.sample_size(10);
     group.bench_function("figure1_full_catalog", |b| {
-        b.iter(|| sim.equilibrium_report(7));
+        b.iter(|| scenario.equilibrium_report(7, &catalog));
     });
     group.finish();
 }

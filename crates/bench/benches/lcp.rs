@@ -23,7 +23,12 @@ fn bench_lcp_avoiding(c: &mut Criterion) {
         let inst = instance(n, 42);
         group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
             b.iter(|| {
-                lcp_tree_avoiding(&inst.topo, &inst.costs, NodeId::new(0), Some(NodeId::new(1)))
+                lcp_tree_avoiding(
+                    &inst.topo,
+                    &inst.costs,
+                    NodeId::new(0),
+                    Some(NodeId::new(1)),
+                )
             });
         });
     }
@@ -42,5 +47,10 @@ fn bench_all_pairs_vcg(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lcp_tree, bench_lcp_avoiding, bench_all_pairs_vcg);
+criterion_group!(
+    benches,
+    bench_lcp_tree,
+    bench_lcp_avoiding,
+    bench_all_pairs_vcg
+);
 criterion_main!(benches);

@@ -1,25 +1,26 @@
 //! Benchmark: faithful vs plain lifecycle wall-time (the computational
-//! side of experiment E8's overhead).
+//! side of experiment E8's overhead), through the scenario API.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use specfaith::scenario::{CostModel, Mechanism, Scenario, TopologySource, TrafficModel};
 use specfaith_bench::instance;
-use specfaith_faithful::harness::FaithfulSim;
-use specfaith_fpss::runner::PlainFpssSim;
 
 fn bench_variants(c: &mut Criterion) {
     let mut group = c.benchmark_group("lifecycle");
     group.sample_size(10);
     for n in [6usize, 10, 14] {
         let inst = instance(n, 7);
-        let plain =
-            PlainFpssSim::new(inst.topo.clone(), inst.costs.clone(), inst.traffic.clone());
-        group.bench_with_input(BenchmarkId::new("plain", n), &plain, |b, sim| {
-            b.iter(|| sim.run_faithful(7));
+        let base = Scenario::builder()
+            .topology(TopologySource::Explicit(inst.topo))
+            .costs(CostModel::Explicit(inst.costs))
+            .traffic(TrafficModel::Flows(inst.traffic.flows().to_vec()));
+        let plain = base.clone().mechanism(Mechanism::Plain).build();
+        group.bench_with_input(BenchmarkId::new("plain", n), &plain, |b, scenario| {
+            b.iter(|| scenario.run(7));
         });
-        let faithful =
-            FaithfulSim::new(inst.topo.clone(), inst.costs.clone(), inst.traffic.clone());
-        group.bench_with_input(BenchmarkId::new("faithful", n), &faithful, |b, sim| {
-            b.iter(|| sim.run_faithful(7));
+        let faithful = base.clone().mechanism(Mechanism::faithful()).build();
+        group.bench_with_input(BenchmarkId::new("faithful", n), &faithful, |b, scenario| {
+            b.iter(|| scenario.run(7));
         });
     }
     group.finish();

@@ -1,0 +1,74 @@
+//! Benchmark: deviation-sweep throughput (deviation-runs/sec), serial vs
+//! parallel, on the paper's Figure 1 and a 12-node random biconnected
+//! network.
+//!
+//! This is the workload the scenario API exists for: the Theorem-1 grid
+//! of `(seed × node × deviation)` cells. The serial and parallel variants
+//! produce byte-identical reports (asserted in
+//! `tests/scenario_sweep_determinism.rs`); here we measure what the
+//! fan-out buys in wall-clock. On a single-core machine the two variants
+//! tie (parallelism can't help); the speedup shows on multi-core
+//! hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use specfaith::scenario::{Catalog, CostModel, Mechanism, Scenario, TopologySource, TrafficModel};
+
+fn scenarios() -> Vec<(&'static str, Scenario)> {
+    vec![
+        (
+            "figure1",
+            Scenario::builder()
+                .topology(TopologySource::Figure1)
+                .traffic(TrafficModel::single_by_index(5, 4, 4)) // X -> Z
+                .mechanism(Mechanism::faithful())
+                .build(),
+        ),
+        (
+            "random12",
+            Scenario::builder()
+                .topology(TopologySource::RandomBiconnected {
+                    n: 12,
+                    extra_edges: 6,
+                })
+                .costs(CostModel::Random { lo: 1, hi: 12 })
+                .traffic(TrafficModel::Random {
+                    flows: 4,
+                    max_packets: 3,
+                })
+                .instance_seed(2004)
+                .mechanism(Mechanism::faithful())
+                // Pathological deviant cells (restart cycles + routing
+                // churn) otherwise run to the 10M-event default and
+                // dominate the measurement; the cap bounds every cell
+                // without touching the honest path.
+                .max_events(250_000)
+                .build(),
+        ),
+    ]
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let catalog = Catalog::standard();
+    let seeds = [7u64];
+    for (label, scenario) in scenarios() {
+        let cells = (1 + scenario.num_nodes() * catalog.len()) as u64 * seeds.len() as u64;
+        let mut group = c.benchmark_group(format!("sweep/{label}"));
+        group.sample_size(10);
+        // Throughput in deviation-runs (cells) per second.
+        group.throughput(Throughput::Elements(cells));
+        group.bench_with_input(BenchmarkId::from_parameter("serial"), &scenario, |b, s| {
+            b.iter(|| s.sweep_serial(&seeds, &catalog));
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter("parallel"),
+            &scenario,
+            |b, s| {
+                b.iter(|| s.sweep(&seeds, &catalog));
+            },
+        );
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -1,5 +1,9 @@
 //! Regenerates every experiment table in EXPERIMENTS.md.
 //!
+//! Every simulation below goes through the unified scenario API
+//! (`specfaith::scenario`): one builder call per instance, with the
+//! mechanism as a knob.
+//!
 //! ```sh
 //! cargo run --release -p specfaith-bench --bin run_experiments          # all
 //! cargo run --release -p specfaith-bench --bin run_experiments e6 e8   # some
@@ -7,6 +11,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use specfaith::scenario::{Catalog, CostModel, Mechanism, Scenario, TopologySource, TrafficModel};
 use specfaith_bench::instance;
 use specfaith_core::equilibrium::EquilibriumSuite;
 use specfaith_core::faithfulness::FaithfulnessCertificate;
@@ -15,13 +20,11 @@ use specfaith_core::mechanism::{check_strategyproof, DirectMechanism, MisreportG
 use specfaith_core::money::{Cost, Money};
 use specfaith_core::vcg::{SecondPriceSelection, VcgMechanism};
 use specfaith_crypto::auth::ChannelKey;
-use specfaith_faithful::harness::FaithfulSim;
 use specfaith_faithful::metrics::measure_overhead;
 use specfaith_faithful::penalty::PenaltyPolicy;
 use specfaith_fpss::deviation::standard_catalog;
 use specfaith_fpss::pricing::RoutingProblem;
-use specfaith_fpss::runner::PlainFpssSim;
-use specfaith_fpss::traffic::{Flow, TrafficMatrix};
+use specfaith_fpss::traffic::Flow;
 use specfaith_graph::costs::CostVector;
 use specfaith_graph::generators::{figure1, Figure1};
 use specfaith_graph::lcp::{lcp, lcp_tree};
@@ -32,12 +35,45 @@ fn name(id: NodeId) -> &'static str {
     NODE_NAMES[id.index()]
 }
 
-fn figure1_traffic(net: &Figure1) -> TrafficMatrix {
-    TrafficMatrix::from_flows(vec![
-        Flow { src: net.x, dst: net.z, packets: 5 },
-        Flow { src: net.d, dst: net.z, packets: 5 },
-        Flow { src: net.z, dst: net.x, packets: 3 },
-    ])
+fn figure1_traffic(net: &Figure1) -> Vec<Flow> {
+    vec![
+        Flow {
+            src: net.x,
+            dst: net.z,
+            packets: 5,
+        },
+        Flow {
+            src: net.d,
+            dst: net.z,
+            packets: 5,
+        },
+        Flow {
+            src: net.z,
+            dst: net.x,
+            packets: 3,
+        },
+    ]
+}
+
+/// The standard Figure 1 scenario under either mechanism.
+fn figure1_scenario(mechanism: Mechanism) -> Scenario {
+    let net = figure1();
+    Scenario::builder()
+        .topology(TopologySource::Figure1)
+        .traffic(TrafficModel::Flows(figure1_traffic(&net)))
+        .mechanism(mechanism)
+        .build()
+}
+
+/// A benchmark `instance(n, seed)` lifted into a scenario.
+fn instance_scenario(n: usize, seed: u64, mechanism: Mechanism) -> Scenario {
+    let inst = instance(n, seed);
+    Scenario::builder()
+        .topology(TopologySource::Explicit(inst.topo))
+        .costs(CostModel::Explicit(inst.costs))
+        .traffic(TrafficModel::Flows(inst.traffic.flows().to_vec()))
+        .mechanism(mechanism)
+        .build()
 }
 
 fn e1_figure1_lcps() {
@@ -58,8 +94,12 @@ fn e1_figure1_lcps() {
     let xz = lcp(&net.topology, &net.costs, net.x, net.z).expect("connected");
     let zd = lcp(&net.topology, &net.costs, net.z, net.d).expect("connected");
     let bd = lcp(&net.topology, &net.costs, net.b, net.d).expect("connected");
-    println!("  paper checks: cost(X→Z)={} (paper: 2), cost(Z→D)={} (paper: 1), cost(B→D)={} (paper: 0)",
-        xz.cost(), zd.cost(), bd.cost());
+    println!(
+        "  paper checks: cost(X→Z)={} (paper: 2), cost(Z→D)={} (paper: 1), cost(B→D)={} (paper: 0)",
+        xz.cost(),
+        zd.cost(),
+        bd.cost()
+    );
 }
 
 fn e2_example1_manipulation() {
@@ -67,7 +107,10 @@ fn e2_example1_manipulation() {
     let net = figure1();
     let true_c = net.costs.cost(net.c).value();
     let flows = [(net.x, net.z, 10u64), (net.d, net.z, 10u64)];
-    println!("  {:>8} {:>9} {:>12} {:>10}", "declared", "X-Z LCP", "naive util", "VCG util");
+    println!(
+        "  {:>8} {:>9} {:>12} {:>10}",
+        "declared", "X-Z LCP", "naive util", "VCG util"
+    );
     for (declared, naive, vcg) in
         specfaith_fpss::naive::example1_sweep(&net.topology, &net.costs, &flows, net.c, 8)
     {
@@ -90,10 +133,18 @@ fn e2_example1_manipulation() {
 
 fn e3_strategyproofness() {
     println!("\n== E3: FPSS centralized mechanism strategyproofness sweep ==");
-    println!("  {:>4} {:>9} {:>7} {:>11}", "n", "profiles", "checks", "violations");
+    println!(
+        "  {:>4} {:>9} {:>7} {:>11}",
+        "n", "profiles", "checks", "violations"
+    );
     for n in [6usize, 10, 14, 18] {
         let inst = instance(n, n as u64);
-        let flows = inst.traffic.flows().iter().map(|f| (f.src, f.dst, f.packets)).collect();
+        let flows = inst
+            .traffic
+            .flows()
+            .iter()
+            .map(|f| (f.src, f.dst, f.packets))
+            .collect();
         let mech = VcgMechanism::new(RoutingProblem::new(inst.topo.clone(), flows));
         let mut rng = StdRng::seed_from_u64(n as u64);
         let profiles: Vec<Vec<Cost>> = (0..4)
@@ -113,15 +164,18 @@ fn e3_strategyproofness() {
 
 fn e4_convergence() {
     println!("\n== E4: distributed FPSS == centralized VCG reference ==");
-    println!("  {:>4} {:>6} {:>9} {:>10} {:>7}", "n", "seeds", "converged", "msgs(avg)", "match");
+    println!(
+        "  {:>4} {:>6} {:>9} {:>10} {:>7}",
+        "n", "seeds", "converged", "msgs(avg)", "match"
+    );
     for n in [6usize, 8, 12, 16, 24] {
         let mut all_match = true;
         let mut msgs = 0u64;
         let seeds = 3u64;
         for seed in 0..seeds {
-            let inst = instance(n, seed * 100 + n as u64);
-            let run = PlainFpssSim::new(inst.topo, inst.costs, inst.traffic).run_faithful(seed);
-            all_match &= run.tables_match_centralized && !run.truncated;
+            let scenario = instance_scenario(n, seed * 100 + n as u64, Mechanism::Plain);
+            let run = scenario.run(seed);
+            all_match &= run.tables_match_centralized() == Some(true) && !run.truncated;
             msgs += run.stats.total_msgs();
         }
         println!(
@@ -136,9 +190,11 @@ fn e4_convergence() {
     }
 }
 
-fn catalog_sweep_table(label: &str, sweep: impl Fn(NodeId, Box<dyn specfaith_fpss::deviation::RationalStrategy>) -> (Money, Money, bool)) {
-    // Shared table printer for E5/E6: rows = deviations, sweeping deviants.
+fn catalog_sweep_table(scenario: &Scenario) {
+    // Shared table printer for E5/E6: rows = deviations, sweeping
+    // deviants; per deviation, show the most profitable deviant.
     let net = figure1();
+    let faithful = scenario.run(3);
     let specs: Vec<String> = standard_catalog(NodeId::new(0))
         .iter()
         .map(|s| s.spec().name().to_string())
@@ -154,10 +210,12 @@ fn catalog_sweep_table(label: &str, sweep: impl Fn(NodeId, Box<dyn specfaith_fps
                 .into_iter()
                 .find(|s| s.spec().name() == *spec_name)
                 .expect("stable names");
-            let (faithful_u, deviant_u, detected) = sweep(deviant, strategy);
+            let run = scenario.run_with_deviant(deviant, strategy, 3);
+            let faithful_u = faithful.utilities[deviant.index()];
+            let deviant_u = run.utilities[deviant.index()];
             let gain = deviant_u - faithful_u;
             if best.as_ref().is_none_or(|(_, f, d, _)| gain > *d - *f) {
-                best = Some((deviant, faithful_u, deviant_u, detected));
+                best = Some((deviant, faithful_u, deviant_u, run.detected));
             }
         }
         let (who, f, d, det) = best.expect("six nodes");
@@ -171,39 +229,20 @@ fn catalog_sweep_table(label: &str, sweep: impl Fn(NodeId, Box<dyn specfaith_fps
             verdict
         );
     }
-    let _ = label;
 }
 
 fn e5_plain_unfaithful() {
     println!("\n== E5: plain FPSS — §4.3 manipulations are profitable ==");
-    let net = figure1();
-    let sim = PlainFpssSim::new(net.topology.clone(), net.costs.clone(), figure1_traffic(&net));
-    let faithful = sim.run_faithful(3);
-    catalog_sweep_table("plain", |deviant, strategy| {
-        let run = sim.run_with_deviant(deviant, strategy, 3);
-        (
-            faithful.utilities[deviant.index()],
-            run.utilities[deviant.index()],
-            !run.tables_match_centralized,
-        )
-    });
+    let scenario = figure1_scenario(Mechanism::Plain);
+    catalog_sweep_table(&scenario);
     println!("  (detection column for plain FPSS = tables visibly corrupted; nobody acts on it)");
 }
 
 fn e6_faithful_equilibrium() {
     println!("\n== E6: faithful extension — the same catalog is unprofitable (Theorem 1) ==");
-    let net = figure1();
-    let sim = FaithfulSim::new(net.topology.clone(), net.costs.clone(), figure1_traffic(&net));
-    let faithful = sim.run_faithful(3);
-    catalog_sweep_table("faithful", |deviant, strategy| {
-        let run = sim.run_with_deviant(deviant, strategy, 3);
-        (
-            faithful.utilities[deviant.index()],
-            run.utilities[deviant.index()],
-            run.detected,
-        )
-    });
-    let report = sim.equilibrium_report(3);
+    let scenario = figure1_scenario(Mechanism::faithful());
+    catalog_sweep_table(&scenario);
+    let report = scenario.equilibrium_report(3, &Catalog::standard());
     println!(
         "  sweep: {} deviations, ex post Nash: {}, strong-CC: {}, strong-AC: {}, IC: {}",
         report.outcomes.len(),
@@ -217,9 +256,8 @@ fn e6_faithful_equilibrium() {
 
 fn e7_detection_coverage() {
     println!("\n== E7: detection coverage ==");
-    let net = figure1();
-    let sim = FaithfulSim::new(net.topology.clone(), net.costs.clone(), figure1_traffic(&net));
-    let report = sim.equilibrium_report(3);
+    let scenario = figure1_scenario(Mechanism::faithful());
+    let report = scenario.equilibrium_report(3, &Catalog::standard());
     let total = report.outcomes.len();
     let detected = report.outcomes.iter().filter(|o| o.detected).count();
     let undetected_profitable = report
@@ -228,8 +266,14 @@ fn e7_detection_coverage() {
         .filter(|o| !o.detected && o.strictly_profitable())
         .count();
     println!("  deviations tested: {total}");
-    println!("  detected:          {detected} ({:.1}%)", 100.0 * detected as f64 / total as f64);
-    println!("  undetected:        {} (all no-ops or legitimate misreports)", total - detected);
+    println!(
+        "  detected:          {detected} ({:.1}%)",
+        100.0 * detected as f64 / total as f64
+    );
+    println!(
+        "  undetected:        {} (all no-ops or legitimate misreports)",
+        total - detected
+    );
     println!("  undetected AND profitable: {undetected_profitable} (must be 0)");
     assert_eq!(undetected_profitable, 0);
 }
@@ -246,27 +290,34 @@ fn e8_overhead() {
 fn e9_restart_liveness() {
     println!("\n== E9: restart policy liveness ==");
     let net = figure1();
-    let sim = FaithfulSim::new(net.topology.clone(), net.costs.clone(), figure1_traffic(&net));
-    let honest = sim.run_faithful(1);
+    let scenario = figure1_scenario(Mechanism::faithful());
+    let honest = scenario.run(1);
     println!(
         "  honest network:      restarts={} green-lighted={} halted={}",
-        honest.restarts, honest.green_lighted, honest.halted
+        honest.restarts(),
+        honest.green_lighted(),
+        honest.halted()
     );
-    let persistent = sim.run_with_deviant(
+    let persistent = scenario.run_with_deviant(
         net.c,
         Box::new(specfaith_fpss::deviation::SpoofShortRoutes),
         1,
     );
     println!(
         "  persistent deviant:  restarts={} green-lighted={} halted={}  (utilities zeroed)",
-        persistent.restarts, persistent.green_lighted, persistent.halted
+        persistent.restarts(),
+        persistent.green_lighted(),
+        persistent.halted()
     );
 }
 
 fn e10_penalty_calibration() {
     println!("\n== E10: ε-above penalty calibration ==");
     let policy = PenaltyPolicy::new(Money::new(1));
-    println!("  {:>8} {:>9} {:>22}", "gain g", "p* = g/(g+ε)", "E[Δu] at p=1.0");
+    println!(
+        "  {:>8} {:>9} {:>22}",
+        "gain g", "p* = g/(g+ε)", "E[Δu] at p=1.0"
+    );
     for gain in [1i64, 10, 100, 1000, 100_000] {
         let g = Money::new(gain);
         println!(
@@ -286,16 +337,28 @@ fn e11_signed_channel() {
     println!("  genuine envelope:   {:?}", key.open(&env, 0).is_ok());
     let mut tampered = env.clone();
     tampered.payload = b"owes n2: 005".to_vec();
-    println!("  tampered payload:   rejected = {:?}", key.open(&tampered, 0).is_err());
+    println!(
+        "  tampered payload:   rejected = {:?}",
+        key.open(&tampered, 0).is_err()
+    );
     let mut forged = env.clone();
     forged.sender = 9;
-    println!("  forged sender:      rejected = {:?}", key.open(&forged, 0).is_err());
-    println!("  replayed envelope:  rejected = {:?}", key.open(&env, 1).is_err());
+    println!(
+        "  forged sender:      rejected = {:?}",
+        key.open(&forged, 0).is_err()
+    );
+    println!(
+        "  replayed envelope:  rejected = {:?}",
+        key.open(&env, 1).is_err()
+    );
 }
 
 fn e12_leader_election() {
     println!("\n== E12: framework generality — §3's leader election, faithful ==");
-    println!("  {:>4} {:>9} {:>7} {:>11}", "n", "profiles", "checks", "violations");
+    println!(
+        "  {:>4} {:>9} {:>7} {:>11}",
+        "n", "profiles", "checks", "violations"
+    );
     let mut rng = StdRng::seed_from_u64(12);
     for n in [4usize, 8, 16] {
         let mech = SecondPriceSelection::new(n);
@@ -348,38 +411,62 @@ fn e12_leader_election() {
 fn e13_other_failure_models() {
     println!("\n== E13: §5 — non-rational failures vs the faithfulness machinery ==");
     let net = figure1();
-    let sim = FaithfulSim::new(net.topology.clone(), net.costs.clone(), figure1_traffic(&net));
-    let faithful = sim.run_faithful(1);
+    let scenario = figure1_scenario(Mechanism::faithful());
+    let faithful = scenario.run(1);
     let surplus: Money = faithful.utilities.iter().copied().sum();
 
-    let failstop = sim.run_with_deviant(
-        net.c,
-        Box::new(specfaith_fpss::deviation::FailStop),
-        1,
-    );
+    let failstop =
+        scenario.run_with_deviant(net.c, Box::new(specfaith_fpss::deviation::FailStop), 1);
     println!(
         "  fail-stop node C:    detected={} halted={}  collective surplus forfeited: {}",
-        failstop.detected, failstop.halted, surplus
+        failstop.detected,
+        failstop.halted(),
+        surplus
     );
 
-    let drop_flood = sim.run_with_deviant(
-        net.c,
-        Box::new(specfaith_fpss::deviation::DropCostFlood),
-        1,
-    );
+    let drop_flood =
+        scenario.run_with_deviant(net.c, Box::new(specfaith_fpss::deviation::DropCostFlood), 1);
     println!(
         "  silent flood relay:  detected={} green-lighted={}  (biconnectivity routes around it)",
-        drop_flood.detected, drop_flood.green_lighted
+        drop_flood.detected,
+        drop_flood.green_lighted()
     );
     println!("  (the paper's open problem: fail-stop is punished like manipulation, and");
     println!("   the punishment is collective — every honest node loses its surplus too)");
+}
+
+fn e14_parallel_sweep() {
+    println!("\n== E14: the scenario sweep — seed grid, parallel, deterministic ==");
+    let scenario = figure1_scenario(Mechanism::faithful());
+    let catalog = Catalog::standard();
+    let seeds: Vec<u64> = (0..4).collect();
+
+    let start = std::time::Instant::now();
+    let parallel = scenario.sweep(&seeds, &catalog);
+    let parallel_time = start.elapsed();
+
+    let start = std::time::Instant::now();
+    let serial = scenario.sweep_serial(&seeds, &catalog);
+    let serial_time = start.elapsed();
+
+    println!(
+        "  {} seeds x {} cells: serial {:?}, parallel {:?} ({} threads)",
+        seeds.len(),
+        scenario.num_nodes() * catalog.len(),
+        serial_time,
+        parallel_time,
+        rayon::current_num_threads()
+    );
+    println!("  byte-identical: {}", parallel == serial);
+    println!("  {parallel}");
+    assert!(parallel == serial && parallel.is_ex_post_nash());
 }
 
 fn certificate_summary() {
     println!("\n== Faithfulness certificate (Proposition 2 assembled) ==");
     let net = figure1();
     let traffic = figure1_traffic(&net);
-    let flows = traffic.flows().iter().map(|f| (f.src, f.dst, f.packets)).collect();
+    let flows = traffic.iter().map(|f| (f.src, f.dst, f.packets)).collect();
     let mech = VcgMechanism::new(RoutingProblem::new(net.topology.clone(), flows));
     let mut rng = StdRng::seed_from_u64(20);
     let mut profiles = vec![net.costs.as_slice().to_vec()];
@@ -387,11 +474,20 @@ fn certificate_summary() {
         profiles.push(CostVector::random(6, 0, 25, &mut rng).as_slice().to_vec());
     }
     let sp = check_strategyproof(&mech, &profiles, &MisreportGrid::standard());
+    let catalog = Catalog::standard();
     let mut suite = EquilibriumSuite::new();
     for (i, profile) in profiles.iter().enumerate() {
         let costs: CostVector = profile.iter().copied().collect();
-        let sim = FaithfulSim::new(net.topology.clone(), costs, traffic.clone());
-        suite.push(format!("profile-{i}"), sim.equilibrium_report(1));
+        let scenario = Scenario::builder()
+            .topology(TopologySource::Figure1)
+            .costs(CostModel::Explicit(costs))
+            .traffic(TrafficModel::Flows(traffic.clone()))
+            .mechanism(Mechanism::faithful())
+            .build();
+        suite.push(
+            format!("profile-{i}"),
+            scenario.equilibrium_report(1, &catalog),
+        );
     }
     let certificate = FaithfulnessCertificate::assemble(sp.is_strategyproof(), &suite);
     print!("{certificate}");
@@ -440,6 +536,9 @@ fn main() {
     }
     if want("e13") {
         e13_other_failure_models();
+    }
+    if want("e14") {
+        e14_parallel_sweep();
     }
     if want("cert") {
         certificate_summary();

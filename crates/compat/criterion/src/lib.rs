@@ -1,0 +1,346 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The workspace builds without crates.io access, so the `criterion`
+//! dependency name is path-replaced to this crate. It supports the API
+//! subset the workspace's benches use — `criterion_group!` /
+//! `criterion_main!`, [`Criterion::bench_function`], benchmark groups with
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`]
+//! and [`black_box`] — with honest (if statistically unsophisticated)
+//! wall-clock measurement: warm-up, a calibrated iteration count, then
+//! mean time per iteration over the sample budget, printed as plain text.
+//!
+//! Statistical niceties of real criterion (outlier rejection, regression
+//! detection, HTML reports) are intentionally absent.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-exported so call sites can prevent dead-code elimination.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation: scales the report to per-byte / per-element
+/// rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id distinguished only by its parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Converts into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(self.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(self),
+            parameter: None,
+        }
+    }
+}
+
+fn render_id(group: Option<&str>, id: &BenchmarkId) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    if let Some(g) = group {
+        parts.push(g);
+    }
+    if let Some(f) = id.function.as_deref() {
+        parts.push(f);
+    }
+    if let Some(p) = id.parameter.as_deref() {
+        parts.push(p);
+    }
+    parts.join("/")
+}
+
+/// Drives one benchmark's timing loop.
+pub struct Bencher {
+    mean: Option<Duration>,
+    sample_budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`: warm-up, calibration, then mean wall-clock time
+    /// per iteration over the sample budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and calibration: find an iteration count that takes a
+        // measurable slice of the budget.
+        let calibration_start = Instant::now();
+        black_box(routine());
+        let one = calibration_start.elapsed().max(Duration::from_nanos(20));
+        let per_batch = (self.sample_budget.as_nanos() / 8).max(1);
+        let batch = ((per_batch / one.as_nanos().max(1)) as u64).clamp(1, 1_000_000);
+
+        let mut iters = 0u64;
+        let measured_start = Instant::now();
+        let mut elapsed;
+        loop {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+            elapsed = measured_start.elapsed();
+            if elapsed >= self.sample_budget {
+                break;
+            }
+        }
+        self.mean = Some(elapsed / (iters.max(1) as u32));
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, mean: Duration, throughput: Option<Throughput>) {
+    let mut line = format!("{name:<52} time: {:>12}", format_duration(mean));
+    let secs = mean.as_secs_f64();
+    if secs > 0.0 {
+        match throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let rate = bytes as f64 / secs / (1024.0 * 1024.0);
+                line.push_str(&format!("   thrpt: {rate:.1} MiB/s"));
+            }
+            Some(Throughput::Elements(elems)) => {
+                let rate = elems as f64 / secs;
+                line.push_str(&format!("   thrpt: {rate:.1} elem/s"));
+            }
+            None => {}
+        }
+    }
+    println!("{line}");
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; arguments are ignored.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Overrides the per-benchmark measurement budget.
+    #[must_use]
+    pub fn measurement_time(mut self, budget: Duration) -> Self {
+        self.sample_budget = budget;
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut bencher = Bencher {
+            mean: None,
+            sample_budget: self.sample_budget,
+        };
+        f(&mut bencher);
+        if let Some(mean) = bencher.mean {
+            report(&render_id(None, &id), mean, None);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_budget: self.sample_budget,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_budget: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the sample budget already bounds
+    /// measurement time here.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut bencher = Bencher {
+            mean: None,
+            sample_budget: self.sample_budget,
+        };
+        f(&mut bencher);
+        if let Some(mean) = bencher.mean {
+            report(&render_id(Some(&self.name), &id), mean, self.throughput);
+        }
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_benchmark_id();
+        let mut bencher = Bencher {
+            mean: None,
+            sample_budget: self.sample_budget,
+        };
+        f(&mut bencher, input);
+        if let Some(mean) = bencher.mean {
+            report(&render_id(Some(&self.name), &id), mean, self.throughput);
+        }
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion {
+            sample_budget: Duration::from_millis(5),
+        };
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0, "routine must actually run");
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        let mut c = Criterion {
+            sample_budget: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("group");
+        group.sample_size(10);
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(render_id(Some("g"), &BenchmarkId::new("f", 32)), "g/f/32");
+        assert_eq!(render_id(None, &"plain".into_benchmark_id()), "plain");
+    }
+}

@@ -1,0 +1,290 @@
+//! Offline stand-in for [`rayon`](https://crates.io/crates/rayon).
+//!
+//! The workspace builds without crates.io access, so the `rayon`
+//! dependency name is path-replaced to this crate. It implements the
+//! subset the scenario sweep uses, with rayon's semantics:
+//!
+//! * `slice.par_iter().map(f).collect::<Vec<_>>()` — evaluates `f` on
+//!   worker threads and collects **in input order** (rayon's indexed
+//!   collect guarantee, which is what makes parallel sweeps byte-identical
+//!   to serial ones);
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — bounds the fan-out
+//!   width for code run inside `install`;
+//! * [`current_num_threads`] and [`join`].
+//!
+//! Unlike real rayon there is no work-stealing deque: each `collect`
+//! spawns scoped OS threads over contiguous chunks. For the coarse-grained
+//! cells of a deviation sweep (each cell is a whole simulator run) this
+//! costs nothing measurable; fine-grained workloads would want the real
+//! crate.
+
+use std::cell::Cell;
+use std::fmt;
+use std::num::NonZeroUsize;
+
+thread_local! {
+    /// Width installed by [`ThreadPool::install`]; 0 = not inside a pool.
+    static INSTALLED_WIDTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of threads parallel operations fan out to: the installed
+/// pool width inside [`ThreadPool::install`], otherwise the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_WIDTH.with(Cell::get);
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Runs `a` and `b`, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        (a(), b())
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            (ra, hb.join().expect("rayon-compat: join task panicked"))
+        })
+    }
+}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type kept for API compatibility; building never fails here.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (machine-wide) width.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pool width; 0 means the machine's available parallelism.
+    #[must_use]
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A handle bounding the fan-out width of parallel operations run inside
+/// [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's width installed: parallel operations
+    /// inside `op` fan out to at most `num_threads` threads.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let width = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        INSTALLED_WIDTH.with(|w| {
+            let prev = w.replace(width);
+            let result = op();
+            w.set(prev);
+            result
+        })
+    }
+
+    /// The pool's width.
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        }
+    }
+}
+
+/// The traits user code imports via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelRefIterator, ParallelSliceIter};
+}
+
+pub use iter::{IntoParallelRefIterator, ParMap, ParSliceIter};
+
+/// Parallel iterator machinery (the slice → map → ordered-collect chain).
+pub mod iter {
+    use super::current_num_threads;
+
+    /// `par_iter()` entry point, implemented for slices and `Vec`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The element type yielded by the parallel iterator.
+        type Item: Sync + 'data;
+
+        /// A parallel iterator over borrowed elements.
+        fn par_iter(&'data self) -> ParSliceIter<'data, Self::Item>;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
+
+        fn par_iter(&'data self) -> ParSliceIter<'data, T> {
+            ParSliceIter { slice: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = T;
+
+        fn par_iter(&'data self) -> ParSliceIter<'data, T> {
+            ParSliceIter { slice: self }
+        }
+    }
+
+    /// A parallel iterator over a slice.
+    #[derive(Debug)]
+    pub struct ParSliceIter<'data, T> {
+        slice: &'data [T],
+    }
+
+    /// Marker alias so `prelude::*` users see a trait name resembling
+    /// rayon's `ParallelIterator` in docs.
+    pub use ParSliceIter as ParallelSliceIter;
+
+    impl<'data, T: Sync> ParSliceIter<'data, T> {
+        /// Maps each element through `f` (evaluated on worker threads at
+        /// collect time).
+        pub fn map<F, R>(self, f: F) -> ParMap<'data, T, F>
+        where
+            F: Fn(&'data T) -> R + Sync,
+            R: Send,
+        {
+            ParMap {
+                slice: self.slice,
+                f,
+            }
+        }
+
+        /// The number of elements.
+        pub fn len(&self) -> usize {
+            self.slice.len()
+        }
+
+        /// Whether the underlying slice is empty.
+        pub fn is_empty(&self) -> bool {
+            self.slice.is_empty()
+        }
+    }
+
+    /// The mapped parallel iterator; terminal [`ParMap::collect`] runs the
+    /// closure across threads and reassembles results in input order.
+    #[derive(Debug)]
+    pub struct ParMap<'data, T, F> {
+        slice: &'data [T],
+        f: F,
+    }
+
+    impl<'data, T, F, R> ParMap<'data, T, F>
+    where
+        T: Sync,
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        /// Evaluates the map across up to [`current_num_threads`] scoped
+        /// threads, preserving input order exactly (rayon's indexed
+        /// collect guarantee).
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            let threads = current_num_threads().clamp(1, self.slice.len().max(1));
+            if threads <= 1 || self.slice.len() <= 1 {
+                return self.slice.iter().map(&self.f).collect();
+            }
+            let chunk_len = self.slice.len().div_ceil(threads);
+            let f = &self.f;
+            let chunk_results: Vec<Vec<R>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .slice
+                    .chunks(chunk_len)
+                    .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("rayon-compat: worker panicked"))
+                    .collect()
+            });
+            chunk_results.into_iter().flatten().collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::ThreadPoolBuilder;
+
+    #[test]
+    fn ordered_collect_matches_serial_map() {
+        let input: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = input.iter().map(|x| x * x).collect();
+        let parallel: Vec<u64> = input.par_iter().map(|x| x * x).collect();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn install_bounds_width_and_restores() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let before = super::current_num_threads();
+        let inside = pool.install(super::current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(super::current_num_threads(), before);
+    }
+
+    #[test]
+    fn single_thread_pool_still_collects_in_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let input: Vec<i64> = (0..64).collect();
+        let out: Vec<i64> = pool.install(|| input.par_iter().map(|x| -x).collect());
+        assert_eq!(out, (0..64).map(|x| -x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+}

@@ -95,7 +95,10 @@ impl fmt::Display for DeviationSpec {
 
 /// Utilities realized when one agent deviated, compared with the faithful
 /// baseline.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq`/`Eq` compare every field exactly — that is what lets the
+/// scenario sweep assert parallel results are identical to serial ones.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DeviationOutcome {
     /// The deviating agent.
     pub agent: usize,
@@ -126,7 +129,9 @@ impl DeviationOutcome {
 
 /// The result of testing one type profile: the faithful utility vector and
 /// one [`DeviationOutcome`] per `(agent, deviation)` pair.
-#[derive(Clone, Debug, Default)]
+///
+/// Equality is exact, field by field (see [`DeviationOutcome`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EquilibriumReport {
     /// Utilities in the all-faithful run.
     pub faithful_utilities: Vec<Money>,
@@ -359,18 +364,22 @@ mod tests {
     use super::*;
 
     fn mp_spec(name: &str) -> DeviationSpec {
-        DeviationSpec::new(name, DeviationSurface::only(ExternalActionKind::MessagePassing))
+        DeviationSpec::new(
+            name,
+            DeviationSurface::only(ExternalActionKind::MessagePassing),
+        )
     }
 
     fn comp_spec(name: &str) -> DeviationSpec {
-        DeviationSpec::new(name, DeviationSurface::only(ExternalActionKind::Computation))
+        DeviationSpec::new(
+            name,
+            DeviationSurface::only(ExternalActionKind::Computation),
+        )
     }
 
     /// A toy game: faithful utility is 10 each; deviation "steal" gives the
     /// deviator +5 (undetected); deviation "caught" gives −3 (detected).
-    fn toy_play(
-        n: usize,
-    ) -> impl FnMut(Option<(usize, &DeviationSpec)>) -> (Vec<Money>, bool) {
+    fn toy_play(n: usize) -> impl FnMut(Option<(usize, &DeviationSpec)>) -> (Vec<Money>, bool) {
         move |dev| {
             let mut u = vec![Money::new(10); n];
             match dev {

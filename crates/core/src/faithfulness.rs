@@ -46,7 +46,10 @@ impl fmt::Display for PhaseReport {
         write!(
             f,
             "{:<16} strong-CC={} strong-AC={} consistent-IR={} ({} cases)",
-            self.phase, self.strong_cc, self.strong_ac, self.consistent_revelation,
+            self.phase,
+            self.strong_cc,
+            self.strong_ac,
+            self.consistent_revelation,
             self.deviations_tested
         )
     }
@@ -267,7 +270,14 @@ mod tests {
         suite.push(
             "p",
             test_deviations(1, &deviations, |dev| {
-                (vec![if dev.is_some() { Money::new(-1) } else { Money::ZERO }], false)
+                (
+                    vec![if dev.is_some() {
+                        Money::new(-1)
+                    } else {
+                        Money::ZERO
+                    }],
+                    false,
+                )
             }),
         );
         let cert = FaithfulnessCertificate::assemble(true, &suite);

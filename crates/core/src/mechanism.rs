@@ -341,21 +341,14 @@ mod tests {
     #[should_panic(expected = "wrong arity")]
     fn check_rejects_malformed_profile() {
         let mech = Dictatorial { n: 2 };
-        let _ = check_strategyproof(
-            &mech,
-            &[vec![Money::new(1)]],
-            &MisreportGrid::offsets(&[1]),
-        );
+        let _ = check_strategyproof(&mech, &[vec![Money::new(1)]], &MisreportGrid::offsets(&[1]));
     }
 
     #[test]
     fn report_display() {
         let mech = Dictatorial { n: 1 };
-        let report = check_strategyproof(
-            &mech,
-            &[vec![Money::new(5)]],
-            &MisreportGrid::offsets(&[1]),
-        );
+        let report =
+            check_strategyproof(&mech, &[vec![Money::new(5)]], &MisreportGrid::offsets(&[1]));
         assert!(report.to_string().contains("strategyproof"));
     }
 }

@@ -171,7 +171,9 @@ impl<P: CostMinimizationProblem> DirectMechanism for VcgMechanism<P> {
         true_type: &P::Decl,
         outcome: &VcgOutcome<P::Alloc>,
     ) -> Money {
-        -self.problem.cost_under(true_type, &outcome.allocation, agent)
+        -self
+            .problem
+            .cost_under(true_type, &outcome.allocation, agent)
     }
 }
 
@@ -294,12 +296,7 @@ mod tests {
     #[test]
     fn vickrey_winner_paid_second_price() {
         let problem = SelectionProblem::new(4);
-        let decls = vec![
-            Money::new(7),
-            Money::new(3),
-            Money::new(5),
-            Money::new(11),
-        ];
+        let decls = vec![Money::new(7), Money::new(3), Money::new(5), Money::new(11)];
         let outcome = vcg(&problem, &decls).expect("feasible");
         assert_eq!(outcome.allocation, 1);
         assert_eq!(outcome.total_declared_cost, Money::new(3));

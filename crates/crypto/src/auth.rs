@@ -115,11 +115,7 @@ impl ChannelKey {
     /// [`AuthError::WrongSender`] if the envelope claims a different owner,
     /// [`AuthError::BadTag`] on MAC mismatch, and
     /// [`AuthError::StaleSequence`] when the sequence does not advance.
-    pub fn open(
-        &self,
-        envelope: &Authenticated,
-        last_accepted: u64,
-    ) -> Result<Vec<u8>, AuthError> {
+    pub fn open(&self, envelope: &Authenticated, last_accepted: u64) -> Result<Vec<u8>, AuthError> {
         if envelope.sender != self.owner {
             return Err(AuthError::WrongSender);
         }

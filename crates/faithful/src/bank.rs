@@ -97,12 +97,7 @@ impl std::fmt::Debug for BankNode {
 
 impl BankNode {
     /// Creates the bank for `topology`, holding one channel key per node.
-    pub fn new(
-        topology: Topology,
-        bank_secret: &[u8],
-        max_restarts: u32,
-        epsilon: Money,
-    ) -> Self {
+    pub fn new(topology: Topology, bank_secret: &[u8], max_restarts: u32, epsilon: Money) -> Self {
         let n = topology.num_nodes();
         let keys = (0..n as u32)
             .map(|id| ChannelKey::derive(bank_secret, id))
@@ -188,8 +183,7 @@ impl BankNode {
                     ok = false;
                     break;
                 };
-                let Some(mirror) = report.mirrors.iter().find(|m| m.principal == principal)
-                else {
+                let Some(mirror) = report.mirrors.iter().find(|m| m.principal == principal) else {
                     ok = false;
                     break;
                 };
@@ -231,9 +225,12 @@ impl BankNode {
             for obs in observations {
                 let p = obs.principal;
                 declared_costs.entry(p).or_insert(obs.declared_cost);
-                mirror_prices
-                    .entry(p)
-                    .or_insert_with(|| obs.mirror_prices.iter().map(|&(d, k, v)| ((d, k), v)).collect());
+                mirror_prices.entry(p).or_insert_with(|| {
+                    obs.mirror_prices
+                        .iter()
+                        .map(|&(d, k, v)| ((d, k), v))
+                        .collect()
+                });
                 for &(src, dst, count) in &obs.recv_from {
                     if src == p {
                         *observed_originated.entry((p, dst)).or_insert(0) += count;
@@ -312,8 +309,7 @@ impl BankNode {
             }
             if dropped > 0 {
                 let declared = declared_costs.get(&p).copied().unwrap_or(0);
-                penalties[node.index()] +=
-                    Money::new((dropped * declared) as i64) + self.epsilon;
+                penalties[node.index()] += Money::new((dropped * declared) as i64) + self.epsilon;
             }
         }
 

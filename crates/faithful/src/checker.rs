@@ -117,7 +117,8 @@ impl Mirror {
                     self.core.learn_price(original_from, row);
                 }
                 for &(dst, transit) in retractions {
-                    self.core.learn_price_retraction(original_from, dst, transit);
+                    self.core
+                        .learn_price_retraction(original_from, dst, transit);
                 }
             }
             _ => return false,
@@ -136,7 +137,11 @@ impl Mirror {
 
     /// Records pricing rows and retractions the principal announced to
     /// this checker.
-    pub fn record_announced_pricing(&mut self, rows: &[PriceRow], retractions: &[(NodeId, NodeId)]) {
+    pub fn record_announced_pricing(
+        &mut self,
+        rows: &[PriceRow],
+        retractions: &[(NodeId, NodeId)],
+    ) {
         for row in rows {
             self.announced_pricing.insert(
                 row.dst,

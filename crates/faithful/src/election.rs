@@ -24,8 +24,8 @@
 use specfaith_core::id::NodeId;
 use specfaith_core::money::Money;
 use specfaith_crypto::auth::{Authenticated, ChannelKey};
-use specfaith_netsim::{Actor, Connectivity, Ctx, FixedLatency, Network, Payload};
 use specfaith_graph::topology::Topology;
+use specfaith_netsim::{Actor, Connectivity, Ctx, FixedLatency, Network, Payload};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -192,7 +192,9 @@ impl ElectionBank {
     fn new(n: usize, secret: &[u8]) -> Self {
         ElectionBank {
             n,
-            keys: (0..n as u32).map(|i| ChannelKey::derive(secret, i)).collect(),
+            keys: (0..n as u32)
+                .map(|i| ChannelKey::derive(secret, i))
+                .collect(),
             last_seq: vec![0; n],
             reports: BTreeMap::new(),
             auth_failures: 0,
@@ -462,12 +464,12 @@ mod tests {
     #[test]
     fn rigged_tally_is_caught_by_report_comparison() {
         let s = sim();
-        let rigged = s.run_with_deviant(
-            NodeId::new(3),
-            Box::new(RigTally { me: NodeId::new(3) }),
-            1,
+        let rigged =
+            s.run_with_deviant(NodeId::new(3), Box::new(RigTally { me: NodeId::new(3) }), 1);
+        assert_eq!(
+            rigged.outcome, None,
+            "disagreeing reports halt the election"
         );
-        assert_eq!(rigged.outcome, None, "disagreeing reports halt the election");
         assert!(rigged.utilities.iter().all(|u| *u == Money::ZERO));
         let honest = s.run_honest(1);
         assert!(
@@ -490,7 +492,10 @@ mod tests {
     #[test]
     fn outcome_codec_roundtrips() {
         let bytes = encode_outcome(NodeId::new(7), Money::new(-3));
-        assert_eq!(decode_outcome(&bytes), Some((NodeId::new(7), Money::new(-3))));
+        assert_eq!(
+            decode_outcome(&bytes),
+            Some((NodeId::new(7), Money::new(-3)))
+        );
         assert_eq!(decode_outcome(&bytes[..5]), None);
     }
 

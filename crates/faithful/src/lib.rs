@@ -43,17 +43,17 @@
 //! # Example
 //!
 //! ```
-//! use specfaith_faithful::harness::FaithfulSim;
+//! use specfaith_faithful::harness::{run_faithful_honest, FaithfulConfig};
 //! use specfaith_fpss::traffic::TrafficMatrix;
 //! use specfaith_graph::generators::figure1;
 //!
 //! let net = figure1();
-//! let sim = FaithfulSim::new(
+//! let config = FaithfulConfig::new(
 //!     net.topology.clone(),
 //!     net.costs.clone(),
 //!     TrafficMatrix::single(net.x, net.z, 5),
 //! );
-//! let run = sim.run_faithful(7);
+//! let run = run_faithful_honest(&config, 7);
 //! assert!(run.green_lighted && !run.detected);
 //! ```
 
@@ -68,5 +68,8 @@ pub mod node;
 pub mod penalty;
 
 pub use bank::BankNode;
-pub use harness::{FaithfulRunResult, FaithfulSim};
+#[allow(deprecated)]
+pub use harness::FaithfulSim;
+pub use harness::{run_faithful, run_faithful_honest, run_faithful_with_deviant};
+pub use harness::{FaithfulConfig, FaithfulRunResult};
 pub use node::FaithfulNode;

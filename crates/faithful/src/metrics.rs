@@ -5,8 +5,8 @@
 //! it: the same topology, costs, and traffic run through plain FPSS and
 //! through the faithful extension, comparing message and byte counts.
 
-use crate::harness::FaithfulSim;
-use specfaith_fpss::runner::PlainFpssSim;
+use crate::harness::{run_faithful_honest, FaithfulConfig};
+use specfaith_fpss::runner::{run_plain_faithful, PlainConfig};
 use specfaith_fpss::traffic::TrafficMatrix;
 use specfaith_graph::costs::CostVector;
 use specfaith_graph::topology::Topology;
@@ -71,10 +71,15 @@ pub fn measure_overhead(
     traffic: &TrafficMatrix,
     seed: u64,
 ) -> OverheadReport {
-    let plain = PlainFpssSim::new(topo.clone(), costs.clone(), traffic.clone()).run_faithful(seed);
+    let plain = run_plain_faithful(
+        &PlainConfig::new(topo.clone(), costs.clone(), traffic.clone()),
+        seed,
+    );
     assert!(!plain.truncated, "plain run truncated");
-    let faithful =
-        FaithfulSim::new(topo.clone(), costs.clone(), traffic.clone()).run_faithful(seed);
+    let faithful = run_faithful_honest(
+        &FaithfulConfig::new(topo.clone(), costs.clone(), traffic.clone()),
+        seed,
+    );
     assert!(!faithful.truncated, "faithful run truncated");
     assert!(faithful.green_lighted, "faithful run must certify");
     OverheadReport {

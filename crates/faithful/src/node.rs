@@ -130,7 +130,7 @@ impl FaithfulNode {
             ledger: PaymentLedger::new(),
             max_hops,
             auth_failures: 0,
-        settled: None,
+            settled: None,
         }
     }
 

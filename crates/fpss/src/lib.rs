@@ -39,20 +39,20 @@
 //!   computing realized utilities.
 //! * [`deviation`] — the `RationalStrategy`
 //!   hook surface and the deviation library (the manipulations of §4.3).
-//! * [`runner`] — a one-call harness: build network, converge construction,
-//!   run execution, settle.
+//! * [`runner`] — the plain run engine (`PlainConfig` + `run_plain`):
+//!   build network, converge construction, run execution, settle.
 //!
 //! # Example
 //!
 //! ```
-//! use specfaith_fpss::runner::PlainFpssSim;
+//! use specfaith_fpss::runner::{run_plain_faithful, PlainConfig};
 //! use specfaith_fpss::traffic::TrafficMatrix;
 //! use specfaith_graph::generators::figure1;
 //!
 //! let net = figure1();
 //! let traffic = TrafficMatrix::single(net.x, net.z, 10);
-//! let run = PlainFpssSim::new(net.topology.clone(), net.costs.clone(), traffic)
-//!     .run_faithful(7);
+//! let config = PlainConfig::new(net.topology.clone(), net.costs.clone(), traffic);
+//! let run = run_plain_faithful(&config, 7);
 //! // Construction converged to the exact centralized tables.
 //! assert!(run.tables_match_centralized);
 //! ```

@@ -88,12 +88,7 @@ impl FpssCore {
 
     /// Records a neighbor's price retraction. Returns `true` when the
     /// view changed.
-    pub fn learn_price_retraction(
-        &mut self,
-        from: NodeId,
-        dst: NodeId,
-        transit: NodeId,
-    ) -> bool {
+    pub fn learn_price_retraction(&mut self, from: NodeId, dst: NodeId, transit: NodeId) -> bool {
         self.view.retract_price(from, dst, transit)
     }
 
@@ -250,7 +245,12 @@ impl PlainFpssNode {
         let routes = self.strategy.announce_routing(me, changed_routes);
         if !routes.is_empty() {
             for &b in self.core.neighbors() {
-                ctx.send(b, FpssMsg::RoutingUpdate { rows: routes.clone() });
+                ctx.send(
+                    b,
+                    FpssMsg::RoutingUpdate {
+                        rows: routes.clone(),
+                    },
+                );
             }
         }
         let prices = self.strategy.announce_pricing(me, changed_prices);

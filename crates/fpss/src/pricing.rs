@@ -162,7 +162,11 @@ impl CostMinimizationProblem for RoutingProblem {
         Some((paths, total))
     }
 
-    fn optimal_excluding(&self, decls: &[Cost], excluded: usize) -> Option<(Vec<PathMetric>, Money)> {
+    fn optimal_excluding(
+        &self,
+        decls: &[Cost],
+        excluded: usize,
+    ) -> Option<(Vec<PathMetric>, Money)> {
         let declared = CostVector::from_costs(decls.to_vec());
         let avoid = NodeId::from_index(excluded);
         let paths: Option<Vec<PathMetric>> = self
@@ -212,8 +216,8 @@ mod tests {
     fn figure1_payment_to_c_is_its_marginal_contribution() {
         let net = figure1();
         // D→Z transits C; d(D,Z)=1, d_{G−C}(D,Z)=min(B=1000, X,A=105)=105.
-        let p = vcg_payment(&net.topology, &net.costs, net.d, net.z, net.c)
-            .expect("C transits D→Z");
+        let p =
+            vcg_payment(&net.topology, &net.costs, net.d, net.z, net.c).expect("C transits D→Z");
         assert_eq!(p, Money::new(1 + 105 - 1));
     }
 
@@ -235,8 +239,7 @@ mod tests {
         let net = figure1();
         for declared_c in [1u64, 2, 3, 5] {
             let lied = net.costs.with_cost(net.c, Cost::new(declared_c));
-            let p = vcg_payment(&net.topology, &lied, net.d, net.z, net.c)
-                .expect("C still on LCP");
+            let p = vcg_payment(&net.topology, &lied, net.d, net.z, net.c).expect("C still on LCP");
             assert_eq!(p, Money::new(105), "declared {declared_c}");
         }
     }

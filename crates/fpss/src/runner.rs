@@ -1,4 +1,11 @@
-//! One-call harness for plain FPSS runs.
+//! The plain-FPSS run engine: configuration + one-shot run functions.
+//!
+//! [`PlainConfig`] is the plain-data description of one plain-FPSS
+//! instance (topology, true costs, traffic, latency, settlement, event
+//! budget); [`run_plain`] executes it for a given strategy assignment and
+//! seed. The `specfaith::scenario` layer drives this engine directly; the
+//! deprecated [`PlainFpssSim`] builder remains as a thin adapter for one
+//! release.
 
 use crate::deviation::{Faithful, RationalStrategy};
 use crate::node::{PlainFpssNode, TAG_BEGIN_EXECUTION};
@@ -9,17 +16,44 @@ use specfaith_core::id::NodeId;
 use specfaith_core::money::Money;
 use specfaith_graph::costs::CostVector;
 use specfaith_graph::topology::Topology;
-use specfaith_netsim::{Connectivity, FixedLatency, NetStats, Network, SimDuration};
+use specfaith_netsim::{Connectivity, Latency, NetStats, Network, SimDuration};
 
-/// Configuration and entry points for plain-FPSS simulations.
+/// Plain-data configuration of a plain-FPSS simulation instance.
 #[derive(Clone, Debug)]
-pub struct PlainFpssSim {
-    topo: Topology,
-    true_costs: CostVector,
-    traffic: TrafficMatrix,
-    latency_micros: u64,
-    settlement: SettlementConfig,
-    max_events: u64,
+pub struct PlainConfig {
+    /// The (biconnected) topology.
+    pub topo: Topology,
+    /// True per-node transit costs.
+    pub true_costs: CostVector,
+    /// Execution-phase traffic.
+    pub traffic: TrafficMatrix,
+    /// Link latency model.
+    pub latency: Latency,
+    /// Settlement parameters (per-packet value `W`).
+    pub settlement: SettlementConfig,
+    /// Event budget before a run is truncated.
+    pub max_events: u64,
+}
+
+impl PlainConfig {
+    /// A configuration with the default latency, settlement, and event
+    /// budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is not biconnected or arities mismatch.
+    pub fn new(topo: Topology, true_costs: CostVector, traffic: TrafficMatrix) -> Self {
+        assert!(topo.is_biconnected(), "FPSS requires a biconnected graph");
+        assert_eq!(topo.num_nodes(), true_costs.len(), "cost arity");
+        PlainConfig {
+            topo,
+            true_costs,
+            traffic,
+            latency: Latency::DEFAULT,
+            settlement: SettlementConfig::default(),
+            max_events: 5_000_000,
+        }
+    }
 }
 
 /// Result of one plain-FPSS run.
@@ -37,6 +71,123 @@ pub struct PlainRunResult {
     pub truncated: bool,
 }
 
+/// Runs plain FPSS with every node faithful.
+pub fn run_plain_faithful(config: &PlainConfig, seed: u64) -> PlainRunResult {
+    run_plain(config, |_| Box::new(Faithful), seed)
+}
+
+/// Runs plain FPSS with `deviant` playing `strategy` and everyone else
+/// faithful.
+pub fn run_plain_with_deviant(
+    config: &PlainConfig,
+    deviant: NodeId,
+    strategy: Box<dyn RationalStrategy>,
+    seed: u64,
+) -> PlainRunResult {
+    let mut strategy = Some(strategy);
+    run_plain(
+        config,
+        move |node| {
+            if node == deviant {
+                strategy.take().expect("deviant strategy used once")
+            } else {
+                Box::new(Faithful)
+            }
+        },
+        seed,
+    )
+}
+
+/// Runs plain FPSS with an arbitrary per-node strategy assignment: the
+/// whole lifecycle (cost flood, distributed routing + pricing, execution,
+/// reported settlement) in one simulator run.
+pub fn run_plain(
+    config: &PlainConfig,
+    mut strategies: impl FnMut(NodeId) -> Box<dyn RationalStrategy>,
+    seed: u64,
+) -> PlainRunResult {
+    let n = config.topo.num_nodes();
+    let max_hops = (4 * n) as u32;
+    let actors: Vec<PlainFpssNode> = config
+        .topo
+        .nodes()
+        .map(|me| {
+            PlainFpssNode::new(
+                me,
+                config.topo.neighbors(me).to_vec(),
+                config.true_costs.cost(me),
+                strategies(me),
+                max_hops,
+            )
+        })
+        .collect();
+    let mut net = Network::new(
+        Connectivity::from_topology(&config.topo),
+        actors,
+        config.latency,
+        seed,
+    )
+    .with_max_events(config.max_events);
+
+    // Construction: flood costs, converge routing and pricing.
+    let construction = net.run();
+
+    // Compare converged tables with the centralized reference under
+    // the declared costs.
+    let declared: CostVector = config
+        .topo
+        .nodes()
+        .map(|id| net.node(id).declared_cost().expect("started"))
+        .collect();
+    let reference = expected_tables(&config.topo, &declared);
+    let tables_match_centralized = config.topo.nodes().all(|id| {
+        let core = net.node(id).core();
+        let (expected_routing, expected_pricing) = &reference[id.index()];
+        tables_agree(
+            core.routes(),
+            core.prices(),
+            expected_routing,
+            expected_pricing,
+        )
+    });
+
+    // Execution: queue traffic, start all sources at once.
+    for flow in config.traffic.flows() {
+        net.node_mut(flow.src).add_traffic(flow.dst, flow.packets);
+    }
+    let sources: std::collections::BTreeSet<NodeId> =
+        config.traffic.flows().iter().map(|f| f.src).collect();
+    for src in sources {
+        net.schedule_timer(src, SimDuration::ZERO, TAG_BEGIN_EXECUTION);
+    }
+    let execution = net.run();
+
+    let summaries: Vec<_> = config
+        .topo
+        .nodes()
+        .map(|id| net.node_mut(id).execution_summary())
+        .collect();
+    let utilities = settle_plain(&summaries, &config.settlement);
+
+    PlainRunResult {
+        utilities,
+        tables_match_centralized,
+        stats: net.stats().clone(),
+        truncated: construction.truncated || execution.truncated,
+    }
+}
+
+/// Deprecated builder over [`PlainConfig`] + [`run_plain`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `specfaith::scenario::Scenario::builder()` with `Mechanism::Plain` (or drive `PlainConfig`/`run_plain` directly)"
+)]
+#[derive(Clone, Debug)]
+pub struct PlainFpssSim {
+    config: PlainConfig,
+}
+
+#[allow(deprecated)]
 impl PlainFpssSim {
     /// A simulation over a biconnected topology with true costs and an
     /// execution-phase traffic matrix.
@@ -45,40 +196,33 @@ impl PlainFpssSim {
     ///
     /// Panics if the topology is not biconnected or arities mismatch.
     pub fn new(topo: Topology, true_costs: CostVector, traffic: TrafficMatrix) -> Self {
-        assert!(topo.is_biconnected(), "FPSS requires a biconnected graph");
-        assert_eq!(topo.num_nodes(), true_costs.len(), "cost arity");
         PlainFpssSim {
-            topo,
-            true_costs,
-            traffic,
-            latency_micros: 10,
-            settlement: SettlementConfig::default(),
-            max_events: 5_000_000,
+            config: PlainConfig::new(topo, true_costs, traffic),
         }
     }
 
     /// Overrides the settlement configuration.
     #[must_use]
     pub fn with_settlement(mut self, settlement: SettlementConfig) -> Self {
-        self.settlement = settlement;
+        self.config.settlement = settlement;
         self
     }
 
     /// Overrides the event budget.
     #[must_use]
     pub fn with_max_events(mut self, max_events: u64) -> Self {
-        self.max_events = max_events;
+        self.config.max_events = max_events;
         self
     }
 
     /// The topology.
     pub fn topology(&self) -> &Topology {
-        &self.topo
+        &self.config.topo
     }
 
     /// Runs with every node faithful.
     pub fn run_faithful(&self, seed: u64) -> PlainRunResult {
-        self.run_with(|_| Box::new(Faithful), seed)
+        run_plain_faithful(&self.config, seed)
     }
 
     /// Runs with `deviant` playing `strategy` and everyone else faithful.
@@ -88,89 +232,16 @@ impl PlainFpssSim {
         strategy: Box<dyn RationalStrategy>,
         seed: u64,
     ) -> PlainRunResult {
-        let mut strategy = Some(strategy);
-        self.run_with(
-            move |node| {
-                if node == deviant {
-                    strategy.take().expect("deviant strategy used once")
-                } else {
-                    Box::new(Faithful)
-                }
-            },
-            seed,
-        )
+        run_plain_with_deviant(&self.config, deviant, strategy, seed)
     }
 
     /// Runs with an arbitrary per-node strategy assignment.
     pub fn run_with(
         &self,
-        mut strategies: impl FnMut(NodeId) -> Box<dyn RationalStrategy>,
+        strategies: impl FnMut(NodeId) -> Box<dyn RationalStrategy>,
         seed: u64,
     ) -> PlainRunResult {
-        let n = self.topo.num_nodes();
-        let max_hops = (4 * n) as u32;
-        let actors: Vec<PlainFpssNode> = self
-            .topo
-            .nodes()
-            .map(|me| {
-                PlainFpssNode::new(
-                    me,
-                    self.topo.neighbors(me).to_vec(),
-                    self.true_costs.cost(me),
-                    strategies(me),
-                    max_hops,
-                )
-            })
-            .collect();
-        let mut net = Network::new(
-            Connectivity::from_topology(&self.topo),
-            actors,
-            FixedLatency::new(self.latency_micros),
-            seed,
-        )
-        .with_max_events(self.max_events);
-
-        // Construction: flood costs, converge routing and pricing.
-        let construction = net.run();
-
-        // Compare converged tables with the centralized reference under
-        // the declared costs.
-        let declared: CostVector = self
-            .topo
-            .nodes()
-            .map(|id| net.node(id).declared_cost().expect("started"))
-            .collect();
-        let reference = expected_tables(&self.topo, &declared);
-        let tables_match_centralized = self.topo.nodes().all(|id| {
-            let core = net.node(id).core();
-            let (expected_routing, expected_pricing) = &reference[id.index()];
-            tables_agree(core.routes(), core.prices(), expected_routing, expected_pricing)
-        });
-
-        // Execution: queue traffic, start all sources at once.
-        for flow in self.traffic.flows() {
-            net.node_mut(flow.src).add_traffic(flow.dst, flow.packets);
-        }
-        let sources: std::collections::BTreeSet<NodeId> =
-            self.traffic.flows().iter().map(|f| f.src).collect();
-        for src in sources {
-            net.schedule_timer(src, SimDuration::ZERO, TAG_BEGIN_EXECUTION);
-        }
-        let execution = net.run();
-
-        let summaries: Vec<_> = self
-            .topo
-            .nodes()
-            .map(|id| net.node_mut(id).execution_summary())
-            .collect();
-        let utilities = settle_plain(&summaries, &self.settlement);
-
-        PlainRunResult {
-            utilities,
-            tables_match_centralized,
-            stats: net.stats().clone(),
-            truncated: construction.truncated || execution.truncated,
-        }
+        run_plain(&self.config, strategies, seed)
     }
 }
 
@@ -182,7 +253,7 @@ mod tests {
     };
     use specfaith_graph::generators::figure1;
 
-    fn figure1_sim() -> (specfaith_graph::generators::Figure1, PlainFpssSim) {
+    fn figure1_config() -> (specfaith_graph::generators::Figure1, PlainConfig) {
         let net = figure1();
         let traffic = TrafficMatrix::from_flows(vec![
             crate::traffic::Flow {
@@ -196,22 +267,22 @@ mod tests {
                 packets: 5,
             },
         ]);
-        let sim = PlainFpssSim::new(net.topology.clone(), net.costs.clone(), traffic);
-        (net, sim)
+        let config = PlainConfig::new(net.topology.clone(), net.costs.clone(), traffic);
+        (net, config)
     }
 
     #[test]
     fn faithful_run_converges_to_centralized_tables() {
-        let (_, sim) = figure1_sim();
-        let result = sim.run_faithful(3);
+        let (_, config) = figure1_config();
+        let result = run_plain_faithful(&config, 3);
         assert!(result.tables_match_centralized);
         assert!(!result.truncated);
     }
 
     #[test]
     fn faithful_utilities_balance_payments() {
-        let (net, sim) = figure1_sim();
-        let result = sim.run_faithful(3);
+        let (net, config) = figure1_config();
+        let result = run_plain_faithful(&config, 3);
         // C transits both flows (X→Z and D→Z): it is paid above true cost.
         assert!(
             result.utilities[net.c.index()] > Money::ZERO,
@@ -225,10 +296,11 @@ mod tests {
     #[test]
     fn misreporting_cost_is_unprofitable_even_in_plain_fpss() {
         // FPSS's own contribution: the VCG pricing makes cost lies useless.
-        let (net, sim) = figure1_sim();
-        let faithful = sim.run_faithful(3);
+        let (net, config) = figure1_config();
+        let faithful = run_plain_faithful(&config, 3);
         for delta in [2i64, 4, -1] {
-            let deviant = sim.run_with_deviant(net.c, Box::new(MisreportCost { delta }), 3);
+            let deviant =
+                run_plain_with_deviant(&config, net.c, Box::new(MisreportCost { delta }), 3);
             assert!(
                 deviant.utilities[net.c.index()] <= faithful.utilities[net.c.index()],
                 "delta {delta}: {:?} vs faithful {:?}",
@@ -240,10 +312,14 @@ mod tests {
 
     #[test]
     fn underreporting_payments_is_profitable_in_plain_fpss() {
-        let (net, sim) = figure1_sim();
-        let faithful = sim.run_faithful(3);
-        let deviant =
-            sim.run_with_deviant(net.x, Box::new(UnderreportPayments { keep_percent: 0 }), 3);
+        let (net, config) = figure1_config();
+        let faithful = run_plain_faithful(&config, 3);
+        let deviant = run_plain_with_deviant(
+            &config,
+            net.x,
+            Box::new(UnderreportPayments { keep_percent: 0 }),
+            3,
+        );
         assert!(
             deviant.utilities[net.x.index()] > faithful.utilities[net.x.index()],
             "plain FPSS cannot stop payment fraud"
@@ -252,9 +328,9 @@ mod tests {
 
     #[test]
     fn dropping_transit_packets_is_profitable_in_plain_fpss() {
-        let (net, sim) = figure1_sim();
-        let faithful = sim.run_faithful(3);
-        let deviant = sim.run_with_deviant(net.c, Box::new(DropTransitPackets), 3);
+        let (net, config) = figure1_config();
+        let faithful = run_plain_faithful(&config, 3);
+        let deviant = run_plain_with_deviant(&config, net.c, Box::new(DropTransitPackets), 3);
         assert!(
             deviant.utilities[net.c.index()] > faithful.utilities[net.c.index()],
             "plain FPSS pays for transit work that was never done: {:?} vs {:?}",
@@ -275,8 +351,8 @@ mod tests {
             let topo = random_biconnected(n, n / 2, &mut rng);
             let costs = CostVector::random(n, 0, 15, &mut rng);
             let traffic = TrafficMatrix::random(n, 3, 2, &mut rng);
-            let sim = PlainFpssSim::new(topo, costs, traffic);
-            let result = sim.run_faithful(seed);
+            let config = PlainConfig::new(topo, costs, traffic);
+            let result = run_plain_faithful(&config, seed);
             assert!(!result.truncated, "seed {seed} truncated");
             assert!(
                 result.tables_match_centralized,
@@ -289,11 +365,29 @@ mod tests {
     fn spoofed_routes_corrupt_tables_in_plain_fpss() {
         // C claiming fake adjacency to X (true LCP Z→X is Z-C-D-X, cost 2)
         // makes Z adopt the nonexistent route Z-C-X of apparent cost 1.
-        let (net, sim) = figure1_sim();
-        let deviant = sim.run_with_deviant(net.c, Box::new(SpoofShortRoutes), 3);
+        let (net, config) = figure1_config();
+        let deviant = run_plain_with_deviant(&config, net.c, Box::new(SpoofShortRoutes), 3);
         assert!(
             !deviant.tables_match_centralized,
             "spoofed adjacency must corrupt someone's tables"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_adapter_matches_engine() {
+        let (_, config) = figure1_config();
+        let adapter = PlainFpssSim::new(
+            config.topo.clone(),
+            config.true_costs.clone(),
+            config.traffic.clone(),
+        );
+        let via_adapter = adapter.run_faithful(3);
+        let via_engine = run_plain_faithful(&config, 3);
+        assert_eq!(via_adapter.utilities, via_engine.utilities);
+        assert_eq!(
+            via_adapter.stats.total_msgs(),
+            via_engine.stats.total_msgs()
         );
     }
 }

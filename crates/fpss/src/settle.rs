@@ -33,7 +33,7 @@ pub struct ExecutionSummary {
 }
 
 /// Utility model parameters shared by plain and faithful settlement.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SettlementConfig {
     /// Value a source derives from each packet that reaches its
     /// destination. Must exceed any possible per-packet path price, so

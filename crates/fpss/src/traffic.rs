@@ -48,9 +48,11 @@ impl TrafficMatrix {
         TrafficMatrix { flows }
     }
 
-    /// Every ordered pair of `n` nodes sends `packets` packets.
-    pub fn all_pairs(n: usize, packets: u64) -> Self {
-        let mut flows = Vec::new();
+    /// The uniform all-pairs workload: every ordered pair of `n` nodes
+    /// sends `packets` packets, producing exactly `n·(n−1)` flows and
+    /// `n·(n−1)·packets` total packets.
+    pub fn uniform_all_pairs(n: usize, packets: u64) -> Self {
+        let mut flows = Vec::with_capacity(n.saturating_mul(n.saturating_sub(1)));
         for s in 0..n {
             for d in 0..n {
                 if s != d {
@@ -62,6 +64,33 @@ impl TrafficMatrix {
                 }
             }
         }
+        TrafficMatrix { flows }
+    }
+
+    /// Alias of [`TrafficMatrix::uniform_all_pairs`], kept for source
+    /// compatibility with earlier releases.
+    pub fn all_pairs(n: usize, packets: u64) -> Self {
+        TrafficMatrix::uniform_all_pairs(n, packets)
+    }
+
+    /// The hotspot workload: every one of the `n` nodes except `hotspot`
+    /// sends `packets` packets to `hotspot` — `n − 1` flows converging on
+    /// one destination, the adversarial pattern for transit congestion
+    /// and payment concentration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hotspot` is not one of the `n` nodes.
+    pub fn hotspot(n: usize, hotspot: NodeId, packets: u64) -> Self {
+        assert!(hotspot.index() < n, "hotspot must be one of the n nodes");
+        let flows = (0..n)
+            .filter(|&s| s != hotspot.index())
+            .map(|s| Flow {
+                src: NodeId::from_index(s),
+                dst: hotspot,
+                packets,
+            })
+            .collect();
         TrafficMatrix { flows }
     }
 
@@ -122,6 +151,49 @@ mod tests {
         let t = TrafficMatrix::all_pairs(4, 2);
         assert_eq!(t.flows().len(), 12);
         assert_eq!(t.total_packets(), 24);
+    }
+
+    #[test]
+    fn uniform_all_pairs_has_n_times_n_minus_one_flows() {
+        for (n_nodes, packets) in [(2usize, 1u64), (4, 2), (6, 3), (9, 5)] {
+            let t = TrafficMatrix::uniform_all_pairs(n_nodes, packets);
+            let expected_flows = n_nodes * (n_nodes - 1);
+            assert_eq!(t.flows().len(), expected_flows, "n={n_nodes}");
+            assert_eq!(
+                t.total_packets(),
+                expected_flows as u64 * packets,
+                "n={n_nodes}, packets={packets}"
+            );
+            // Every ordered pair appears exactly once.
+            let mut pairs: Vec<(u32, u32)> = t
+                .flows()
+                .iter()
+                .map(|f| (f.src.raw(), f.dst.raw()))
+                .collect();
+            pairs.sort_unstable();
+            pairs.dedup();
+            assert_eq!(pairs.len(), expected_flows);
+            assert!(t.flows().iter().all(|f| f.packets == packets));
+        }
+    }
+
+    #[test]
+    fn hotspot_converges_on_one_destination() {
+        let center = n(2);
+        let t = TrafficMatrix::hotspot(6, center, 4);
+        assert_eq!(t.flows().len(), 5);
+        assert_eq!(t.total_packets(), 20);
+        assert!(t.flows().iter().all(|f| f.dst == center && f.src != center));
+        // Every other node appears exactly once as a source.
+        let mut sources: Vec<u32> = t.flows().iter().map(|f| f.src.raw()).collect();
+        sources.sort_unstable();
+        assert_eq!(sources, vec![0, 1, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "hotspot must be one of the n nodes")]
+    fn hotspot_rejects_out_of_range_center() {
+        let _ = TrafficMatrix::hotspot(4, n(9), 1);
     }
 
     #[test]

@@ -140,6 +140,78 @@ pub fn grid(w: usize, h: usize) -> Topology {
     builder.build()
 }
 
+/// A star: one hub (node `n − 1`) adjacent to `n − 1` leaves, and nothing
+/// else.
+///
+/// **The star is deliberately *not* biconnected** (for `n ≥ 3` the hub is
+/// a cut vertex, and `n = 2` is a single edge): FPSS requires
+/// biconnectivity, so scenario construction **rejects** star topologies.
+/// The generator exists to exercise exactly that rejection path, and for
+/// protocols (like the leader election of §3) that tolerate cut
+/// vertices. For a hub-and-spoke network FPSS accepts, use [`wheel`],
+/// which is a star plus the rim cycle.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star(n: usize) -> Topology {
+    assert!(n >= 2, "a star needs a hub and at least one leaf");
+    let hub = (n - 1) as u32;
+    let mut builder = Topology::builder(n);
+    for leaf in 0..n - 1 {
+        builder = builder.edge(leaf as u32, hub);
+    }
+    builder.build()
+}
+
+/// A scale-free topology via Barabási–Albert preferential attachment:
+/// start from the complete graph on `m + 1` seed nodes, then attach each
+/// new node to `m` *distinct* existing nodes, chosen with probability
+/// proportional to current degree.
+///
+/// **Biconnected by construction** for `m ≥ 2` (which this generator
+/// requires): the seed clique is biconnected, and every new node forms an
+/// open ear between two distinct existing nodes, which preserves
+/// biconnectivity. With `m = 1` preferential attachment grows a tree —
+/// never biconnected — so that parameterization is rejected with a panic
+/// rather than producing a topology every FPSS scenario would refuse.
+///
+/// # Panics
+///
+/// Panics if `m < 2` or `n ≤ m`.
+pub fn scale_free<R: Rng>(n: usize, m: usize, rng: &mut R) -> Topology {
+    assert!(
+        m >= 2,
+        "scale-free attachment needs m >= 2: m = 1 grows a tree, which is never biconnected"
+    );
+    assert!(n > m, "need more nodes than the attachment count");
+    let mut builder = Topology::builder(n);
+    // Degree-weighted urn: node id appears once per incident edge.
+    let mut urn: Vec<u32> = Vec::with_capacity(2 * n * m);
+    for i in 0..=m {
+        for j in (i + 1)..=m {
+            builder = builder.edge(i as u32, j as u32);
+            urn.push(i as u32);
+            urn.push(j as u32);
+        }
+    }
+    for newcomer in (m + 1)..n {
+        let mut targets: Vec<u32> = Vec::with_capacity(m);
+        while targets.len() < m {
+            let candidate = urn[rng.gen_range(0..urn.len())];
+            if !targets.contains(&candidate) {
+                targets.push(candidate);
+            }
+        }
+        for &target in &targets {
+            builder = builder.edge(newcomer as u32, target);
+            urn.push(newcomer as u32);
+            urn.push(target);
+        }
+    }
+    builder.build()
+}
+
 /// A random biconnected topology: a random Hamiltonian cycle (biconnected
 /// by construction) plus `extra_edges` random chords.
 ///
@@ -250,5 +322,60 @@ mod tests {
     #[should_panic(expected = "at least 3")]
     fn ring_rejects_tiny() {
         let _ = ring(2);
+    }
+
+    #[test]
+    fn stars_are_never_biconnected() {
+        // The documented contract: star() builds the topology, and FPSS
+        // scenario construction rejects it because the hub is a cut
+        // vertex (or, at n = 2, the graph is a single edge).
+        for n in [2usize, 3, 5, 9, 17] {
+            let topo = star(n);
+            assert_eq!(topo.num_edges(), n - 1, "star({n}) edge count");
+            assert_eq!(topo.degree(NodeId::new((n - 1) as u32)), n - 1);
+            assert!(!topo.is_biconnected(), "star({n}) must not be biconnected");
+        }
+    }
+
+    #[test]
+    fn scale_free_is_biconnected_by_construction() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for n in [4usize, 8, 16, 40] {
+            for m in [2usize, 3] {
+                if n <= m {
+                    continue;
+                }
+                let topo = scale_free(n, m, &mut rng);
+                assert_eq!(topo.num_nodes(), n);
+                assert!(topo.is_biconnected(), "scale_free({n}, {m})");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_free_prefers_high_degree_nodes() {
+        // The scale-free signature: hubs exist. On a reasonably large
+        // instance the maximum degree must clearly exceed the attachment
+        // count m (which is every late node's degree at birth).
+        let mut rng = StdRng::seed_from_u64(10);
+        let topo = scale_free(60, 2, &mut rng);
+        let max_degree = topo.nodes().map(|v| topo.degree(v)).max().unwrap();
+        assert!(
+            max_degree >= 6,
+            "expected a hub, max degree was {max_degree}"
+        );
+    }
+
+    #[test]
+    fn scale_free_is_seed_deterministic() {
+        let a = scale_free(20, 2, &mut StdRng::seed_from_u64(5));
+        let b = scale_free(20, 2, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "m = 1 grows a tree")]
+    fn scale_free_rejects_tree_parameterization() {
+        let _ = scale_free(10, 1, &mut StdRng::seed_from_u64(0));
     }
 }

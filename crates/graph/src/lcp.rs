@@ -100,7 +100,10 @@ pub fn lcp_avoiding(
     dst: NodeId,
     avoid: NodeId,
 ) -> Option<PathMetric> {
-    assert!(avoid != dst, "cannot avoid the destination of the LCP query");
+    assert!(
+        avoid != dst,
+        "cannot avoid the destination of the LCP query"
+    );
     lcp_tree_avoiding(topo, costs, src, Some(avoid))[dst.index()].clone()
 }
 

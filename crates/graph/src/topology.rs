@@ -251,7 +251,11 @@ mod tests {
     use super::*;
 
     fn triangle() -> Topology {
-        Topology::builder(3).edge(0, 1).edge(1, 2).edge(2, 0).build()
+        Topology::builder(3)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 0)
+            .build()
     }
 
     /// Two triangles sharing node 2 — node 2 is an articulation point.

@@ -58,6 +58,59 @@ impl LatencyModel for JitteredLatency {
     }
 }
 
+/// A plain-data latency model: the closed enum over the models above.
+///
+/// Scenario configuration wants latency as a *value* (clonable,
+/// comparable, buildable from config) rather than a type parameter; this
+/// enum is that value, and implements [`LatencyModel`] by dispatch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Latency {
+    /// The same fixed delay on every link (see [`FixedLatency`]).
+    Fixed {
+        /// Delay in microseconds.
+        micros: u64,
+    },
+    /// Base delay plus uniform jitter (see [`JitteredLatency`]).
+    Jittered {
+        /// Base delay in microseconds.
+        base: u64,
+        /// Maximum additional jitter in microseconds.
+        jitter: u64,
+    },
+}
+
+impl Latency {
+    /// The default link delay used by the run engines: fixed 10 µs.
+    pub const DEFAULT: Latency = Latency::Fixed { micros: 10 };
+
+    /// A fixed latency of `micros` microseconds.
+    pub fn fixed(micros: u64) -> Self {
+        Latency::Fixed { micros }
+    }
+
+    /// Base delay plus uniform jitter in `0..=jitter` microseconds.
+    pub fn jittered(base: u64, jitter: u64) -> Self {
+        Latency::Jittered { base, jitter }
+    }
+}
+
+impl Default for Latency {
+    fn default() -> Self {
+        Latency::DEFAULT
+    }
+}
+
+impl LatencyModel for Latency {
+    fn delay<R: Rng>(&self, from: NodeId, to: NodeId, rng: &mut R) -> SimDuration {
+        match *self {
+            Latency::Fixed { micros } => FixedLatency::new(micros).delay(from, to, rng),
+            Latency::Jittered { base, jitter } => {
+                JitteredLatency::new(base, jitter).delay(from, to, rng)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,12 +130,35 @@ mod tests {
     }
 
     #[test]
+    fn enum_dispatch_matches_concrete_models() {
+        let mut rng_a = StdRng::seed_from_u64(4);
+        let mut rng_b = StdRng::seed_from_u64(4);
+        let concrete = JitteredLatency::new(7, 3);
+        let value = Latency::jittered(7, 3);
+        for _ in 0..20 {
+            assert_eq!(
+                concrete.delay(NodeId::new(0), NodeId::new(1), &mut rng_a),
+                value.delay(NodeId::new(0), NodeId::new(1), &mut rng_b)
+            );
+        }
+        assert_eq!(
+            Latency::fixed(25).delay(NodeId::new(0), NodeId::new(1), &mut rng_a),
+            SimDuration::from_micros(25)
+        );
+        assert_eq!(Latency::default(), Latency::Fixed { micros: 10 });
+    }
+
+    #[test]
     fn jittered_stays_in_range_and_is_seed_deterministic() {
         let model = JitteredLatency::new(10, 5);
         let draw = |seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
             (0..20)
-                .map(|_| model.delay(NodeId::new(0), NodeId::new(1), &mut rng).micros())
+                .map(|_| {
+                    model
+                        .delay(NodeId::new(0), NodeId::new(1), &mut rng)
+                        .micros()
+                })
                 .collect::<Vec<_>>()
         };
         let a = draw(9);

@@ -65,7 +65,7 @@ pub mod sim;
 pub mod time;
 
 pub use connect::Connectivity;
-pub use latency::{FixedLatency, JitteredLatency, LatencyModel};
+pub use latency::{FixedLatency, JitteredLatency, Latency, LatencyModel};
 pub use payload::Payload;
 pub use sim::{Actor, Ctx, NetStats, Network, RunOutcome};
 pub use time::{SimDuration, SimTime};

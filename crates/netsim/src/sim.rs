@@ -274,7 +274,12 @@ impl<A: Actor, L: LatencyModel> Network<A, L> {
         self.now
     }
 
-    fn flush(&mut self, from: NodeId, outbox: Vec<(NodeId, A::Msg)>, timers: Vec<(SimDuration, u64)>) {
+    fn flush(
+        &mut self,
+        from: NodeId,
+        outbox: Vec<(NodeId, A::Msg)>,
+        timers: Vec<(SimDuration, u64)>,
+    ) {
         for (to, msg) in outbox {
             assert!(
                 self.connectivity.can_send(from, to),
@@ -696,7 +701,10 @@ mod tests {
         net.schedule_timer(n(0), SimDuration::from_micros(100), 9);
         let second = net.run();
         assert!(second.final_time > first.final_time);
-        assert_eq!(second.final_time - first.final_time, SimDuration::from_micros(100));
+        assert_eq!(
+            second.final_time - first.final_time,
+            SimDuration::from_micros(100)
+        );
     }
 
     #[test]

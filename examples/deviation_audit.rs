@@ -15,19 +15,28 @@ use specfaith::prelude::*;
 
 fn main() {
     let net = figure1();
-    let traffic = TrafficMatrix::from_flows(vec![
-        Flow { src: net.x, dst: net.z, packets: 5 },
-        Flow { src: net.d, dst: net.z, packets: 5 },
-        Flow { src: net.z, dst: net.x, packets: 3 },
-    ]);
+    let traffic = vec![
+        Flow {
+            src: net.x,
+            dst: net.z,
+            packets: 5,
+        },
+        Flow {
+            src: net.d,
+            dst: net.z,
+            packets: 5,
+        },
+        Flow {
+            src: net.z,
+            dst: net.x,
+            packets: 3,
+        },
+    ];
 
     // Leg 1 of Proposition 2: the corresponding centralized mechanism is
     // strategyproof.
-    let flows: Vec<(NodeId, NodeId, u64)> = traffic
-        .flows()
-        .iter()
-        .map(|f| (f.src, f.dst, f.packets))
-        .collect();
+    let flows: Vec<(NodeId, NodeId, u64)> =
+        traffic.iter().map(|f| (f.src, f.dst, f.packets)).collect();
     let mech = VcgMechanism::new(RoutingProblem::new(net.topology.clone(), flows));
     let mut rng = StdRng::seed_from_u64(11);
     let mut profiles = vec![net.costs.as_slice().to_vec()];
@@ -35,17 +44,35 @@ fn main() {
         profiles.push(CostVector::random(6, 0, 30, &mut rng).as_slice().to_vec());
     }
     let sp = check_strategyproof(&mech, &profiles, &MisreportGrid::standard());
-    println!("centralized FPSS strategyproof: {} ({} checks)", sp.is_strategyproof(), sp.checks);
+    println!(
+        "centralized FPSS strategyproof: {} ({} checks)",
+        sp.is_strategyproof(),
+        sp.checks
+    );
 
     // Legs 2–3: strong-CC and strong-AC per phase, via the deviation sweep
     // over several type profiles (the "for all θ" quantifier, sampled).
+    // Each profile is the same scenario with one builder knob changed.
+    let catalog = Catalog::standard();
+    let scenario_for = |costs: CostVector| {
+        Scenario::builder()
+            .topology(TopologySource::Figure1)
+            .costs(CostModel::Explicit(costs))
+            .traffic(TrafficModel::Flows(traffic.clone()))
+            .mechanism(Mechanism::faithful())
+            .build()
+    };
     let mut suite = EquilibriumSuite::new();
-    let paper_sim = FaithfulSim::new(net.topology.clone(), net.costs.clone(), traffic.clone());
-    suite.push("figure1-costs", paper_sim.equilibrium_report(1));
+    suite.push(
+        "figure1-costs",
+        scenario_for(net.costs.clone()).equilibrium_report(1, &catalog),
+    );
     for (i, profile) in profiles.iter().skip(1).take(2).enumerate() {
         let costs: CostVector = profile.iter().copied().collect();
-        let sim = FaithfulSim::new(net.topology.clone(), costs, traffic.clone());
-        suite.push(format!("random-costs-{i}"), sim.equilibrium_report(1));
+        suite.push(
+            format!("random-costs-{i}"),
+            scenario_for(costs).equilibrium_report(1, &catalog),
+        );
     }
     println!("\n{suite}");
 

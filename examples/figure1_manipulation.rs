@@ -16,6 +16,9 @@
 //! 4. in the **faithful extension**, every one of those is caught and
 //!    unprofitable.
 //!
+//! The plain and faithful runs differ by exactly one builder call — the
+//! [`Mechanism`] — which is the point of the unified scenario API.
+//!
 //! ```sh
 //! cargo run --example figure1_manipulation
 //! ```
@@ -33,7 +36,10 @@ fn main() {
     let flows = [(net.x, net.z, 10u64), (net.d, net.z, 10u64)];
 
     println!("== Sweep of C's declared cost (true cost = {true_c}) ==");
-    println!("{:>8} {:>10} {:>12} {:>12}", "declared", "on X-Z LCP", "naive util", "VCG util");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12}",
+        "declared", "on X-Z LCP", "naive util", "VCG util"
+    );
     for declared in 0..=8u64 {
         let lied = net.costs.with_cost(net.c, Cost::new(declared));
         let mut naive = 0i64;
@@ -52,12 +58,15 @@ fn main() {
             let p = vcg_payment(&net.topology, &lied, src, dst, net.c).expect("on LCP");
             vcg += (p.value() - true_c) * packets as i64;
         }
-        println!("{declared:>8} {:>10} {naive:>12} {vcg:>12}", if on_xz { "yes" } else { "no" });
+        println!(
+            "{declared:>8} {:>10} {naive:>12} {vcg:>12}",
+            if on_xz { "yes" } else { "no" }
+        );
     }
     println!("(naive utility peaks at a lie; VCG utility is maximized at the truth)");
 
     // The distributed story: plain FPSS still falls to §4.3 manipulations.
-    let traffic = TrafficMatrix::from_flows(
+    let traffic = TrafficModel::Flows(
         flows
             .iter()
             .map(|&(src, dst, packets)| Flow { src, dst, packets })
@@ -74,8 +83,12 @@ fn main() {
         }),
     ];
 
-    let plain = PlainFpssSim::new(net.topology.clone(), net.costs.clone(), traffic.clone());
-    let plain_faithful = plain.run_faithful(1);
+    let base_scenario = Scenario::builder()
+        .topology(TopologySource::Figure1)
+        .traffic(traffic);
+
+    let plain = base_scenario.clone().mechanism(Mechanism::Plain).build();
+    let plain_faithful = plain.run(1);
     println!("\n== Plain FPSS (no checkers, no bank) ==");
     for (label, deviant, make) in &cases {
         let run = plain.run_with_deviant(*deviant, make(), 1);
@@ -84,8 +97,8 @@ fn main() {
         assert!(gain.is_positive());
     }
 
-    let faithful = FaithfulSim::new(net.topology.clone(), net.costs.clone(), traffic);
-    let base = faithful.run_faithful(1);
+    let faithful = base_scenario.mechanism(Mechanism::faithful()).build();
+    let base = faithful.run(1);
     println!("\n== Faithful extension (checkers + bank) ==");
     for (label, deviant, make) in &cases {
         let run = faithful.run_with_deviant(*deviant, make(), 1);

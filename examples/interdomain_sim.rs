@@ -2,34 +2,48 @@
 //! topology, random transit costs, random traffic, full faithful
 //! lifecycle, and the price of faithfulness (overhead vs plain FPSS).
 //!
+//! The entire instance is declarative: the scenario builder materializes
+//! topology, costs, and traffic from its instance seed, and the plain and
+//! faithful runs differ by one [`Mechanism`] knob.
+//!
 //! ```sh
 //! cargo run --example interdomain_sim
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use specfaith::prelude::*;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(2004);
     let n = 16;
-    let topo = random_biconnected(n, n / 2, &mut rng);
-    let costs = CostVector::random(n, 1, 20, &mut rng);
-    let traffic = TrafficMatrix::random(n, 12, 5, &mut rng);
-    println!(
-        "topology: {} ASes, {} links, biconnected: {}",
-        topo.num_nodes(),
-        topo.num_edges(),
-        topo.is_biconnected()
-    );
-    println!("traffic: {} flows, {} packets total", traffic.flows().len(), traffic.total_packets());
+    let base = Scenario::builder()
+        .topology(TopologySource::RandomBiconnected {
+            n,
+            extra_edges: n / 2,
+        })
+        .costs(CostModel::Random { lo: 1, hi: 20 })
+        .traffic(TrafficModel::Random {
+            flows: 12,
+            max_packets: 5,
+        })
+        .instance_seed(2004);
 
     // Plain FPSS: converges to the centralized VCG tables.
-    let plain = PlainFpssSim::new(topo.clone(), costs.clone(), traffic.clone());
-    let plain_run = plain.run_faithful(7);
+    let plain = base.clone().mechanism(Mechanism::Plain).build();
     println!(
-        "\nplain FPSS: tables match centralized VCG reference: {}",
-        plain_run.tables_match_centralized
+        "topology: {} ASes, {} links, biconnected: {}",
+        plain.num_nodes(),
+        plain.topology().num_edges(),
+        plain.topology().is_biconnected()
+    );
+    println!(
+        "traffic: {} flows, {} packets total",
+        plain.traffic().flows().len(),
+        plain.traffic().total_packets()
+    );
+
+    let plain_run = plain.run(7);
+    println!(
+        "\nplain FPSS: tables match centralized VCG reference: {:?}",
+        plain_run.tables_match_centralized().expect("plain run")
     );
     println!(
         "plain FPSS traffic: {} msgs / {} bytes",
@@ -38,11 +52,13 @@ fn main() {
     );
 
     // Faithful extension: checkers + bank, full lifecycle in one run.
-    let faithful = FaithfulSim::new(topo.clone(), costs.clone(), traffic.clone());
-    let run = faithful.run_faithful(7);
+    let faithful = base.mechanism(Mechanism::faithful()).build();
+    let run = faithful.run(7);
     println!(
         "\nfaithful FPSS: green-lighted: {}, restarts: {}, detected: {}",
-        run.green_lighted, run.restarts, run.detected
+        run.green_lighted(),
+        run.restarts(),
+        run.detected
     );
     println!(
         "faithful traffic: {} msgs / {} bytes",
@@ -50,13 +66,14 @@ fn main() {
         run.stats.total_bytes()
     );
 
-    let overhead = measure_overhead(&topo, &costs, &traffic, 7);
+    let overhead = measure_overhead(faithful.topology(), faithful.costs(), faithful.traffic(), 7);
     println!("\nthe price of faithfulness (checker redundancy + checkpoints):");
     println!("  {overhead}");
 
     // Utility summary: who earned what.
     println!("\nrealized utilities (faithful run):");
-    let mut ranked: Vec<(NodeId, Money)> = topo
+    let mut ranked: Vec<(NodeId, Money)> = faithful
+        .topology()
         .nodes()
         .map(|id| (id, run.utilities[id.index()]))
         .collect();
@@ -64,7 +81,8 @@ fn main() {
     for (id, u) in ranked.iter().take(5) {
         println!("  {id}: {u}");
     }
-    println!("  ... ({} nodes total, all strictly positive: {})",
+    println!(
+        "  ... ({} nodes total, all strictly positive: {})",
         n,
         run.utilities.iter().all(|u| u.is_positive())
     );

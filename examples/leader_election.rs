@@ -34,9 +34,7 @@ fn main() {
     let outcome = mech.outcome(&costs);
     println!(
         "elected leader: node {} (cost {}), compensated {} (second price)",
-        outcome.allocation,
-        costs[outcome.allocation],
-        outcome.payments[outcome.allocation]
+        outcome.allocation, costs[outcome.allocation], outcome.payments[outcome.allocation]
     );
     let winner_utility = mech.utility(outcome.allocation, &costs[outcome.allocation], &costs);
     println!("leader's utility: {winner_utility} (compensation − true cost ≥ 0)");

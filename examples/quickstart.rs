@@ -1,5 +1,6 @@
 //! Quickstart: run the faithful FPSS mechanism on the paper's Figure 1
-//! network and inspect what the mechanism computed.
+//! network through the unified scenario API and inspect what the
+//! mechanism computed.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -32,8 +33,8 @@ fn main() {
 
     println!("\n== VCG payments for the X -> Z flow ==");
     for k in [net.d, net.c] {
-        let p = vcg_payment(&net.topology, &net.costs, net.x, net.z, k)
-            .expect("k is on the X->Z LCP");
+        let p =
+            vcg_payment(&net.topology, &net.costs, net.x, net.z, k).expect("k is on the X->Z LCP");
         println!(
             "  transit {} is paid {} per packet (declared cost {})",
             name(k),
@@ -42,29 +43,36 @@ fn main() {
         );
     }
 
-    // Run the full faithful lifecycle: cost flood, distributed routing and
-    // pricing, bank checkpoints ([BANK1]/[BANK2]), execution, settlement.
+    // One builder call describes the whole experiment: topology, traffic,
+    // mechanism. The faithful lifecycle (cost flood, distributed routing
+    // and pricing, bank checkpoints [BANK1]/[BANK2], execution,
+    // settlement) runs inside a single deterministic simulation.
     println!("\n== Faithful run: X sends 10 packets to Z ==");
-    let sim = FaithfulSim::new(
-        net.topology.clone(),
-        net.costs.clone(),
-        TrafficMatrix::single(net.x, net.z, 10),
-    );
-    let run = sim.run_faithful(42);
-    println!("  green-lighted: {}", run.green_lighted);
-    println!("  restarts: {}, halted: {}", run.restarts, run.halted);
+    let scenario = Scenario::builder()
+        .topology(TopologySource::Figure1)
+        .traffic(TrafficModel::Single {
+            src: net.x,
+            dst: net.z,
+            packets: 10,
+        })
+        .mechanism(Mechanism::faithful())
+        .build();
+    let run = scenario.run(42);
+    println!("  green-lighted: {}", run.green_lighted());
+    println!("  restarts: {}, halted: {}", run.restarts(), run.halted());
     println!("  anything detected by enforcement: {}", run.detected);
     println!("  utilities:");
-    for id in net.topology.nodes() {
+    for id in scenario.topology().nodes() {
         println!("    {}: {}", name(id), run.utilities[id.index()]);
     }
 
-    // And certify the standard deviation catalog unprofitable.
+    // And certify the standard deviation catalog unprofitable — the
+    // Theorem-1 sweep, fanned out across cores.
     println!("\n== Deviation sweep (Theorem 1, empirically) ==");
-    let report = sim.equilibrium_report(42);
+    let report = scenario.sweep(&[42], &Catalog::standard());
     println!(
         "  {} unilateral deviations tested; ex post Nash: {}",
-        report.outcomes.len(),
+        report.total_deviations(),
         report.is_ex_post_nash()
     );
     println!(

@@ -15,31 +15,33 @@
 //! * [`crypto`] — SHA-256, HMAC, authenticated bank channels, table
 //!   hashing.
 //! * [`graph`] — node-weighted topologies, biconnectivity, lowest-cost
-//!   paths with deterministic tie-breaking, the paper's Figure 1.
+//!   paths with deterministic tie-breaking, the paper's Figure 1, and the
+//!   synthetic families (rings, grids, wheels, stars, scale-free, random
+//!   biconnected).
 //! * [`netsim`] — the deterministic discrete-event simulator.
 //! * [`fpss`] — plain FPSS lowest-cost interdomain routing (distributed
-//!   LCP + VCG pricing), its execution phase, and the deviation library.
+//!   LCP + VCG pricing), its execution phase, the deviation library, and
+//!   the plain run engine.
 //! * [`faithful`] — the paper's faithful extension: checker nodes, the
-//!   checkpointing bank, catch-and-punish, and the Theorem-1 experiment
-//!   harness.
+//!   checkpointing bank, catch-and-punish, and the faithful run engine.
+//! * [`scenario`] — **the front door**: one builder for plain and
+//!   faithful runs, and parallel Theorem-1 deviation sweeps.
 //!
 //! # Quickstart
 //!
-//! Run the faithful mechanism on the paper's Figure 1 network and check
-//! that the standard deviation catalog is unprofitable:
+//! Describe the experiment — topology, traffic, mechanism — build it, and
+//! sweep the standard deviation catalog:
 //!
 //! ```
-//! use specfaith::faithful::harness::FaithfulSim;
-//! use specfaith::fpss::traffic::TrafficMatrix;
-//! use specfaith::graph::generators::figure1;
+//! use specfaith::scenario::{Catalog, Mechanism, Scenario, TopologySource, TrafficModel};
 //!
-//! let net = figure1();
-//! let sim = FaithfulSim::new(
-//!     net.topology.clone(),
-//!     net.costs.clone(),
-//!     TrafficMatrix::single(net.x, net.z, 5),
-//! );
-//! let report = sim.equilibrium_report(42);
+//! let scenario = Scenario::builder()
+//!     .topology(TopologySource::Figure1)
+//!     .traffic(TrafficModel::single_by_index(5, 4, 5)) // X sends 5 packets to Z
+//!     .mechanism(Mechanism::faithful())
+//!     .build();
+//!
+//! let report = scenario.sweep(&[42], &Catalog::standard());
 //! assert!(report.is_ex_post_nash());
 //! assert!(report.strong_cc_holds() && report.strong_ac_holds());
 //! ```
@@ -51,19 +53,32 @@ pub use specfaith_fpss as fpss;
 pub use specfaith_graph as graph;
 pub use specfaith_netsim as netsim;
 
+pub mod scenario;
+
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
+    pub use crate::scenario::{
+        Catalog, CostModel, Mechanism, MechanismOutcome, RunReport, Scenario, ScenarioBuilder,
+        ScenarioError, SweepReport, TopologySource, TrafficModel,
+    };
     pub use specfaith_core::actions::{CompatibilityKind, DeviationSurface, ExternalActionKind};
     pub use specfaith_core::equilibrium::{DeviationSpec, EquilibriumReport, EquilibriumSuite};
     pub use specfaith_core::faithfulness::FaithfulnessCertificate;
     pub use specfaith_core::id::NodeId;
     pub use specfaith_core::money::{Cost, Money};
-    pub use specfaith_faithful::harness::{FaithfulRunResult, FaithfulSim};
+    pub use specfaith_faithful::harness::{FaithfulConfig, FaithfulRunResult};
     pub use specfaith_faithful::metrics::measure_overhead;
     pub use specfaith_fpss::deviation::{Faithful, RationalStrategy};
-    pub use specfaith_fpss::runner::{PlainFpssSim, PlainRunResult};
+    pub use specfaith_fpss::runner::{PlainConfig, PlainRunResult};
     pub use specfaith_fpss::traffic::{Flow, TrafficMatrix};
     pub use specfaith_graph::costs::CostVector;
     pub use specfaith_graph::generators::{figure1, random_biconnected};
     pub use specfaith_graph::topology::Topology;
+    pub use specfaith_netsim::Latency;
+
+    // Deprecated one-mechanism builders, re-exported for one release.
+    #[allow(deprecated)]
+    pub use specfaith_faithful::harness::FaithfulSim;
+    #[allow(deprecated)]
+    pub use specfaith_fpss::runner::PlainFpssSim;
 }

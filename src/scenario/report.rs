@@ -1,0 +1,232 @@
+//! Unified run and sweep reports.
+
+use specfaith_core::equilibrium::{DeviationOutcome, EquilibriumReport, EquilibriumSuite};
+use specfaith_core::money::Money;
+use specfaith_faithful::harness::FaithfulRunResult;
+use specfaith_fpss::runner::PlainRunResult;
+use specfaith_netsim::NetStats;
+use std::fmt;
+
+/// Mechanism-specific outcome detail inside a [`RunReport`].
+#[derive(Clone, Debug)]
+pub enum MechanismOutcome {
+    /// A plain-FPSS run.
+    Plain {
+        /// Whether every node's converged tables equal the centralized
+        /// VCG reference under the declared costs.
+        tables_match_centralized: bool,
+    },
+    /// A faithful-mechanism run.
+    Faithful {
+        /// Whether construction was certified and execution ran.
+        green_lighted: bool,
+        /// Whether the mechanism halted (restart budget exhausted).
+        halted: bool,
+        /// Construction restarts performed by the bank.
+        restarts: u32,
+        /// Penalties charged per node.
+        penalties: Vec<Money>,
+    },
+}
+
+/// Result of one scenario run, for either mechanism.
+///
+/// The common fields (`utilities`, `detected`, `stats`, `truncated`) are
+/// directly comparable across mechanisms — that is what the examples'
+/// plain-vs-faithful contrasts rely on. Mechanism-specific detail lives
+/// in [`RunReport::outcome`], with panic-free accessors for the usual
+/// questions.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Realized utility per topology node.
+    pub utilities: Vec<Money>,
+    /// Whether anything flagged the run. For the faithful mechanism this
+    /// is real enforcement (restarts, halt, penalties, MAC failures); for
+    /// plain FPSS it means the converged tables visibly diverged from the
+    /// centralized reference (observable, but nobody acts on it — the
+    /// paper's point).
+    pub detected: bool,
+    /// Simulator traffic statistics for the whole lifecycle.
+    pub stats: NetStats,
+    /// Whether the event budget truncated the run.
+    pub truncated: bool,
+    /// Mechanism-specific detail.
+    pub outcome: MechanismOutcome,
+}
+
+impl RunReport {
+    pub(crate) fn from_plain(run: PlainRunResult) -> Self {
+        RunReport {
+            utilities: run.utilities,
+            detected: !run.tables_match_centralized,
+            stats: run.stats,
+            truncated: run.truncated,
+            outcome: MechanismOutcome::Plain {
+                tables_match_centralized: run.tables_match_centralized,
+            },
+        }
+    }
+
+    pub(crate) fn from_faithful(run: FaithfulRunResult) -> Self {
+        RunReport {
+            utilities: run.utilities,
+            detected: run.detected,
+            stats: run.stats,
+            truncated: run.truncated,
+            outcome: MechanismOutcome::Faithful {
+                green_lighted: run.green_lighted,
+                halted: run.halted,
+                restarts: run.restarts,
+                penalties: run.penalties,
+            },
+        }
+    }
+
+    /// Whether execution was reached: the bank's green light for faithful
+    /// runs, always `true` for plain runs (plain FPSS has no gate).
+    pub fn green_lighted(&self) -> bool {
+        match &self.outcome {
+            MechanismOutcome::Plain { .. } => true,
+            MechanismOutcome::Faithful { green_lighted, .. } => *green_lighted,
+        }
+    }
+
+    /// Whether the mechanism halted. Always `false` for plain runs.
+    pub fn halted(&self) -> bool {
+        match &self.outcome {
+            MechanismOutcome::Plain { .. } => false,
+            MechanismOutcome::Faithful { halted, .. } => *halted,
+        }
+    }
+
+    /// Construction restarts. Always `0` for plain runs.
+    pub fn restarts(&self) -> u32 {
+        match &self.outcome {
+            MechanismOutcome::Plain { .. } => 0,
+            MechanismOutcome::Faithful { restarts, .. } => *restarts,
+        }
+    }
+
+    /// Penalties charged per node. Empty for plain runs (plain FPSS never
+    /// charges penalties).
+    pub fn penalties(&self) -> &[Money] {
+        match &self.outcome {
+            MechanismOutcome::Plain { .. } => &[],
+            MechanismOutcome::Faithful { penalties, .. } => penalties,
+        }
+    }
+
+    /// Whether converged tables matched the centralized reference:
+    /// `Some(_)` for plain runs, `None` for faithful runs (where the
+    /// bank's hash checkpoints subsume the comparison).
+    pub fn tables_match_centralized(&self) -> Option<bool> {
+        match &self.outcome {
+            MechanismOutcome::Plain {
+                tables_match_centralized,
+            } => Some(*tables_match_centralized),
+            MechanismOutcome::Faithful { .. } => None,
+        }
+    }
+}
+
+/// The result of a [`Scenario::sweep`](super::Scenario::sweep): one
+/// [`EquilibriumReport`] per seed, in the caller's seed order.
+///
+/// Equality is exact (delegating to [`EquilibriumReport`]'s field-wise
+/// equality) — the determinism guarantee "parallel ≡ serial" is literally
+/// `assert_eq!` on two of these.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// `(seed, report)` per swept seed.
+    pub per_seed: Vec<(u64, EquilibriumReport)>,
+}
+
+impl SweepReport {
+    /// The per-seed reports.
+    pub fn reports(&self) -> impl Iterator<Item = &EquilibriumReport> {
+        self.per_seed.iter().map(|(_, report)| report)
+    }
+
+    /// Ex post Nash across every swept seed.
+    pub fn is_ex_post_nash(&self) -> bool {
+        self.reports().all(EquilibriumReport::is_ex_post_nash)
+    }
+
+    /// Strong-CC across every swept seed.
+    pub fn strong_cc_holds(&self) -> bool {
+        self.reports().all(EquilibriumReport::strong_cc_holds)
+    }
+
+    /// Strong-AC across every swept seed.
+    pub fn strong_ac_holds(&self) -> bool {
+        self.reports().all(EquilibriumReport::strong_ac_holds)
+    }
+
+    /// IC across every swept seed.
+    pub fn ic_holds(&self) -> bool {
+        self.reports().all(EquilibriumReport::ic_holds)
+    }
+
+    /// Total `(node, deviation)` cells tested across all seeds (excluding
+    /// the per-seed faithful baselines).
+    pub fn total_deviations(&self) -> usize {
+        self.reports().map(|r| r.outcomes.len()).sum()
+    }
+
+    /// Every strictly profitable deviation, with the seed it appeared
+    /// under.
+    pub fn violations(&self) -> impl Iterator<Item = (u64, &DeviationOutcome)> {
+        self.per_seed
+            .iter()
+            .flat_map(|(seed, report)| report.violations().map(move |v| (*seed, v)))
+    }
+
+    /// Fraction of tested cells flagged by enforcement, `None` when the
+    /// sweep was empty.
+    pub fn detection_rate(&self) -> Option<f64> {
+        let total = self.total_deviations();
+        if total == 0 {
+            return None;
+        }
+        let detected: usize = self
+            .reports()
+            .map(|r| r.outcomes.iter().filter(|o| o.detected).count())
+            .sum();
+        Some(detected as f64 / total as f64)
+    }
+
+    /// Converts into the labeled [`EquilibriumSuite`] the certificate
+    /// assembly expects, labeling each report `seed-<seed>`.
+    pub fn to_suite(&self) -> EquilibriumSuite {
+        let mut suite = EquilibriumSuite::new();
+        for (seed, report) in &self.per_seed {
+            suite.push(format!("seed-{seed}"), report.clone());
+        }
+        suite
+    }
+}
+
+impl fmt::Display for SweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} seeds, {} deviation cells; ex post Nash: {}, strong-CC: {}, strong-AC: {}, IC: {}",
+            self.per_seed.len(),
+            self.total_deviations(),
+            self.is_ex_post_nash(),
+            self.strong_cc_holds(),
+            self.strong_ac_holds(),
+            self.ic_holds()
+        )?;
+        for (seed, violation) in self.violations() {
+            writeln!(
+                f,
+                "  VIOLATION [seed {seed}]: agent {} gains {} via {}",
+                violation.agent,
+                violation.gain(),
+                violation.deviation
+            )?;
+        }
+        Ok(())
+    }
+}

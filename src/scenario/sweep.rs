@@ -1,0 +1,329 @@
+//! The parallel deviation sweep: the `(seed × node × deviation)` grid,
+//! evaluated cell-by-cell with deterministic per-cell seeds.
+//!
+//! Every cell of the grid is an independent, deterministic simulator run,
+//! so evaluation order cannot influence results; [`cell_seed`] makes each
+//! cell's seed a pure function of `(base seed, agent, deviation)` so the
+//! grid's *contents* do not depend on how it is scheduled either. The
+//! parallel path and the serial path run the identical cell list through
+//! the identical evaluator — `assert_eq!` between their [`SweepReport`]s
+//! is the workspace's standing determinism test.
+
+use super::report::SweepReport;
+use super::Scenario;
+use rayon::prelude::*;
+use specfaith_core::equilibrium::{DeviationOutcome, DeviationSpec, EquilibriumReport};
+use specfaith_core::id::NodeId;
+use specfaith_core::money::Money;
+use specfaith_fpss::deviation::{standard_catalog, RationalStrategy};
+use std::fmt;
+use std::sync::Arc;
+
+/// A library of deviation strategies for sweeps.
+///
+/// A catalog is a *factory*: sweeps instantiate a fresh strategy per cell
+/// (strategies are stateful — e.g. transient deviants count attempts), and
+/// some strategies are parameterized by the deviant's identity (forged
+/// pricing tags use the deviant's own id, which no checker accepts).
+#[derive(Clone)]
+pub struct Catalog {
+    factory: Arc<dyn Fn(NodeId) -> Vec<Box<dyn RationalStrategy>> + Send + Sync>,
+}
+
+impl Catalog {
+    /// The paper's standard §4.3 catalog
+    /// ([`specfaith_fpss::deviation::standard_catalog`]): 13 deviations
+    /// covering all three action classes and all three phases.
+    pub fn standard() -> Self {
+        Catalog::from_factory(standard_catalog)
+    }
+
+    /// A catalog from an arbitrary factory. The factory must be
+    /// *name-stable*: for every deviant id it returns the same number of
+    /// strategies, with the same [`DeviationSpec`] names, in the same
+    /// order.
+    pub fn from_factory(
+        factory: impl Fn(NodeId) -> Vec<Box<dyn RationalStrategy>> + Send + Sync + 'static,
+    ) -> Self {
+        Catalog {
+            factory: Arc::new(factory),
+        }
+    }
+
+    /// The specs of this catalog (instantiated for node 0; the factory's
+    /// name-stability makes the choice immaterial).
+    pub fn specs(&self) -> Vec<DeviationSpec> {
+        (self.factory)(NodeId::new(0))
+            .iter()
+            .map(|s| s.spec())
+            .collect()
+    }
+
+    /// Number of deviations in the catalog.
+    pub fn len(&self) -> usize {
+        self.specs().len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A fresh instance of deviation `index` for `deviant`.
+    fn strategy(&self, deviant: NodeId, index: usize) -> Box<dyn RationalStrategy> {
+        (self.factory)(deviant)
+            .into_iter()
+            .nth(index)
+            .expect("catalog factories are name-stable across deviants")
+    }
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::standard()
+    }
+}
+
+impl fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Catalog")
+            .field("deviations", &self.specs())
+            .finish()
+    }
+}
+
+/// The deterministic per-cell seed: a pure SplitMix64-style mix of the
+/// sweep's base seed, the deviating agent, and the deviation index.
+///
+/// The faithful *baseline* cell of a seed uses the base seed unchanged,
+/// so `scenario.run(seed)` reproduces it exactly; a deviation cell
+/// `(agent, d)` runs under `cell_seed(seed, agent, d)`, reproducible via
+/// [`Scenario::run_with_deviant`](super::Scenario::run_with_deviant).
+pub fn cell_seed(base_seed: u64, agent: u64, deviation: u64) -> u64 {
+    let mut state = base_seed;
+    for word in [agent.wrapping_add(1), deviation.wrapping_add(1)] {
+        state = state
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(word))
+            .rotate_left(27);
+        state = (state ^ (state >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        state = (state ^ (state >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        state ^= state >> 31;
+    }
+    state
+}
+
+/// One cell of the sweep grid.
+#[derive(Clone, Copy, Debug)]
+struct Cell {
+    /// Index into the caller's seed list.
+    seed_index: usize,
+    /// The caller's base seed for this cell's row.
+    base_seed: u64,
+    /// `None` = the faithful baseline; `Some((agent, deviation index))`
+    /// otherwise.
+    deviation: Option<(usize, usize)>,
+}
+
+/// A cell's evaluated result: the deviant-relevant utility data.
+#[derive(Clone, Debug)]
+struct CellResult {
+    utilities: Vec<Money>,
+    detected: bool,
+}
+
+fn evaluate(scenario: &Scenario, catalog: &Catalog, cell: &Cell) -> CellResult {
+    let run = match cell.deviation {
+        None => scenario.run(cell.base_seed),
+        Some((agent, deviation)) => {
+            let agent_id = NodeId::from_index(agent);
+            let strategy = catalog.strategy(agent_id, deviation);
+            let seed = cell_seed(cell.base_seed, agent as u64, deviation as u64);
+            scenario.run_with_deviant(agent_id, strategy, seed)
+        }
+    };
+    CellResult {
+        utilities: run.utilities,
+        detected: run.detected,
+    }
+}
+
+/// Builds the full cell grid for `seeds`: per seed, the baseline first,
+/// then agents × deviations in row-major order.
+fn grid(scenario: &Scenario, seeds: &[u64], deviations: usize) -> Vec<Cell> {
+    let n = scenario.num_nodes();
+    let mut cells = Vec::with_capacity(seeds.len() * (1 + n * deviations));
+    for (seed_index, &base_seed) in seeds.iter().enumerate() {
+        cells.push(Cell {
+            seed_index,
+            base_seed,
+            deviation: None,
+        });
+        for agent in 0..n {
+            for deviation in 0..deviations {
+                cells.push(Cell {
+                    seed_index,
+                    base_seed,
+                    deviation: Some((agent, deviation)),
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Assembles per-seed [`EquilibriumReport`]s from the evaluated grid.
+/// `results` must be index-aligned with `cells` — both paths (serial and
+/// parallel) guarantee that by construction.
+fn assemble(
+    seeds: &[u64],
+    specs: &[DeviationSpec],
+    cells: &[Cell],
+    results: Vec<CellResult>,
+) -> SweepReport {
+    let mut reports: Vec<EquilibriumReport> = vec![EquilibriumReport::default(); seeds.len()];
+    // Baselines first: deviation outcomes need the faithful utilities.
+    for (cell, result) in cells.iter().zip(&results) {
+        if cell.deviation.is_none() {
+            reports[cell.seed_index].faithful_utilities = result.utilities.clone();
+        }
+    }
+    for (cell, result) in cells.iter().zip(results) {
+        let Some((agent, deviation)) = cell.deviation else {
+            continue;
+        };
+        let faithful_utility = reports[cell.seed_index].faithful_utilities[agent];
+        reports[cell.seed_index].outcomes.push(DeviationOutcome {
+            agent,
+            deviation: specs[deviation].clone(),
+            faithful_utility,
+            deviant_utility: result.utilities[agent],
+            detected: result.detected,
+        });
+    }
+    SweepReport {
+        per_seed: seeds.iter().copied().zip(reports).collect(),
+    }
+}
+
+/// Runs the sweep; `parallel` picks rayon fan-out vs. strict serial
+/// evaluation of the identical grid.
+pub(super) fn sweep(
+    scenario: &Scenario,
+    seeds: &[u64],
+    catalog: &Catalog,
+    parallel: bool,
+) -> SweepReport {
+    let specs = catalog.specs();
+    let cells = grid(scenario, seeds, specs.len());
+    let results: Vec<CellResult> = if parallel {
+        cells
+            .par_iter()
+            .map(|cell| evaluate(scenario, catalog, cell))
+            .collect()
+    } else {
+        cells
+            .iter()
+            .map(|cell| evaluate(scenario, catalog, cell))
+            .collect()
+    };
+    assemble(seeds, &specs, &cells, results)
+}
+
+/// The single-seed serial report (`Scenario::equilibrium_report`).
+pub(super) fn equilibrium_report_serial(
+    scenario: &Scenario,
+    seed: u64,
+    catalog: &Catalog,
+) -> EquilibriumReport {
+    let mut report = sweep(scenario, &[seed], catalog, false);
+    report
+        .per_seed
+        .pop()
+        .map(|(_, report)| report)
+        .expect("one seed in, one report out")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Mechanism, TopologySource, TrafficModel};
+
+    fn tiny_scenario() -> Scenario {
+        Scenario::builder()
+            .topology(TopologySource::Figure1)
+            .traffic(TrafficModel::single_by_index(5, 4, 3))
+            .mechanism(Mechanism::faithful())
+            .build()
+    }
+
+    #[test]
+    fn cell_seed_is_stable_and_spreads() {
+        // Pure function: same inputs, same output.
+        assert_eq!(cell_seed(7, 2, 5), cell_seed(7, 2, 5));
+        // Distinct cells get distinct seeds (no collisions on a small grid).
+        let mut seen = std::collections::BTreeSet::new();
+        for base in 0..4u64 {
+            for agent in 0..6u64 {
+                for deviation in 0..13u64 {
+                    seen.insert(cell_seed(base, agent, deviation));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 4 * 6 * 13, "cell seeds must not collide");
+    }
+
+    #[test]
+    fn standard_catalog_has_thirteen_name_stable_entries() {
+        let catalog = Catalog::standard();
+        assert_eq!(catalog.len(), 13);
+        assert!(!catalog.is_empty());
+        let names_for = |node: u32| -> Vec<String> {
+            (catalog.factory)(NodeId::new(node))
+                .iter()
+                .map(|s| s.spec().name().to_string())
+                .collect()
+        };
+        assert_eq!(names_for(0), names_for(5), "name-stability across deviants");
+    }
+
+    #[test]
+    fn single_seed_report_equals_the_swept_row() {
+        let scenario = tiny_scenario();
+        let catalog = Catalog::standard();
+        let single = scenario.equilibrium_report(11, &catalog);
+        let swept = scenario.sweep(&[11], &catalog);
+        assert_eq!(swept.per_seed.len(), 1);
+        assert_eq!(swept.per_seed[0].1, single);
+    }
+
+    #[test]
+    fn baseline_cell_is_reproducible_via_run() {
+        let scenario = tiny_scenario();
+        let catalog = Catalog::standard();
+        let report = scenario.equilibrium_report(3, &catalog);
+        let baseline = scenario.run(3);
+        assert_eq!(report.faithful_utilities, baseline.utilities);
+    }
+
+    #[test]
+    fn deviation_cell_is_reproducible_via_run_with_deviant() {
+        let scenario = tiny_scenario();
+        let catalog = Catalog::standard();
+        let report = scenario.equilibrium_report(3, &catalog);
+        // Reproduce cell (agent 2 = C, deviation 4 = spoof-short-routes).
+        let (agent, deviation) = (2usize, 4usize);
+        let strategy = catalog.strategy(NodeId::from_index(agent), deviation);
+        let rerun = scenario.run_with_deviant(
+            NodeId::from_index(agent),
+            strategy,
+            cell_seed(3, agent as u64, deviation as u64),
+        );
+        let outcome = report
+            .outcomes
+            .iter()
+            .find(|o| o.agent == agent && o.deviation.name() == catalog.specs()[deviation].name())
+            .expect("cell present");
+        assert_eq!(outcome.deviant_utility, rerun.utilities[agent]);
+        assert_eq!(outcome.detected, rerun.detected);
+    }
+}

@@ -1,28 +1,46 @@
 //! Distributed-equals-centralized convergence (experiment E4) and the
-//! overhead of faithfulness (experiment E8) across topology families.
+//! overhead of faithfulness (experiment E8) across topology families,
+//! expressed entirely through the scenario builder.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use specfaith::graph::generators::{grid, ring, wheel};
 use specfaith::prelude::*;
 
 #[test]
 fn convergence_on_topology_families() {
-    let mut rng = StdRng::seed_from_u64(77);
-    let families: Vec<(&str, Topology)> = vec![
-        ("ring-8", ring(8)),
-        ("wheel-7", wheel(7)),
-        ("grid-3x3", grid(3, 3)),
-        ("random-10", random_biconnected(10, 5, &mut rng)),
+    let families: Vec<(&str, TopologySource)> = vec![
+        ("ring-8", TopologySource::Ring(8)),
+        ("wheel-7", TopologySource::Wheel(7)),
+        ("grid-3x3", TopologySource::Grid(3, 3)),
+        (
+            "random-10",
+            TopologySource::RandomBiconnected {
+                n: 10,
+                extra_edges: 5,
+            },
+        ),
+        (
+            "scale-free-10",
+            TopologySource::ScaleFree {
+                n: 10,
+                attachments: 2,
+            },
+        ),
     ];
-    for (label, topo) in families {
-        let n = topo.num_nodes();
-        let costs = CostVector::random(n, 0, 12, &mut rng);
-        let traffic = TrafficMatrix::random(n, 3, 2, &mut rng);
-        let run = PlainFpssSim::new(topo, costs, traffic).run_faithful(5);
+    for (label, topology) in families {
+        let scenario = Scenario::builder()
+            .topology(topology)
+            .costs(CostModel::Random { lo: 0, hi: 12 })
+            .traffic(TrafficModel::Random {
+                flows: 3,
+                max_packets: 2,
+            })
+            .instance_seed(77)
+            .mechanism(Mechanism::Plain)
+            .build();
+        let run = scenario.run(5);
         assert!(!run.truncated, "{label} truncated");
-        assert!(
-            run.tables_match_centralized,
+        assert_eq!(
+            run.tables_match_centralized(),
+            Some(true),
             "{label}: distributed FPSS diverged from centralized VCG"
         );
     }
@@ -30,31 +48,45 @@ fn convergence_on_topology_families() {
 
 #[test]
 fn faithful_lifecycle_works_on_topology_families() {
-    let mut rng = StdRng::seed_from_u64(78);
-    let families: Vec<(&str, Topology)> = vec![
-        ("ring-6", ring(6)),
-        ("wheel-6", wheel(6)),
-        ("grid-2x3", grid(2, 3)),
+    let families: Vec<(&str, TopologySource)> = vec![
+        ("ring-6", TopologySource::Ring(6)),
+        ("wheel-6", TopologySource::Wheel(6)),
+        ("grid-2x3", TopologySource::Grid(2, 3)),
     ];
-    for (label, topo) in families {
-        let n = topo.num_nodes();
-        let costs = CostVector::random(n, 1, 10, &mut rng);
-        let traffic = TrafficMatrix::random(n, 3, 2, &mut rng);
-        let run = FaithfulSim::new(topo, costs, traffic).run_faithful(5);
-        assert!(run.green_lighted, "{label} failed to certify");
+    for (label, topology) in families {
+        let scenario = Scenario::builder()
+            .topology(topology)
+            .costs(CostModel::Random { lo: 1, hi: 10 })
+            .traffic(TrafficModel::Random {
+                flows: 3,
+                max_packets: 2,
+            })
+            .instance_seed(78)
+            .mechanism(Mechanism::faithful())
+            .build();
+        let run = scenario.run(5);
+        assert!(run.green_lighted(), "{label} failed to certify");
         assert!(!run.detected, "{label} false positive");
     }
 }
 
 #[test]
 fn overhead_grows_but_stays_a_constant_factor() {
-    let mut rng = StdRng::seed_from_u64(79);
     let mut factors = Vec::new();
     for n in [6usize, 10, 14] {
-        let topo = random_biconnected(n, n / 2, &mut rng);
-        let costs = CostVector::random(n, 1, 10, &mut rng);
-        let traffic = TrafficMatrix::random(n, 4, 2, &mut rng);
-        let report = measure_overhead(&topo, &costs, &traffic, 5);
+        let scenario = Scenario::builder()
+            .topology(TopologySource::RandomBiconnected {
+                n,
+                extra_edges: n / 2,
+            })
+            .costs(CostModel::Random { lo: 1, hi: 10 })
+            .traffic(TrafficModel::Random {
+                flows: 4,
+                max_packets: 2,
+            })
+            .instance_seed(79 + n as u64)
+            .build();
+        let report = measure_overhead(scenario.topology(), scenario.costs(), scenario.traffic(), 5);
         assert!(report.msg_factor() > 1.0, "n={n}: {report}");
         assert!(
             report.msg_factor() < 25.0,
@@ -72,10 +104,17 @@ fn overhead_grows_but_stays_a_constant_factor() {
 #[test]
 fn deterministic_runs_reproduce_exactly() {
     let net = figure1();
-    let traffic = TrafficMatrix::single(net.x, net.z, 5);
-    let sim = FaithfulSim::new(net.topology.clone(), net.costs.clone(), traffic);
-    let a = sim.run_faithful(123);
-    let b = sim.run_faithful(123);
+    let scenario = Scenario::builder()
+        .topology(TopologySource::Figure1)
+        .traffic(TrafficModel::Single {
+            src: net.x,
+            dst: net.z,
+            packets: 5,
+        })
+        .mechanism(Mechanism::faithful())
+        .build();
+    let a = scenario.run(123);
+    let b = scenario.run(123);
     assert_eq!(a.utilities, b.utilities);
     assert_eq!(a.stats.total_msgs(), b.stats.total_msgs());
     assert_eq!(a.stats.total_bytes(), b.stats.total_bytes());

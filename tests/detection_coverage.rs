@@ -7,15 +7,30 @@
 use specfaith::fpss::deviation::standard_catalog;
 use specfaith::prelude::*;
 
-fn figure1_sim() -> (specfaith::graph::generators::Figure1, FaithfulSim) {
+fn figure1_scenario() -> (specfaith::graph::generators::Figure1, Scenario) {
     let net = figure1();
-    let traffic = TrafficMatrix::from_flows(vec![
-        Flow { src: net.x, dst: net.z, packets: 4 },
-        Flow { src: net.d, dst: net.z, packets: 4 },
-        Flow { src: net.z, dst: net.x, packets: 2 },
-    ]);
-    let sim = FaithfulSim::new(net.topology.clone(), net.costs.clone(), traffic);
-    (net, sim)
+    let scenario = Scenario::builder()
+        .topology(TopologySource::Figure1)
+        .traffic(TrafficModel::Flows(vec![
+            Flow {
+                src: net.x,
+                dst: net.z,
+                packets: 4,
+            },
+            Flow {
+                src: net.d,
+                dst: net.z,
+                packets: 4,
+            },
+            Flow {
+                src: net.z,
+                dst: net.x,
+                packets: 2,
+            },
+        ]))
+        .mechanism(Mechanism::faithful())
+        .build();
+    (net, scenario)
 }
 
 /// Deviations with *effects* must be detected. Two catalog entries can be
@@ -24,20 +39,20 @@ fn figure1_sim() -> (specfaith::graph::generators::Figure1, FaithfulSim) {
 /// detectable protocol violation), so coverage is asserted per category.
 #[test]
 fn construction_deviations_always_hash_mismatch() {
-    let (net, sim) = figure1_sim();
+    let (net, scenario) = figure1_scenario();
     for deviant in [net.a, net.c, net.d] {
         for strategy in standard_catalog(deviant) {
             let spec = strategy.spec();
             if spec.phase() != Some("construction-2") {
                 continue;
             }
-            let run = sim.run_with_deviant(deviant, strategy, 5);
+            let run = scenario.run_with_deviant(deviant, strategy, 5);
             assert!(
                 run.detected,
                 "deviant {deviant} playing {spec} escaped detection"
             );
             assert!(
-                !run.green_lighted,
+                !run.green_lighted(),
                 "deviant {deviant} playing {spec} was green-lighted"
             );
         }
@@ -46,7 +61,7 @@ fn construction_deviations_always_hash_mismatch() {
 
 #[test]
 fn execution_deviations_are_penalized_when_effective() {
-    let (net, sim) = figure1_sim();
+    let (net, scenario) = figure1_scenario();
     // C transits traffic; X pays. Both deviants have real opportunities.
     let cases = [
         (net.c, "drop-transit-packets"),
@@ -58,11 +73,11 @@ fn execution_deviations_are_penalized_when_effective() {
             .into_iter()
             .find(|s| s.spec().name() == name)
             .expect("catalog name");
-        let run = sim.run_with_deviant(deviant, strategy, 5);
-        assert!(run.green_lighted, "{name}: honest construction certifies");
+        let run = scenario.run_with_deviant(deviant, strategy, 5);
+        assert!(run.green_lighted(), "{name}: honest construction certifies");
         assert!(run.detected, "{name} escaped detection");
         assert!(
-            run.penalties[deviant.index()].is_positive(),
+            run.penalties()[deviant.index()].is_positive(),
             "{name}: no penalty charged"
         );
     }
@@ -72,15 +87,15 @@ fn execution_deviations_are_penalized_when_effective() {
 fn cost_misreports_are_legitimate_but_useless() {
     // Information revelation is allowed to be untruthful — the mechanism
     // does not *detect* it, it makes it pointless (strategyproofness).
-    let (net, sim) = figure1_sim();
-    let faithful = sim.run_faithful(5);
+    let (net, scenario) = figure1_scenario();
+    let faithful = scenario.run(5);
     for delta in [5i64, -1] {
         let strategy = standard_catalog(net.c)
             .into_iter()
             .find(|s| s.spec().name() == format!("misreport-cost({delta:+})"))
             .expect("catalog name");
-        let run = sim.run_with_deviant(net.c, strategy, 5);
-        assert!(run.green_lighted, "misreports still certify");
+        let run = scenario.run_with_deviant(net.c, strategy, 5);
+        assert!(run.green_lighted(), "misreports still certify");
         assert!(
             run.utilities[net.c.index()] <= faithful.utilities[net.c.index()],
             "misreport({delta}) must not profit"
@@ -90,19 +105,19 @@ fn cost_misreports_are_legitimate_but_useless() {
 
 #[test]
 fn faithful_baseline_triggers_nothing() {
-    let (_, sim) = figure1_sim();
+    let (_, scenario) = figure1_scenario();
     for seed in [1u64, 2, 3] {
-        let run = sim.run_faithful(seed);
+        let run = scenario.run(seed);
         assert!(!run.detected, "seed {seed}: false positive");
-        assert_eq!(run.restarts, 0);
-        assert!(run.penalties.iter().all(|p| *p == Money::ZERO));
+        assert_eq!(run.restarts(), 0);
+        assert!(run.penalties().iter().all(|p| *p == Money::ZERO));
     }
 }
 
 #[test]
 fn detection_rate_in_sweep_matches_expectation() {
-    let (_, sim) = figure1_sim();
-    let report = sim.equilibrium_report(5);
+    let (_, scenario) = figure1_scenario();
+    let report = scenario.equilibrium_report(5, &Catalog::standard());
     // Every *effective* deviation is detected; ineffective ones (no-op for
     // that node) and legitimate misreports are not. The overall rate must
     // be well above half on this traffic pattern.

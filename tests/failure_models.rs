@@ -14,27 +14,41 @@
 use specfaith::fpss::deviation::{DropCostFlood, FailStop, TamperCostFlood};
 use specfaith::prelude::*;
 
-fn sim() -> (specfaith::graph::generators::Figure1, FaithfulSim) {
+fn scenario() -> (specfaith::graph::generators::Figure1, Scenario) {
     let net = figure1();
-    let traffic = TrafficMatrix::from_flows(vec![
-        Flow { src: net.x, dst: net.z, packets: 4 },
-        Flow { src: net.d, dst: net.z, packets: 4 },
-    ]);
-    let sim = FaithfulSim::new(net.topology.clone(), net.costs.clone(), traffic);
-    (net, sim)
+    let scenario = Scenario::builder()
+        .topology(TopologySource::Figure1)
+        .traffic(TrafficModel::Flows(vec![
+            Flow {
+                src: net.x,
+                dst: net.z,
+                packets: 4,
+            },
+            Flow {
+                src: net.d,
+                dst: net.z,
+                packets: 4,
+            },
+        ]))
+        .mechanism(Mechanism::faithful())
+        .build();
+    (net, scenario)
 }
 
 #[test]
 fn e13_failstop_halts_and_punishes_everyone() {
-    let (net, sim) = sim();
-    let faithful = sim.run_faithful(1);
-    let run = sim.run_with_deviant(net.c, Box::new(FailStop), 1);
+    let (net, scenario) = scenario();
+    let faithful = scenario.run(1);
+    let run = scenario.run_with_deviant(net.c, Box::new(FailStop), 1);
     // The silent node's announced tables never match the recomputed
     // mirrors, so the bank (correctly) refuses to certify — and the whole
     // honest network forfeits its surplus with it.
     assert!(run.detected);
-    assert!(run.halted, "fail-stop is indistinguishable from manipulation");
-    for id in net.topology.nodes() {
+    assert!(
+        run.halted(),
+        "fail-stop is indistinguishable from manipulation"
+    );
+    for id in scenario.topology().nodes() {
         assert_eq!(run.utilities[id.index()], Money::ZERO);
         assert!(
             faithful.utilities[id.index()].is_positive(),
@@ -49,26 +63,32 @@ fn e13_failstop_halts_and_punishes_everyone() {
 /// wins the first-write-wins race at node 2 — but NOT at node 3, which
 /// hears the truth via node 4 first. The resulting DATA1 split is exactly
 /// what checkpoint hash comparison exposes.
-fn ring5() -> (Topology, CostVector, TrafficMatrix) {
-    let topo = specfaith::graph::generators::ring(5);
-    let costs = CostVector::from_values(&[2, 1, 1, 1, 1]);
-    let traffic = TrafficMatrix::single(NodeId::new(2), NodeId::new(4), 4);
-    (topo, costs, traffic)
+fn ring5(mechanism: Mechanism) -> Scenario {
+    Scenario::builder()
+        .topology(TopologySource::Ring(5))
+        .costs(CostModel::Explicit(CostVector::from_values(&[
+            2, 1, 1, 1, 1,
+        ])))
+        .traffic(TrafficModel::single_by_index(2, 4, 4))
+        .mechanism(mechanism)
+        .build()
 }
 
 #[test]
 fn tampered_cost_flood_is_caught_in_faithful() {
-    let (topo, costs, traffic) = ring5();
-    let sim = FaithfulSim::new(topo, costs, traffic);
-    let run = sim.run_with_deviant(
+    let scenario = ring5(Mechanism::faithful());
+    let run = scenario.run_with_deviant(
         NodeId::new(1),
         Box::new(TamperCostFlood { multiplier: 100 }),
         1,
     );
     // Poisoned DATA1 copies make principal and checker tables disagree.
-    assert!(run.detected, "DATA1 divergence must surface at a checkpoint");
-    assert!(!run.green_lighted);
-    let faithful = sim.run_faithful(1);
+    assert!(
+        run.detected,
+        "DATA1 divergence must surface at a checkpoint"
+    );
+    assert!(!run.green_lighted());
+    let faithful = scenario.run(1);
     assert!(
         run.utilities[1] < faithful.utilities[1],
         "flood tampering forfeits the progress surplus"
@@ -80,33 +100,33 @@ fn dropped_cost_flood_is_survived_by_redundancy() {
     // Biconnectivity routes the flood around a single silent node — the
     // §3.9 redundancy argument. The run certifies; the deviation is a
     // harmless (and gainless) no-op.
-    let (net, sim) = sim();
-    let faithful = sim.run_faithful(1);
-    let run = sim.run_with_deviant(net.c, Box::new(DropCostFlood), 1);
-    assert!(run.green_lighted, "flood redundancy defeats suppression");
-    assert!(!run.halted);
+    let (net, scenario) = scenario();
+    let faithful = scenario.run(1);
+    let run = scenario.run_with_deviant(net.c, Box::new(DropCostFlood), 1);
+    assert!(run.green_lighted(), "flood redundancy defeats suppression");
+    assert!(!run.halted());
     assert!(run.utilities[net.c.index()] <= faithful.utilities[net.c.index()]);
 }
 
 #[test]
 fn tampered_cost_flood_corrupts_plain_fpss() {
-    let (topo, costs, traffic) = ring5();
-    let plain = PlainFpssSim::new(topo, costs, traffic);
+    let plain = ring5(Mechanism::Plain);
     let run = plain.run_with_deviant(
         NodeId::new(1),
         Box::new(TamperCostFlood { multiplier: 100 }),
         1,
     );
-    assert!(
-        !run.tables_match_centralized,
+    assert_eq!(
+        run.tables_match_centralized(),
+        Some(false),
         "poisoned DATA1 must corrupt someone's converged tables"
     );
 }
 
 #[test]
 fn full_catalog_with_flood_deviations_remains_ex_post_nash() {
-    let (_, sim) = sim();
-    let report = sim.equilibrium_report(1);
+    let (_, scenario) = scenario();
+    let report = scenario.equilibrium_report(1, &Catalog::standard());
     // 13 strategies × 6 nodes.
     assert_eq!(report.outcomes.len(), 78);
     assert!(report.is_ex_post_nash(), "{report}");

@@ -54,36 +54,52 @@ impl RationalStrategy for TransientSpoof {
     }
 }
 
-fn sim() -> (specfaith::graph::generators::Figure1, FaithfulSim) {
+fn scenario_with(max_restarts: u32) -> (specfaith::graph::generators::Figure1, Scenario) {
     let net = figure1();
-    let traffic = TrafficMatrix::single(net.x, net.z, 4);
-    let sim = FaithfulSim::new(net.topology.clone(), net.costs.clone(), traffic);
-    (net, sim)
+    let scenario = Scenario::builder()
+        .topology(TopologySource::Figure1)
+        .traffic(TrafficModel::Single {
+            src: net.x,
+            dst: net.z,
+            packets: 4,
+        })
+        .mechanism(Mechanism::Faithful {
+            epsilon: Money::new(1),
+            max_restarts,
+            progress_value: Money::new(1_000_000),
+            settlement: Default::default(),
+        })
+        .build();
+    (net, scenario)
+}
+
+fn scenario() -> (specfaith::graph::generators::Figure1, Scenario) {
+    scenario_with(2)
 }
 
 #[test]
 fn honest_network_certifies_first_try() {
-    let (_, sim) = sim();
-    let run = sim.run_faithful(1);
-    assert_eq!(run.restarts, 0);
-    assert!(run.green_lighted);
+    let (_, scenario) = scenario();
+    let run = scenario.run(1);
+    assert_eq!(run.restarts(), 0);
+    assert!(run.green_lighted());
 }
 
 #[test]
 fn transient_deviant_costs_one_restart_then_proceeds() {
-    let (net, sim) = sim();
-    let run = sim.run_with_deviant(net.c, Box::new(TransientSpoof::new()), 1);
-    assert_eq!(run.restarts, 1, "first attempt mismatches, second passes");
-    assert!(run.green_lighted, "the repaired run certifies");
-    assert!(!run.halted);
+    let (net, scenario) = scenario();
+    let run = scenario.run_with_deviant(net.c, Box::new(TransientSpoof::new()), 1);
+    assert_eq!(run.restarts(), 1, "first attempt mismatches, second passes");
+    assert!(run.green_lighted(), "the repaired run certifies");
+    assert!(!run.halted());
     assert!(run.detected, "the restart is visible enforcement");
 }
 
 #[test]
 fn transient_deviation_still_does_not_profit() {
-    let (net, sim) = sim();
-    let faithful = sim.run_faithful(1);
-    let run = sim.run_with_deviant(net.c, Box::new(TransientSpoof::new()), 1);
+    let (net, scenario) = scenario();
+    let faithful = scenario.run(1);
+    let run = scenario.run_with_deviant(net.c, Box::new(TransientSpoof::new()), 1);
     assert!(
         run.utilities[net.c.index()] <= faithful.utilities[net.c.index()],
         "transient spoofing gains nothing: {} vs {}",
@@ -94,12 +110,11 @@ fn transient_deviation_still_does_not_profit() {
 
 #[test]
 fn persistent_deviant_halts_after_budget() {
-    let (net, sim) = sim();
-    let sim = sim.with_max_restarts(2);
-    let run = sim.run_with_deviant(net.c, Box::new(SpoofShortRoutes), 1);
-    assert_eq!(run.restarts, 2, "budget fully spent");
-    assert!(run.halted);
-    assert!(!run.green_lighted);
+    let (net, scenario) = scenario_with(2);
+    let run = scenario.run_with_deviant(net.c, Box::new(SpoofShortRoutes), 1);
+    assert_eq!(run.restarts(), 2, "budget fully spent");
+    assert!(run.halted());
+    assert!(!run.green_lighted());
     // Halting zeroes everyone's utility — the deviant forfeits its whole
     // faithful surplus.
     assert!(run.utilities.iter().all(|u| *u == Money::ZERO));
@@ -107,9 +122,8 @@ fn persistent_deviant_halts_after_budget() {
 
 #[test]
 fn restart_budget_is_configurable() {
-    let (net, sim) = sim();
-    let strict = sim.with_max_restarts(0);
+    let (net, strict) = scenario_with(0);
     let run = strict.run_with_deviant(net.c, Box::new(SpoofShortRoutes), 1);
-    assert_eq!(run.restarts, 0);
-    assert!(run.halted, "zero budget halts immediately on mismatch");
+    assert_eq!(run.restarts(), 0);
+    assert!(run.halted(), "zero budget halts immediately on mismatch");
 }

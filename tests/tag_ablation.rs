@@ -33,7 +33,7 @@ fn tag_only_forgery_is_invisible_without_tags_in_the_hash() {
         NodeId::new(4),
         NodeId::new(2),
         PriceEntry {
-            price: Money::new(105), // identical price
+            price: Money::new(105),                       // identical price
             tags: [NodeId::new(9)].into_iter().collect(), // fabricated origin
         },
     );
@@ -71,15 +71,26 @@ impl RationalStrategy for ForgeTagsOnly {
 #[test]
 fn live_tag_forgery_is_caught_by_bank2() {
     let net = figure1();
-    let traffic = TrafficMatrix::from_flows(vec![
-        Flow { src: net.x, dst: net.z, packets: 4 },
-        Flow { src: net.d, dst: net.z, packets: 4 },
-    ]);
-    let sim = FaithfulSim::new(net.topology.clone(), net.costs.clone(), traffic);
-    let run = sim.run_with_deviant(net.d, Box::new(ForgeTagsOnly), 1);
+    let scenario = Scenario::builder()
+        .topology(TopologySource::Figure1)
+        .traffic(TrafficModel::Flows(vec![
+            Flow {
+                src: net.x,
+                dst: net.z,
+                packets: 4,
+            },
+            Flow {
+                src: net.d,
+                dst: net.z,
+                packets: 4,
+            },
+        ]))
+        .mechanism(Mechanism::faithful())
+        .build();
+    let run = scenario.run_with_deviant(net.d, Box::new(ForgeTagsOnly), 1);
     assert!(run.detected, "tagged hashes expose provenance forgery");
-    assert!(!run.green_lighted);
+    assert!(!run.green_lighted());
     // And it gains nothing relative to faithfulness.
-    let faithful = sim.run_faithful(1);
+    let faithful = scenario.run(1);
     assert!(run.utilities[net.d.index()] <= faithful.utilities[net.d.index()]);
 }

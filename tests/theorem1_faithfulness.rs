@@ -10,23 +10,33 @@ use specfaith::core::vcg::VcgMechanism;
 use specfaith::fpss::pricing::RoutingProblem;
 use specfaith::prelude::*;
 
-fn random_instance(seed: u64, n: usize) -> (Topology, CostVector, TrafficMatrix) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let topo = random_biconnected(n, n / 2, &mut rng);
-    let costs = CostVector::random(n, 1, 20, &mut rng);
-    let traffic = TrafficMatrix::random(n, 4, 3, &mut rng);
-    (topo, costs, traffic)
+fn figure1_scenario(traffic: Vec<Flow>, mechanism: Mechanism) -> Scenario {
+    Scenario::builder()
+        .topology(TopologySource::Figure1)
+        .traffic(TrafficModel::Flows(traffic))
+        .mechanism(mechanism)
+        .build()
 }
 
 #[test]
 fn figure1_is_ex_post_nash_under_the_catalog() {
     let net = figure1();
-    let traffic = TrafficMatrix::from_flows(vec![
-        Flow { src: net.x, dst: net.z, packets: 4 },
-        Flow { src: net.d, dst: net.z, packets: 4 },
-    ]);
-    let sim = FaithfulSim::new(net.topology, net.costs, traffic);
-    let report = sim.equilibrium_report(9);
+    let scenario = figure1_scenario(
+        vec![
+            Flow {
+                src: net.x,
+                dst: net.z,
+                packets: 4,
+            },
+            Flow {
+                src: net.d,
+                dst: net.z,
+                packets: 4,
+            },
+        ],
+        Mechanism::faithful(),
+    );
+    let report = scenario.equilibrium_report(9, &Catalog::standard());
     assert!(report.is_ex_post_nash(), "{report}");
     assert!(report.strong_cc_holds());
     assert!(report.strong_ac_holds());
@@ -36,9 +46,20 @@ fn figure1_is_ex_post_nash_under_the_catalog() {
 #[test]
 fn random_instances_are_ex_post_nash() {
     for seed in [1u64, 2] {
-        let (topo, costs, traffic) = random_instance(seed, 6);
-        let sim = FaithfulSim::new(topo, costs, traffic);
-        let report = sim.equilibrium_report(seed);
+        let scenario = Scenario::builder()
+            .topology(TopologySource::RandomBiconnected {
+                n: 6,
+                extra_edges: 3,
+            })
+            .costs(CostModel::Random { lo: 1, hi: 20 })
+            .traffic(TrafficModel::Random {
+                flows: 4,
+                max_packets: 3,
+            })
+            .instance_seed(seed)
+            .mechanism(Mechanism::faithful())
+            .build();
+        let report = scenario.equilibrium_report(seed, &Catalog::standard());
         assert!(report.is_ex_post_nash(), "seed {seed}: {report}");
     }
 }
@@ -58,19 +79,23 @@ fn proposition2_certificate_assembles_faithful() {
     assert!(sp.is_strategyproof(), "{sp}");
 
     // Legs 2–3: deviation sweeps on two cost profiles.
-    let traffic = TrafficMatrix::from_flows(
-        flows
-            .iter()
-            .map(|&(src, dst, packets)| Flow { src, dst, packets })
-            .collect(),
-    );
+    let traffic: Vec<Flow> = flows
+        .iter()
+        .map(|&(src, dst, packets)| Flow { src, dst, packets })
+        .collect();
+    let catalog = Catalog::standard();
     let mut suite = EquilibriumSuite::new();
     for (label, costs) in [
         ("paper-costs", net.costs.clone()),
         ("uniform-costs", CostVector::uniform(6, 3)),
     ] {
-        let sim = FaithfulSim::new(net.topology.clone(), costs, traffic.clone());
-        suite.push(label, sim.equilibrium_report(1));
+        let scenario = Scenario::builder()
+            .topology(TopologySource::Figure1)
+            .costs(CostModel::Explicit(costs))
+            .traffic(TrafficModel::Flows(traffic.clone()))
+            .mechanism(Mechanism::faithful())
+            .build();
+        suite.push(label, scenario.equilibrium_report(1, &catalog));
     }
     let certificate = FaithfulnessCertificate::assemble(sp.is_strategyproof(), &suite);
     assert!(certificate.is_faithful(), "{certificate}");
@@ -82,17 +107,26 @@ fn proposition2_certificate_assembles_faithful() {
 fn plain_fpss_fails_exactly_where_faithful_holds() {
     // The same deviations that Theorem 1 neutralizes are profitable in
     // plain FPSS — the contrast that motivates the whole construction.
+    // In scenario terms: flip one Mechanism knob, keep everything else.
     use specfaith::fpss::deviation::{DropTransitPackets, UnderreportPayments};
 
     let net = figure1();
-    let traffic = TrafficMatrix::from_flows(vec![
-        Flow { src: net.x, dst: net.z, packets: 4 },
-        Flow { src: net.d, dst: net.z, packets: 4 },
-    ]);
-    let plain = PlainFpssSim::new(net.topology.clone(), net.costs.clone(), traffic.clone());
-    let faithful = FaithfulSim::new(net.topology.clone(), net.costs.clone(), traffic);
-    let plain_base = plain.run_faithful(3);
-    let faithful_base = faithful.run_faithful(3);
+    let traffic = vec![
+        Flow {
+            src: net.x,
+            dst: net.z,
+            packets: 4,
+        },
+        Flow {
+            src: net.d,
+            dst: net.z,
+            packets: 4,
+        },
+    ];
+    let plain = figure1_scenario(traffic.clone(), Mechanism::Plain);
+    let faithful = figure1_scenario(traffic, Mechanism::faithful());
+    let plain_base = plain.run(3);
+    let faithful_base = faithful.run(3);
 
     // Transit C dropping packets: profitable in plain, losing in faithful.
     let plain_drop = plain.run_with_deviant(net.c, Box::new(DropTransitPackets), 3);
