@@ -47,10 +47,33 @@ fn bench_all_pairs_vcg(c: &mut Criterion) {
     group.finish();
 }
 
+/// The cost of one reference-table derivation, cold cache vs the
+/// pre-`RouteCache` per-pair-query implementation — the within-cell half
+/// of the sweep speedup (the cross-cell half is the shared registry).
+fn bench_route_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expected_tables_cold_cache_vs_per_query");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let inst = instance(n, 42);
+        group.bench_with_input(BenchmarkId::new("cold_cache", n), &inst, |b, inst| {
+            b.iter(|| {
+                let routes =
+                    specfaith_graph::cache::RouteCache::new(inst.topo.clone(), inst.costs.clone());
+                specfaith_fpss::pricing::expected_tables_in(&routes)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("per_query", n), &inst, |b, inst| {
+            b.iter(|| specfaith_fpss::pricing::expected_tables_uncached(&inst.topo, &inst.costs));
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_lcp_tree,
     bench_lcp_avoiding,
-    bench_all_pairs_vcg
+    bench_all_pairs_vcg,
+    bench_route_cache
 );
 criterion_main!(benches);

@@ -25,9 +25,10 @@ use specfaith_faithful::penalty::PenaltyPolicy;
 use specfaith_fpss::deviation::standard_catalog;
 use specfaith_fpss::pricing::RoutingProblem;
 use specfaith_fpss::traffic::Flow;
+use specfaith_graph::cache::RouteCache;
 use specfaith_graph::costs::CostVector;
 use specfaith_graph::generators::{figure1, Figure1};
-use specfaith_graph::lcp::{lcp, lcp_tree};
+use specfaith_graph::lcp::lcp_tree;
 
 const NODE_NAMES: [&str; 6] = ["A", "B", "C", "D", "Z", "X"];
 
@@ -91,9 +92,10 @@ fn e1_figure1_lcps() {
             entry.cost()
         );
     }
-    let xz = lcp(&net.topology, &net.costs, net.x, net.z).expect("connected");
-    let zd = lcp(&net.topology, &net.costs, net.z, net.d).expect("connected");
-    let bd = lcp(&net.topology, &net.costs, net.b, net.d).expect("connected");
+    let routes = RouteCache::shared(&net.topology, &net.costs);
+    let xz = routes.path(net.x, net.z).expect("connected");
+    let zd = routes.path(net.z, net.d).expect("connected");
+    let bd = routes.path(net.b, net.d).expect("connected");
     println!(
         "  paper checks: cost(X→Z)={} (paper: 2), cost(Z→D)={} (paper: 1), cost(B→D)={} (paper: 0)",
         xz.cost(),
@@ -115,7 +117,8 @@ fn e2_example1_manipulation() {
         specfaith_fpss::naive::example1_sweep(&net.topology, &net.costs, &flows, net.c, 8)
     {
         let lied = net.costs.with_cost(net.c, Cost::new(declared));
-        let path = lcp(&net.topology, &lied, net.x, net.z).expect("biconnected");
+        let lied_routes = RouteCache::shared(&net.topology, &lied);
+        let path = lied_routes.path(net.x, net.z).expect("biconnected");
         let via = if path.transit_nodes().contains(&net.c) {
             "X-D-C-Z"
         } else {

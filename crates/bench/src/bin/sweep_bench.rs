@@ -1,0 +1,229 @@
+//! The sweep regression benchmark behind `BENCH_sweep.json` and the CI
+//! bench gate.
+//!
+//! Measures Theorem-1 deviation-sweep throughput (cells/second) on the
+//! standard `n = 64` random biconnected instance under the plain
+//! mechanism, in two arms on the same machine:
+//!
+//! * **optimized** — the real `Scenario::sweep_serial` path: shared
+//!   `RouteCache` reference tables plus the destination-scoped
+//!   incremental recompute on honest nodes;
+//! * **reference** — sampled cells through the retained pre-optimization
+//!   paths (`run_plain_uncached` per-pair-query tables, and a bench-only
+//!   honest strategy that reports `is_faithful() == false` so every node
+//!   takes the full-table recompute on every message, exactly as deviants
+//!   still do).
+//!
+//! The regression gate compares the **ratio** of the two arms (`speedup`),
+//! which is machine-independent: both arms run on the same host in the
+//! same process, so host speed and load cancel out.
+//!
+//! ```sh
+//! sweep_bench [--quick] [--out BENCH_sweep.json] [--check baseline.json]
+//! ```
+//!
+//! `--quick` trims the swept catalog (CI-sized run, same instance and
+//! mechanics); `--check` exits nonzero when the measured speedup falls
+//! more than 20% below the committed baseline's.
+
+use specfaith::scenario::{
+    cell_seed, Catalog, CostModel, Mechanism, Scenario, TopologySource, TrafficModel,
+};
+use specfaith_bench::instance;
+use specfaith_core::id::NodeId;
+use specfaith_fpss::deviation::{standard_catalog, FullRecomputeFaithful};
+use specfaith_fpss::runner::{run_plain_uncached, PlainConfig};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const N: usize = 64;
+const INSTANCE_SEED: u64 = 2004;
+const SWEEP_SEED: u64 = 7;
+/// Event budget per cell. Construction-corrupting deviants (spoofed
+/// routes, dropped forwards) keep the routing iteration churning and
+/// would otherwise run to the 5M-event engine default, dominating the
+/// measurement; honest convergence on this instance takes ~160k events,
+/// so the cap bounds pathological cells without touching the honest path.
+const MAX_EVENTS: u64 = 600_000;
+/// Catalog size swept in `--quick` mode (full mode sweeps all 13).
+const QUICK_DEVIATIONS: usize = 2;
+/// Reference-arm sample cells: quick = 1 (the honest baseline cell),
+/// full = 2 (baseline + one deviation cell).
+const QUICK_REFERENCE_CELLS: usize = 1;
+const FULL_REFERENCE_CELLS: usize = 2;
+
+struct Args {
+    quick: bool,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        out: "BENCH_sweep.json".to_string(),
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = it.next().ok_or("--out needs a path")?,
+            "--check" => args.check = Some(it.next().ok_or("--check needs a path")?),
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Pulls a numeric field out of a flat JSON object (the only JSON this
+/// workspace reads; no serde in the offline dependency set).
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let at = json.find(&format!("\"{key}\""))?;
+    let rest = &json[at..];
+    let colon = rest.find(':')?;
+    let value: String = rest[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+        .collect();
+    value.parse().ok()
+}
+
+fn json_string(json: &str, key: &str) -> Option<String> {
+    let at = json.find(&format!("\"{key}\""))?;
+    let rest = &json[at..];
+    let colon = rest.find(':')?;
+    let open = rest[colon..].find('"')? + colon;
+    let close = rest[open + 1..].find('"')? + open + 1;
+    Some(rest[open + 1..close].to_string())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("sweep_bench: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let mode = if args.quick { "quick" } else { "full" };
+    let inst = instance(N, INSTANCE_SEED);
+    let scenario = Scenario::builder()
+        .topology(TopologySource::Explicit(inst.topo.clone()))
+        .costs(CostModel::Explicit(inst.costs.clone()))
+        .traffic(TrafficModel::Flows(inst.traffic.flows().to_vec()))
+        .mechanism(Mechanism::Plain)
+        .max_events(MAX_EVENTS)
+        .build();
+    let deviations = if args.quick {
+        QUICK_DEVIATIONS
+    } else {
+        standard_catalog(NodeId::new(0)).len()
+    };
+    let catalog = Catalog::from_factory(move |deviant| {
+        standard_catalog(deviant)
+            .into_iter()
+            .take(deviations)
+            .collect()
+    });
+
+    // Optimized arm: the real serial sweep (serial so the gated ratio does
+    // not conflate caching with core count).
+    let cells = 1 + N * catalog.len();
+    eprintln!("sweep_bench[{mode}]: optimized arm — {cells} cells at n={N}...");
+    let started = Instant::now();
+    let report = scenario.sweep_serial(&[SWEEP_SEED], &catalog);
+    let cached_secs = started.elapsed().as_secs_f64();
+    let cached_cps = cells as f64 / cached_secs;
+    assert_eq!(report.per_seed.len(), 1, "one seed in, one report out");
+
+    // Reference arm: sampled cells on the retained pre-optimization paths.
+    let mut config = PlainConfig::new(inst.topo.clone(), inst.costs.clone(), inst.traffic.clone());
+    config.max_events = MAX_EVENTS;
+    let reference_cells = if args.quick {
+        QUICK_REFERENCE_CELLS
+    } else {
+        FULL_REFERENCE_CELLS
+    };
+    eprintln!("sweep_bench[{mode}]: reference arm — {reference_cells} sampled cell(s)...");
+    let started = Instant::now();
+    // Cell 1: the honest baseline, every node on the full-recompute path.
+    let baseline = run_plain_uncached(&config, |_| Box::new(FullRecomputeFaithful), SWEEP_SEED);
+    assert!(
+        baseline.tables_match_centralized,
+        "reference baseline must converge to the centralized tables"
+    );
+    if reference_cells > 1 {
+        // Cell 2: agent 0 playing deviation 0, everyone else honest on the
+        // full-recompute path — a representative deviation cell.
+        let deviant = NodeId::new(0);
+        let mut strategy = standard_catalog(deviant).into_iter().next();
+        let _ = run_plain_uncached(
+            &config,
+            |node| {
+                if node == deviant {
+                    strategy.take().expect("used once")
+                } else {
+                    Box::new(FullRecomputeFaithful)
+                }
+            },
+            cell_seed(SWEEP_SEED, 0, 0),
+        );
+    }
+    let uncached_secs = started.elapsed().as_secs_f64();
+    let uncached_cps = reference_cells as f64 / uncached_secs;
+
+    let speedup = cached_cps / uncached_cps;
+    let json = format!(
+        "{{\n  \"bench\": \"sweep\",\n  \"mode\": \"{mode}\",\n  \"n\": {N},\n  \
+         \"instance_seed\": {INSTANCE_SEED},\n  \"sweep_seed\": {SWEEP_SEED},\n  \
+         \"deviations\": {deviations},\n  \"cells\": {cells},\n  \
+         \"cached_secs\": {cached_secs:.3},\n  \"cached_cells_per_sec\": {cached_cps:.4},\n  \
+         \"reference_cells\": {reference_cells},\n  \"reference_secs\": {uncached_secs:.3},\n  \
+         \"reference_cells_per_sec\": {uncached_cps:.4},\n  \"speedup\": {speedup:.2}\n}}\n"
+    );
+    if let Err(error) = std::fs::write(&args.out, &json) {
+        eprintln!("sweep_bench: cannot write {}: {error}", args.out);
+        return ExitCode::from(2);
+    }
+    println!(
+        "sweep_bench[{mode}]: optimized {cached_cps:.2} cells/s, reference {uncached_cps:.2} \
+         cells/s, speedup {speedup:.1}x -> {}",
+        args.out
+    );
+
+    if let Some(baseline_path) = args.check {
+        let baseline_json = match std::fs::read_to_string(&baseline_path) {
+            Ok(json) => json,
+            Err(error) => {
+                eprintln!("sweep_bench: cannot read baseline {baseline_path}: {error}");
+                return ExitCode::from(2);
+            }
+        };
+        let baseline_mode = json_string(&baseline_json, "mode").unwrap_or_default();
+        if baseline_mode != mode {
+            eprintln!(
+                "sweep_bench: baseline mode {baseline_mode:?} does not match run mode {mode:?}"
+            );
+            return ExitCode::from(2);
+        }
+        let Some(baseline_speedup) = json_number(&baseline_json, "speedup") else {
+            eprintln!("sweep_bench: baseline {baseline_path} has no \"speedup\" field");
+            return ExitCode::from(2);
+        };
+        let floor = baseline_speedup * 0.8;
+        if speedup < floor {
+            eprintln!(
+                "sweep_bench: REGRESSION — speedup {speedup:.1}x fell below {floor:.1}x \
+                 (80% of the committed baseline {baseline_speedup:.1}x)"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "sweep_bench: gate passed — speedup {speedup:.1}x >= {floor:.1}x \
+             (80% of baseline {baseline_speedup:.1}x)"
+        );
+    }
+    ExitCode::SUCCESS
+}

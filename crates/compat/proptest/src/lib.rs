@@ -163,7 +163,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// The [`vec`] strategy.
+    /// The [`vec()`] strategy.
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,

@@ -23,7 +23,7 @@ use specfaith_fpss::msg::{FpssMsg, Packet, PriceRow, RouteRow};
 use specfaith_fpss::node::FpssCore;
 use specfaith_fpss::state::PaymentLedger;
 use specfaith_netsim::{Actor, Ctx, Payload};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Messages of the faithful protocol.
 #[derive(Clone, Debug)]
@@ -493,12 +493,20 @@ impl Actor for FaithfulNode {
                 }
                 let original = FpssMsg::RoutingUpdate { rows: rows.clone() };
                 self.forward_to_checkers(ctx, from, &original);
-                let mut changed = false;
+                let mut changed_dsts = BTreeSet::new();
                 for row in &rows {
-                    changed |= self.core.learn_route(from, row);
+                    if self.core.learn_route(from, row) {
+                        changed_dsts.insert(row.dst);
+                    }
                 }
-                if changed {
-                    self.recompute_and_announce(ctx);
+                if !changed_dsts.is_empty() {
+                    if self.strategy.is_faithful() {
+                        let (routes, prices, retractions) =
+                            self.core.recompute_dsts(&changed_dsts, true);
+                        self.announce(ctx, routes, prices, retractions);
+                    } else {
+                        self.recompute_and_announce(ctx);
+                    }
                 }
             }
             FMsg::Fpss(FpssMsg::PricingUpdate { rows, retractions }) => {
@@ -510,15 +518,27 @@ impl Actor for FaithfulNode {
                     retractions: retractions.clone(),
                 };
                 self.forward_to_checkers(ctx, from, &original);
-                let mut changed = false;
+                let mut changed_dsts = BTreeSet::new();
                 for row in &rows {
-                    changed |= self.core.learn_price(from, row);
+                    if self.core.learn_price(from, row) {
+                        changed_dsts.insert(row.dst);
+                    }
                 }
                 for &(dst, transit) in &retractions {
-                    changed |= self.core.learn_price_retraction(from, dst, transit);
+                    if self.core.learn_price_retraction(from, dst, transit) {
+                        changed_dsts.insert(dst);
+                    }
                 }
-                if changed {
-                    self.recompute_and_announce(ctx);
+                if !changed_dsts.is_empty() {
+                    if self.strategy.is_faithful() {
+                        // Advertised prices are not a routing input:
+                        // routing rows cannot change here.
+                        let (routes, prices, retractions) =
+                            self.core.recompute_dsts(&changed_dsts, false);
+                        self.announce(ctx, routes, prices, retractions);
+                    } else {
+                        self.recompute_and_announce(ctx);
+                    }
                 }
             }
             FMsg::Fpss(FpssMsg::Data(pkt)) => {

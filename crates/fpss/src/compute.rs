@@ -17,16 +17,32 @@
 use crate::msg::{PriceRow, RouteRow};
 use crate::state::{PriceEntry, PricingTable, RoutingTable, TransitCostList};
 use specfaith_core::id::NodeId;
+use specfaith_core::money::Cost;
 use specfaith_graph::path::PathMetric;
 use std::collections::{BTreeMap, BTreeSet};
 
+/// Dense-slot ceiling for the per-neighbor route tables. Honest
+/// destination ids are dense `0..n` and sit far below this; advertised
+/// rows naming larger ids (only forgeable — see the deviation hooks) fall
+/// back to the sparse map so a hostile row cannot force a giant
+/// allocation.
+const DENSE_ROUTE_SLOTS: usize = 4096;
+
 /// A node's record of what its neighbors have advertised: routes and
 /// prices, exactly as received (the inputs to recomputation).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Routes are stored per neighbor, dense by destination index: the
+/// recompute functions read `route(b, dst)` on their innermost loops, so
+/// the lookup is a short linear probe over the (few) neighbors plus an
+/// array read — never a tree walk. Destinations at or beyond the dense
+/// ceiling (forged ids) take the sparse fallback.
+#[derive(Clone, Debug, Default)]
 pub struct NeighborView {
-    /// `(neighbor, dst) → neighbor's advertised path` (starting at the
-    /// neighbor, ending at dst).
-    routes: BTreeMap<(NodeId, NodeId), Vec<NodeId>>,
+    /// Per neighbor, `paths[dst.index()]` = the advertised path (starting
+    /// at the neighbor, ending at dst), `None` where nothing advertised.
+    routes: Vec<(NodeId, Vec<Option<Vec<NodeId>>>)>,
+    /// Rows whose destination index does not fit the dense table.
+    sparse_routes: BTreeMap<(NodeId, NodeId), Vec<NodeId>>,
     /// `(neighbor, dst, transit) → neighbor's advertised per-packet price`.
     prices: BTreeMap<(NodeId, NodeId, NodeId), i64>,
 }
@@ -44,11 +60,30 @@ impl NeighborView {
         if row.path.first() != Some(&neighbor) || row.path.last() != Some(&row.dst) {
             return false;
         }
-        let key = (neighbor, row.dst);
-        if self.routes.get(&key) == Some(&row.path) {
+        let slot = row.dst.index();
+        if slot >= DENSE_ROUTE_SLOTS {
+            let key = (neighbor, row.dst);
+            if self.sparse_routes.get(&key) == Some(&row.path) {
+                return false;
+            }
+            self.sparse_routes.insert(key, row.path.clone());
+            return true;
+        }
+        let at = match self.routes.iter().position(|(b, _)| *b == neighbor) {
+            Some(at) => at,
+            None => {
+                self.routes.push((neighbor, Vec::new()));
+                self.routes.len() - 1
+            }
+        };
+        let paths = &mut self.routes[at].1;
+        if slot >= paths.len() {
+            paths.resize(slot + 1, None);
+        }
+        if paths[slot].as_ref() == Some(&row.path) {
             return false;
         }
-        self.routes.insert(key, row.path.clone());
+        paths[slot] = Some(row.path.clone());
         true
     }
 
@@ -72,14 +107,43 @@ impl NeighborView {
 
     /// The path `neighbor` advertised toward `dst`, if any.
     pub fn route(&self, neighbor: NodeId, dst: NodeId) -> Option<&[NodeId]> {
-        self.routes.get(&(neighbor, dst)).map(Vec::as_slice)
+        if dst.index() >= DENSE_ROUTE_SLOTS {
+            return self.sparse_routes.get(&(neighbor, dst)).map(Vec::as_slice);
+        }
+        let (_, paths) = self.routes.iter().find(|(b, _)| *b == neighbor)?;
+        paths.get(dst.index())?.as_deref()
     }
 
     /// The price `neighbor` advertised for `(dst, transit)`, if any.
     pub fn price(&self, neighbor: NodeId, dst: NodeId, transit: NodeId) -> Option<i64> {
         self.prices.get(&(neighbor, dst, transit)).copied()
     }
+
+    /// The advertised routes as sorted `((neighbor, dst), path)` content
+    /// (normalizes away storage artifacts like trailing empty slots).
+    fn route_content(&self) -> BTreeMap<(NodeId, NodeId), &Vec<NodeId>> {
+        let mut content = BTreeMap::new();
+        for (neighbor, paths) in &self.routes {
+            for (slot, path) in paths.iter().enumerate() {
+                if let Some(path) = path {
+                    content.insert((*neighbor, NodeId::from_index(slot)), path);
+                }
+            }
+        }
+        for (&key, path) in &self.sparse_routes {
+            content.insert(key, path);
+        }
+        content
+    }
 }
+
+impl PartialEq for NeighborView {
+    fn eq(&self, other: &Self) -> bool {
+        self.prices == other.prices && self.route_content() == other.route_content()
+    }
+}
+
+impl Eq for NeighborView {}
 
 /// Recomputes the routing table of `me` from its transit-cost list and
 /// neighbor advertisements.
@@ -106,32 +170,64 @@ pub fn recompute_routes(
         if dst == me {
             continue;
         }
-        let mut best: Option<PathMetric> = None;
-        for &b in neighbors {
-            let candidate_nodes: Vec<NodeId> = if b == dst {
-                vec![me, dst]
-            } else {
-                let Some(path_b) = view.route(b, dst) else {
-                    continue;
-                };
-                if path_b.contains(&me) {
-                    continue; // would loop
-                }
-                std::iter::once(me).chain(path_b.iter().copied()).collect()
-            };
-            let Some(cost) = data1.path_cost(&candidate_nodes) else {
-                continue; // some intermediate's declared cost unknown yet
-            };
-            let candidate = PathMetric::new(candidate_nodes, cost);
-            if best.as_ref().is_none_or(|cur| candidate < *cur) {
-                best = Some(candidate);
-            }
-        }
-        if let Some(metric) = best {
-            table.install(dst, metric.nodes().to_vec());
+        if let Some(path) = best_route_to(me, neighbors, data1, view, dst) {
+            table.install(dst, path);
         }
     }
     table
+}
+
+/// The update rule for one destination: the best candidate `[me] ++
+/// path_b` over all neighbors `b`, costed locally from DATA1. Exactly the
+/// `dst` row a full [`recompute_routes`] would produce — the row is a pure
+/// function of `dst`'s advertised routes and DATA1, which is what makes
+/// destination-scoped incremental recomputation sound.
+pub fn best_route_to(
+    me: NodeId,
+    neighbors: &[NodeId],
+    data1: &TransitCostList,
+    view: &NeighborView,
+    dst: NodeId,
+) -> Option<Vec<NodeId>> {
+    // Candidates are compared without materializing them: every candidate
+    // is `[me] ++ path_b`, so the shared `[me]` prefix drops out of the
+    // PathMetric order and `(cost, path_b.len(), path_b)` ranks candidates
+    // identically. Only the winner is allocated (and still passes through
+    // `PathMetric::new`, which guards the simple-path invariant for the
+    // installed route).
+    let direct = [dst];
+    let mut best: Option<(Cost, &[NodeId])> = None;
+    for &b in neighbors {
+        let path_b: &[NodeId] = if b == dst {
+            &direct
+        } else {
+            let Some(path_b) = view.route(b, dst) else {
+                continue;
+            };
+            if path_b.contains(&me) {
+                continue; // would loop
+            }
+            path_b
+        };
+        // Candidate intermediates are every path_b node but the last.
+        let Some(cost) = data1.extension_cost(path_b) else {
+            continue; // some intermediate's declared cost unknown yet
+        };
+        let improves = match &best {
+            None => true,
+            Some((best_cost, best_path)) => {
+                (cost, path_b.len(), path_b) < (*best_cost, best_path.len(), best_path)
+            }
+        };
+        if improves {
+            best = Some((cost, path_b));
+        }
+    }
+    let (cost, path_b) = best?;
+    let mut nodes = Vec::with_capacity(1 + path_b.len());
+    nodes.push(me);
+    nodes.extend_from_slice(path_b);
+    Some(PathMetric::new(nodes, cost).into_nodes())
 }
 
 /// Recomputes the pricing table \[DATA3*\] of `me`.
@@ -161,86 +257,111 @@ pub fn recompute_prices(
         if dst == me {
             continue;
         }
-        let Some(d_me) = data1.path_cost(path) else {
-            continue;
-        };
-        let d_me = d_me.value() as i64;
-        let transits: Vec<NodeId> = if path.len() <= 2 {
-            Vec::new()
-        } else {
-            path[1..path.len() - 1].to_vec()
-        };
-        for k in transits {
-            let Some(c_k) = data1.declared(k) else {
-                continue;
-            };
-            let c_k = c_k.value() as i64;
-            let mut best: Option<i64> = None;
-            let mut tags: BTreeSet<NodeId> = BTreeSet::new();
-            for &b in neighbors {
-                if b == k {
-                    // Problem partitioning (FPSS footnote 8): the priced
-                    // node's own advertisements are never used to price it.
-                    continue;
-                }
-                let (path_b, d_b): (&[NodeId], i64) = if b == dst {
-                    (&[], 0)
-                } else {
-                    let Some(p) = view.route(b, dst) else {
-                        continue;
-                    };
-                    let Some(c) = data1.path_cost(p) else {
-                        continue;
-                    };
-                    (p, c.value() as i64)
-                };
-                let detour = if path_b.contains(&k) {
-                    let Some(p_bk) = view.price(b, dst, k) else {
-                        continue;
-                    };
-                    p_bk - c_k + d_b
-                } else {
-                    d_b
-                };
-                let c_b = if b == dst {
-                    0
-                } else {
-                    let Some(c) = data1.declared(b) else {
-                        continue;
-                    };
-                    c.value() as i64
-                };
-                let candidate = c_k + c_b + detour - d_me;
-                match best {
-                    None => {
-                        best = Some(candidate);
-                        tags.clear();
-                        tags.insert(b);
-                    }
-                    Some(cur) if candidate < cur => {
-                        best = Some(candidate);
-                        tags.clear();
-                        tags.insert(b);
-                    }
-                    Some(cur) if candidate == cur => {
-                        tags.insert(b);
-                    }
-                    Some(_) => {}
-                }
-            }
-            if let Some(price) = best {
-                table.insert(
-                    dst,
-                    k,
-                    PriceEntry {
-                        price: specfaith_core::money::Money::new(price),
-                        tags,
-                    },
-                );
-            }
+        for (transit, entry) in price_entries_to(neighbors, data1, path, view, dst) {
+            table.insert(dst, transit, entry);
         }
     }
     table
+}
+
+/// The pricing rows of one destination — `(transit, entry)` per transit
+/// on `path` (this node's route to `dst`), sorted by transit. Exactly the
+/// `dst` rows a full [`recompute_prices`] would produce: pricing for a
+/// destination is a pure function of that destination's route, its
+/// advertised routes/prices, and DATA1, which is what makes
+/// destination-scoped incremental recomputation sound.
+pub fn price_entries_to(
+    neighbors: &[NodeId],
+    data1: &TransitCostList,
+    path: &[NodeId],
+    view: &NeighborView,
+    dst: NodeId,
+) -> Vec<(NodeId, PriceEntry)> {
+    let transits: &[NodeId] = if path.len() <= 2 {
+        &[]
+    } else {
+        &path[1..path.len() - 1]
+    };
+    if transits.is_empty() {
+        return Vec::new();
+    }
+    let Some(d_me) = data1.path_cost(path) else {
+        return Vec::new();
+    };
+    let d_me = d_me.value() as i64;
+    // Per-neighbor inputs — advertised path, its locally-costed distance,
+    // the neighbor's declared cost — are pure functions of `(b, dst)`, so
+    // they are derived once here rather than once per transit. `None` =
+    // this neighbor contributes no candidate.
+    let per_neighbor: Vec<Option<(&[NodeId], i64, i64)>> = neighbors
+        .iter()
+        .map(|&b| {
+            if b == dst {
+                return Some((&[][..], 0, 0));
+            }
+            let p = view.route(b, dst)?;
+            let d_b = data1.path_cost(p)?.value() as i64;
+            let c_b = data1.declared(b)?.value() as i64;
+            Some((p, d_b, c_b))
+        })
+        .collect();
+    let mut rows = Vec::with_capacity(transits.len());
+    for &k in transits {
+        let Some(c_k) = data1.declared(k) else {
+            continue;
+        };
+        let c_k = c_k.value() as i64;
+        let mut best: Option<i64> = None;
+        let mut tags: BTreeSet<NodeId> = BTreeSet::new();
+        for (&b, inputs) in neighbors.iter().zip(&per_neighbor) {
+            if b == k {
+                // Problem partitioning (FPSS footnote 8): the priced
+                // node's own advertisements are never used to price it.
+                continue;
+            }
+            let Some((path_b, d_b, c_b)) = *inputs else {
+                continue;
+            };
+            let detour = if path_b.contains(&k) {
+                let Some(p_bk) = view.price(b, dst, k) else {
+                    continue;
+                };
+                p_bk - c_k + d_b
+            } else {
+                d_b
+            };
+            let candidate = c_k + c_b + detour - d_me;
+            match best {
+                None => {
+                    best = Some(candidate);
+                    tags.clear();
+                    tags.insert(b);
+                }
+                Some(cur) if candidate < cur => {
+                    best = Some(candidate);
+                    tags.clear();
+                    tags.insert(b);
+                }
+                Some(cur) if candidate == cur => {
+                    tags.insert(b);
+                }
+                Some(_) => {}
+            }
+        }
+        if let Some(price) = best {
+            rows.push((
+                k,
+                PriceEntry {
+                    price: specfaith_core::money::Money::new(price),
+                    tags,
+                },
+            ));
+        }
+    }
+    // Paths visit transits in route order; announcements and diffs expect
+    // transit order (the order a full-table rebuild iterates in).
+    rows.sort_by_key(|(k, _)| *k);
+    rows
 }
 
 #[cfg(test)]
@@ -286,6 +407,26 @@ mod tests {
                 path: vec![n(1), n(2)],
             }
         ));
+    }
+
+    #[test]
+    fn forged_huge_destination_ids_stay_sparse() {
+        // A deviant can advertise any destination id; a forged id far
+        // beyond the dense range must not force a giant allocation, and
+        // must still round-trip through the view.
+        let mut view = NeighborView::new();
+        let forged = NodeId::new(1_000_000_000);
+        let row = RouteRow {
+            dst: forged,
+            path: vec![n(1), forged],
+        };
+        assert!(view.learn_route(n(1), &row));
+        assert!(!view.learn_route(n(1), &row), "idempotent");
+        assert_eq!(view.route(n(1), forged), Some(&[n(1), forged][..]));
+        assert_eq!(view.route(n(1), n(2)), None);
+        let mut same = NeighborView::new();
+        same.learn_route(n(1), &row);
+        assert_eq!(view, same, "equality covers sparse rows");
     }
 
     #[test]

@@ -42,6 +42,16 @@ pub mod phases {
 /// action. Implementations deviate by overriding hooks; defaults are
 /// faithful.
 pub trait RationalStrategy: fmt::Debug {
+    /// Whether this strategy is the honest baseline — every hook the
+    /// identity, no internal state. Honest nodes take the
+    /// destination-scoped incremental recompute fast path
+    /// ([`crate::node::FpssCore::recompute_dsts`]); strategies that
+    /// transform tables or announcements (or count invocations) must see
+    /// the full-table hooks, so they leave this `false`.
+    fn is_faithful(&self) -> bool {
+        false
+    }
+
     /// The deviation's descriptor (name, action surface, phase attacked).
     fn spec(&self) -> DeviationSpec;
 
@@ -99,8 +109,29 @@ pub trait RationalStrategy: fmt::Debug {
 pub struct Faithful;
 
 impl RationalStrategy for Faithful {
+    fn is_faithful(&self) -> bool {
+        true
+    }
+
     fn spec(&self) -> DeviationSpec {
         DeviationSpec::new("faithful", DeviationSurface::new())
+    }
+}
+
+/// Honest behavior on the pre-incremental code path: every hook is the
+/// identity (exactly like [`Faithful`]) but `is_faithful()` stays `false`,
+/// so the node recomputes its full tables on every message.
+///
+/// Not a deviation — retained for the equivalence tests that pin the
+/// incremental fast path byte-identical to the full recompute, and for
+/// the sweep regression benchmark's reference arm.
+#[doc(hidden)]
+#[derive(Clone, Debug, Default)]
+pub struct FullRecomputeFaithful;
+
+impl RationalStrategy for FullRecomputeFaithful {
+    fn spec(&self) -> DeviationSpec {
+        DeviationSpec::new("faithful-full-recompute", DeviationSurface::new())
     }
 }
 

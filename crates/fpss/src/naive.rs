@@ -7,11 +7,11 @@
 //! implements that baseline centrally so experiments can sweep
 //! declarations and compare against VCG.
 
-use crate::pricing::vcg_payment;
+use crate::pricing::vcg_payment_in;
 use specfaith_core::id::NodeId;
 use specfaith_core::money::{Cost, Money};
+use specfaith_graph::cache::RouteCache;
 use specfaith_graph::costs::CostVector;
-use specfaith_graph::lcp::lcp;
 use specfaith_graph::topology::Topology;
 
 /// A transit node's utility under **naive** (pay-declared-cost) pricing:
@@ -24,11 +24,12 @@ pub fn naive_transit_utility(
     flows: &[(NodeId, NodeId, u64)],
     node: NodeId,
 ) -> Money {
+    let routes = RouteCache::shared(topo, declared);
     let paid = declared.cost(node).value() as i64;
     let incurred = true_costs.cost(node).value() as i64;
     let mut utility = 0i64;
     for &(src, dst, packets) in flows {
-        let Some(path) = lcp(topo, declared, src, dst) else {
+        let Some(path) = routes.path(src, dst) else {
             continue;
         };
         if path.transit_nodes().contains(&node) {
@@ -47,10 +48,11 @@ pub fn vcg_transit_utility(
     flows: &[(NodeId, NodeId, u64)],
     node: NodeId,
 ) -> Money {
+    let routes = RouteCache::shared(topo, declared);
     let incurred = true_costs.cost(node).value() as i64;
     let mut utility = 0i64;
     for &(src, dst, packets) in flows {
-        if let Some(p) = vcg_payment(topo, declared, src, dst, node) {
+        if let Some(p) = vcg_payment_in(&routes, src, dst, node) {
             utility += (p.value() - incurred) * packets as i64;
         }
     }
@@ -81,6 +83,7 @@ pub fn example1_sweep(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pricing::vcg_payment;
     use specfaith_graph::generators::figure1;
 
     fn flows(net: &specfaith_graph::generators::Figure1) -> Vec<(NodeId, NodeId, u64)> {
@@ -121,7 +124,8 @@ mod tests {
         let net = figure1();
         for declared in [3u64, 4] {
             let lied = net.costs.with_cost(net.c, Cost::new(declared));
-            let path = lcp(&net.topology, &lied, net.x, net.z).expect("biconnected");
+            let routes = RouteCache::shared(&net.topology, &lied);
+            let path = routes.path(net.x, net.z).expect("biconnected");
             let via_c = path.transit_nodes().contains(&net.c);
             assert_eq!(via_c, declared < 4, "declared {declared}");
         }

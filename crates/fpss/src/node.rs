@@ -6,7 +6,9 @@
 //! principal `P` is simply an `FpssCore` with `me = P` fed by the forwarded
 //! copies of `P`'s inputs.
 
-use crate::compute::{recompute_prices, recompute_routes, NeighborView};
+use crate::compute::{
+    best_route_to, price_entries_to, recompute_prices, recompute_routes, NeighborView,
+};
 use crate::deviation::{Faithful, RationalStrategy};
 use crate::msg::{FpssMsg, Packet, PriceRow, RouteRow};
 use crate::settle::ExecutionSummary;
@@ -14,7 +16,7 @@ use crate::state::{PaymentLedger, PricingTable, RoutingTable, TransitCostList};
 use specfaith_core::id::NodeId;
 use specfaith_core::money::{Cost, Money};
 use specfaith_netsim::{Actor, Ctx};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Timer tag that starts the execution phase (set by the harness once
 /// construction has converged).
@@ -131,6 +133,93 @@ impl FpssCore {
     pub fn recompute(&mut self) -> (Vec<RouteRow>, Vec<PriceRow>, Vec<(NodeId, NodeId)>) {
         self.recompute_with(|t| t)
     }
+
+    /// Destination-scoped faithful recomputation: updates only the table
+    /// rows of `dsts`, producing **byte-identical** tables and announced
+    /// rows to a full [`FpssCore::recompute`] whenever only those
+    /// destinations' inputs changed since the last recomputation.
+    ///
+    /// Soundness: a destination's routing row is a pure function of that
+    /// destination's advertised routes and DATA1 ([`best_route_to`]), and
+    /// its pricing rows of those plus its advertised prices
+    /// ([`price_entries_to`]) — so rows outside `dsts` cannot differ from
+    /// what the last full recompute installed. Callers pass
+    /// `routing_changed = false` for price-only input changes (advertised
+    /// prices are not a routing input). DATA1 changes invalidate every
+    /// destination and must go through the full recompute.
+    ///
+    /// This is the construction-phase hot path: honest nodes process each
+    /// routing/pricing update in time proportional to the rows it touched
+    /// rather than the whole table. Deviant strategies keep the full
+    /// recompute so their whole-table hooks observe unchanged inputs.
+    #[allow(clippy::type_complexity)]
+    pub fn recompute_dsts(
+        &mut self,
+        dsts: &BTreeSet<NodeId>,
+        routing_changed: bool,
+    ) -> (Vec<RouteRow>, Vec<PriceRow>, Vec<(NodeId, NodeId)>) {
+        let mut changed_routes = Vec::new();
+        if routing_changed {
+            for &dst in dsts {
+                // A full recompute only enumerates destinations it has a
+                // declared cost for (or that are direct neighbors); mirror
+                // that exactly or rows would appear early here.
+                if dst == self.me
+                    || (self.data1.declared(dst).is_none() && !self.neighbors.contains(&dst))
+                {
+                    continue;
+                }
+                match best_route_to(self.me, &self.neighbors, &self.data1, &self.view, dst) {
+                    Some(path) => {
+                        if self.routes.path(dst) != Some(path.as_slice()) {
+                            changed_routes.push(RouteRow {
+                                dst,
+                                path: path.clone(),
+                            });
+                            self.routes.install(dst, path);
+                        }
+                    }
+                    None => {
+                        self.routes.remove(dst);
+                    }
+                }
+            }
+        }
+        let mut changed_prices = Vec::new();
+        let mut retractions = Vec::new();
+        for &dst in dsts {
+            if dst == self.me {
+                continue;
+            }
+            let new_rows = match self.routes.path(dst) {
+                Some(path) => price_entries_to(&self.neighbors, &self.data1, path, &self.view, dst),
+                None => Vec::new(),
+            };
+            for (transit, entry) in &new_rows {
+                if self.prices.entry(dst, *transit) != Some(entry) {
+                    changed_prices.push(PriceRow {
+                        dst,
+                        transit: *transit,
+                        price: entry.price,
+                        tags: entry.tags.clone(),
+                    });
+                }
+            }
+            let retracted: Vec<NodeId> = self
+                .prices
+                .transits_for(dst)
+                .filter(|k| !new_rows.iter().any(|(nk, _)| nk == k))
+                .collect();
+            for (transit, entry) in new_rows {
+                self.prices.insert(dst, transit, entry);
+            }
+            for transit in retracted {
+                self.prices.remove(dst, transit);
+                retractions.push((dst, transit));
+            }
+        }
+        (changed_routes, changed_prices, retractions)
+    }
 }
 
 /// The plain FPSS node actor: construction by flooding + asynchronous
@@ -141,6 +230,9 @@ pub struct PlainFpssNode {
     true_cost: Cost,
     declared: Option<Cost>,
     strategy: Box<dyn RationalStrategy>,
+    /// Cached [`RationalStrategy::is_faithful`]: honest nodes take the
+    /// destination-scoped incremental recompute path.
+    incremental: bool,
     pending_traffic: Vec<(NodeId, u64)>,
     originated: BTreeMap<NodeId, u64>,
     delivered_from: BTreeMap<NodeId, u64>,
@@ -170,11 +262,13 @@ impl PlainFpssNode {
         strategy: Box<dyn RationalStrategy>,
         max_hops: u32,
     ) -> Self {
+        let incremental = strategy.is_faithful();
         PlainFpssNode {
             core: FpssCore::new(me, neighbors),
             true_cost,
             declared: None,
             strategy,
+            incremental,
             pending_traffic: Vec::new(),
             originated: BTreeMap::new(),
             delivered_from: BTreeMap::new(),
@@ -378,24 +472,44 @@ impl Actor for PlainFpssNode {
                 }
             }
             FpssMsg::RoutingUpdate { rows } => {
-                let mut changed = false;
+                let mut changed_dsts = BTreeSet::new();
                 for row in &rows {
-                    changed |= self.core.learn_route(from, row);
+                    if self.core.learn_route(from, row) {
+                        changed_dsts.insert(row.dst);
+                    }
                 }
-                if changed {
-                    self.recompute_and_announce(ctx);
+                if !changed_dsts.is_empty() {
+                    if self.incremental {
+                        let (routes, prices, retractions) =
+                            self.core.recompute_dsts(&changed_dsts, true);
+                        self.announce(ctx, routes, prices, retractions);
+                    } else {
+                        self.recompute_and_announce(ctx);
+                    }
                 }
             }
             FpssMsg::PricingUpdate { rows, retractions } => {
-                let mut changed = false;
+                let mut changed_dsts = BTreeSet::new();
                 for row in &rows {
-                    changed |= self.core.learn_price(from, row);
+                    if self.core.learn_price(from, row) {
+                        changed_dsts.insert(row.dst);
+                    }
                 }
                 for &(dst, transit) in &retractions {
-                    changed |= self.core.learn_price_retraction(from, dst, transit);
+                    if self.core.learn_price_retraction(from, dst, transit) {
+                        changed_dsts.insert(dst);
+                    }
                 }
-                if changed {
-                    self.recompute_and_announce(ctx);
+                if !changed_dsts.is_empty() {
+                    if self.incremental {
+                        // Advertised prices are not a routing input:
+                        // routing rows cannot change here.
+                        let (routes, prices, retractions) =
+                            self.core.recompute_dsts(&changed_dsts, false);
+                        self.announce(ctx, routes, prices, retractions);
+                    } else {
+                        self.recompute_and_announce(ctx);
+                    }
                 }
             }
             FpssMsg::Data(pkt) => self.handle_packet(ctx, pkt),

@@ -11,20 +11,42 @@ use crate::state::{PricingTable, RoutingTable};
 use specfaith_core::id::NodeId;
 use specfaith_core::money::{Cost, Money};
 use specfaith_core::vcg::CostMinimizationProblem;
+use specfaith_graph::cache::RouteCache;
 use specfaith_graph::costs::CostVector;
-use specfaith_graph::lcp::{lcp_avoiding, lcp_tree};
+use specfaith_graph::lcp::{lcp_tree, lcp_tree_avoiding};
 use specfaith_graph::path::PathMetric;
 use specfaith_graph::topology::Topology;
 
 /// The VCG per-packet payment from `src` to transit `k` for traffic to
-/// `dst`, under declared costs. Returns `None` when `k` is not a transit
-/// node on the `src`→`dst` LCP (no payment due), or when `src` cannot
-/// reach `dst`.
+/// `dst`, borrowing every route from `routes`. Returns `None` when `k` is
+/// not a transit node on the `src`→`dst` LCP (no payment due), or when
+/// `src` cannot reach `dst`.
+///
+/// This is the primary implementation: both the `src` tree and the
+/// `(src, k)` avoid tree are computed at most once per [`RouteCache`],
+/// shared across every destination and every caller of the cache.
 ///
 /// # Panics
 ///
 /// Panics if the graph is not biconnected enough for the query (no
 /// `k`-avoiding path), mirroring FPSS's biconnectivity assumption.
+pub fn vcg_payment_in(routes: &RouteCache, src: NodeId, dst: NodeId, k: NodeId) -> Option<Money> {
+    let best = routes.path(src, dst)?;
+    if !best.transit_nodes().contains(&k) {
+        return None;
+    }
+    let detour = routes
+        .path_avoiding(src, dst, k)
+        .expect("biconnected graph admits a k-avoiding path");
+    let c_k = routes.costs().cost(k).value() as i64;
+    let d = best.cost().value() as i64;
+    let d_avoid = detour.cost().value() as i64;
+    Some(Money::new(c_k + d_avoid - d))
+}
+
+/// [`vcg_payment_in`] against the process-shared [`RouteCache`] for
+/// `(topo, declared)` — repeated calls under the same declared costs share
+/// all Dijkstra work.
 pub fn vcg_payment(
     topo: &Topology,
     declared: &CostVector,
@@ -32,40 +54,86 @@ pub fn vcg_payment(
     dst: NodeId,
     k: NodeId,
 ) -> Option<Money> {
-    let best = specfaith_graph::lcp::lcp(topo, declared, src, dst)?;
-    if !best.transit_nodes().contains(&k) {
-        return None;
-    }
-    let detour = lcp_avoiding(topo, declared, src, dst, k)
-        .expect("biconnected graph admits a k-avoiding path");
-    let c_k = declared.cost(k).value() as i64;
-    let d = best.cost().value() as i64;
-    let d_avoid = detour.cost().value() as i64;
-    Some(Money::new(c_k + d_avoid - d))
+    vcg_payment_in(&RouteCache::shared(topo, declared), src, dst, k)
 }
 
 /// The routing and pricing tables every node *should* converge to under
-/// the declared costs: `(routing[i], pricing[i])` per node.
+/// `routes`' declared costs: `(routing[i], pricing[i])` per node.
 ///
 /// Pricing tags are not modeled centrally (they are an artifact of the
 /// distributed iteration); comparisons against this reference use paths
 /// and prices only.
+pub fn expected_tables_in(routes: &RouteCache) -> Vec<(RoutingTable, PricingTable)> {
+    routes
+        .topology()
+        .nodes()
+        .map(|src| {
+            let tree = routes.tree(src);
+            let mut routing = RoutingTable::new();
+            let mut pricing = PricingTable::new();
+            for entry in tree.iter().flatten() {
+                routing.install(entry.destination(), entry.nodes().to_vec());
+                for &k in entry.transit_nodes() {
+                    let price = vcg_payment_in(routes, src, entry.destination(), k)
+                        .expect("k is on the LCP");
+                    pricing.insert(
+                        entry.destination(),
+                        k,
+                        crate::state::PriceEntry {
+                            price,
+                            tags: Default::default(),
+                        },
+                    );
+                }
+            }
+            (routing, pricing)
+        })
+        .collect()
+}
+
+/// [`expected_tables_in`] against the process-shared [`RouteCache`] for
+/// `(topo, declared)`.
 pub fn expected_tables(
     topo: &Topology,
     declared: &CostVector,
 ) -> Vec<(RoutingTable, PricingTable)> {
+    expected_tables_in(&RouteCache::shared(topo, declared))
+}
+
+/// The pre-`RouteCache` reference implementation: every single-pair query
+/// recomputes (and clones from) a full per-source tree, exactly as
+/// `lcp()`/`lcp_avoiding()` did before their deprecation.
+///
+/// Retained **only** so the sweep regression benchmark can measure the
+/// uncached baseline on the same machine as the cached path; never call
+/// this from product code.
+#[doc(hidden)]
+pub fn expected_tables_uncached(
+    topo: &Topology,
+    declared: &CostVector,
+) -> Vec<(RoutingTable, PricingTable)> {
+    let pair_query = |src: NodeId, dst: NodeId| lcp_tree(topo, declared, src)[dst.index()].clone();
+    let avoid_query = |src: NodeId, dst: NodeId, k: NodeId| {
+        lcp_tree_avoiding(topo, declared, src, Some(k))[dst.index()].clone()
+    };
     topo.nodes()
         .map(|src| {
             let tree = lcp_tree(topo, declared, src);
             let mut routing = RoutingTable::new();
             let mut pricing = PricingTable::new();
             for entry in tree.iter().flatten() {
-                routing.install(entry.destination(), entry.nodes().to_vec());
+                let dst = entry.destination();
+                routing.install(dst, entry.nodes().to_vec());
                 for &k in entry.transit_nodes() {
-                    let price = vcg_payment(topo, declared, src, entry.destination(), k)
-                        .expect("k is on the LCP");
+                    let best = pair_query(src, dst).expect("dst on tree");
+                    let detour = avoid_query(src, dst, k)
+                        .expect("biconnected graph admits a k-avoiding path");
+                    let price = Money::new(
+                        declared.cost(k).value() as i64 + detour.cost().value() as i64
+                            - best.cost().value() as i64,
+                    );
                     pricing.insert(
-                        entry.destination(),
+                        dst,
                         k,
                         crate::state::PriceEntry {
                             price,
@@ -152,10 +220,11 @@ impl CostMinimizationProblem for RoutingProblem {
 
     fn optimal(&self, decls: &[Cost]) -> Option<(Vec<PathMetric>, Money)> {
         let declared = CostVector::from_costs(decls.to_vec());
+        let routes = RouteCache::shared(&self.topo, &declared);
         let paths: Option<Vec<PathMetric>> = self
             .flows
             .iter()
-            .map(|&(src, dst, _)| specfaith_graph::lcp::lcp(&self.topo, &declared, src, dst))
+            .map(|&(src, dst, _)| routes.path(src, dst).cloned())
             .collect();
         let paths = paths?;
         let total = self.total_cost(&paths);
@@ -168,6 +237,7 @@ impl CostMinimizationProblem for RoutingProblem {
         excluded: usize,
     ) -> Option<(Vec<PathMetric>, Money)> {
         let declared = CostVector::from_costs(decls.to_vec());
+        let routes = RouteCache::shared(&self.topo, &declared);
         let avoid = NodeId::from_index(excluded);
         let paths: Option<Vec<PathMetric>> = self
             .flows
@@ -176,9 +246,9 @@ impl CostMinimizationProblem for RoutingProblem {
                 if src == avoid || dst == avoid {
                     // The excluded node's own traffic endpoints are
                     // unaffected by its exclusion as a *transit*.
-                    specfaith_graph::lcp::lcp(&self.topo, &declared, src, dst)
+                    routes.path(src, dst).cloned()
                 } else {
-                    lcp_avoiding(&self.topo, &declared, src, dst, avoid)
+                    routes.path_avoiding(src, dst, avoid).cloned()
                 }
             })
             .collect();

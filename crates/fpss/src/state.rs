@@ -10,9 +10,17 @@ use std::fmt;
 
 /// \[DATA1\] Transit-cost list: this node's knowledge of declared transit
 /// costs across the network, filled by the phase-1 flood.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Stored densely by node index: the list sits on the innermost loops of
+/// every routing/pricing recomputation (once per candidate path node), so
+/// lookups must be array reads, not tree walks. Node ids are dense
+/// (`0..n`) by construction, making the representation exact.
+#[derive(Clone, Debug, Default)]
 pub struct TransitCostList {
-    costs: BTreeMap<NodeId, Cost>,
+    /// `costs[node.index()]`; `None` = not yet learned. May carry trailing
+    /// `None`s, which never affect equality or iteration.
+    costs: Vec<Option<Cost>>,
+    known: usize,
 }
 
 impl TransitCostList {
@@ -25,33 +33,39 @@ impl TransitCostList {
     /// information (first declaration wins; FPSS assumes a static network,
     /// so re-declarations are duplicates from the flood).
     pub fn learn(&mut self, origin: NodeId, declared: Cost) -> bool {
-        match self.costs.entry(origin) {
-            std::collections::btree_map::Entry::Vacant(e) => {
-                e.insert(declared);
-                true
-            }
-            std::collections::btree_map::Entry::Occupied(_) => false,
+        let at = origin.index();
+        if at >= self.costs.len() {
+            self.costs.resize(at + 1, None);
         }
+        if self.costs[at].is_some() {
+            return false;
+        }
+        self.costs[at] = Some(declared);
+        self.known += 1;
+        true
     }
 
     /// The declared cost of `node`, if known.
     pub fn declared(&self, node: NodeId) -> Option<Cost> {
-        self.costs.get(&node).copied()
+        self.costs.get(node.index()).copied().flatten()
     }
 
     /// Number of nodes with known costs.
     pub fn len(&self) -> usize {
-        self.costs.len()
+        self.known
     }
 
     /// Whether no costs are known yet.
     pub fn is_empty(&self) -> bool {
-        self.costs.is_empty()
+        self.known == 0
     }
 
     /// Iterates `(node, declared cost)` in node order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, Cost)> + '_ {
-        self.costs.iter().map(|(&k, &v)| (k, v))
+        self.costs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|c| (NodeId::from_index(i), c)))
     }
 
     /// Sum of declared costs of the *intermediate* nodes of `path`.
@@ -65,15 +79,37 @@ impl TransitCostList {
             .try_fold(Cost::ZERO, |acc, v| self.declared(*v).map(|c| acc + c))
     }
 
+    /// The cost of the candidate route `[owner] ++ path`, whose
+    /// intermediates are every `path` node except the last: what the
+    /// routing update rule charges a neighbor-advertised path, costed
+    /// locally (\[CHECK1\]). Returns `None` if any such cost is unknown.
+    pub fn extension_cost(&self, path: &[NodeId]) -> Option<Cost> {
+        if path.len() <= 1 {
+            return Some(Cost::ZERO);
+        }
+        path[..path.len() - 1]
+            .iter()
+            .try_fold(Cost::ZERO, |acc, v| self.declared(*v).map(|c| acc + c))
+    }
+
     /// Canonical hash (for completeness; the bank compares DATA2/DATA3*).
     pub fn digest(&self) -> Digest {
         let mut h = TableHasher::new("fpss/data1");
-        for (node, cost) in &self.costs {
+        for (node, cost) in self.iter() {
             h.put_u32(node.raw()).put_u64(cost.value()).row_boundary();
         }
         h.finish()
     }
 }
+
+impl PartialEq for TransitCostList {
+    fn eq(&self, other: &Self) -> bool {
+        // Trailing unlearned slots are representation, not content.
+        self.known == other.known && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for TransitCostList {}
 
 /// \[DATA2\] Routing table: this node's current lowest-cost path per
 /// destination.
@@ -106,6 +142,11 @@ impl RoutingTable {
         }
         self.routes.insert(dst, path);
         true
+    }
+
+    /// Removes the route to `dst`, returning whether one was present.
+    pub fn remove(&mut self, dst: NodeId) -> bool {
+        self.routes.remove(&dst).is_some()
     }
 
     /// Number of destinations with routes.
@@ -225,6 +266,13 @@ impl PricingTable {
     /// Inserts a single entry (used by mirrors and tests).
     pub fn insert(&mut self, dst: NodeId, transit: NodeId, entry: PriceEntry) {
         self.entries.insert((dst, transit), entry);
+    }
+
+    /// Iterates the transits currently priced for `dst`, in transit order.
+    pub fn transits_for(&self, dst: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.entries
+            .range((dst, NodeId::new(0))..=(dst, NodeId::new(u32::MAX)))
+            .map(|(&(_, transit), _)| transit)
     }
 
     /// Number of entries.

@@ -1,0 +1,412 @@
+//! Memoized all-pairs lowest-cost routes: the [`RouteCache`].
+//!
+//! Every layer of the workspace asks the same two questions of a
+//! `(topology, cost-vector)` pair — *"what is the LCP from `src` to
+//! `dst`?"* and *"what is it avoiding `k`?"* (the `d_{G−k}` query behind
+//! every VCG payment). Answering them with fresh Dijkstra runs per query
+//! is what made the Theorem-1 deviation sweep quadratic-times-slower than
+//! it needs to be: a single centralized reference check at `n = 64` issues
+//! tens of thousands of single-pair queries against at most
+//! `n + n·(n−1)` *distinct* trees.
+//!
+//! A [`RouteCache`] owns one `(topology, cost-vector)` pair and memoizes
+//! every tree the pair can produce, computing each at most once (behind
+//! [`OnceLock`], so concurrent sweep cells share the work) and handing out
+//! **borrows** — no per-query tree clone, no per-path allocation.
+//!
+//! [`RouteCache::shared`] adds a process-wide registry keyed by a
+//! fingerprint of the pair, so independent callers (every cell of a
+//! deviation sweep, say) transparently share one cache per distinct
+//! declared-cost vector. Lookup verifies full structural equality after
+//! the fingerprint match — cached answers are *provably* the answers the
+//! direct computation would give, never approximately so.
+//!
+//! # Example
+//!
+//! ```
+//! use specfaith_graph::cache::RouteCache;
+//! use specfaith_graph::generators::figure1;
+//!
+//! let net = figure1();
+//! let routes = RouteCache::shared(&net.topology, &net.costs);
+//! let path = routes.path(net.x, net.z).expect("biconnected");
+//! assert_eq!(path.cost().value(), 2);
+//! // The detour avoiding C — the d_{G−C}(X,Z) VCG query — reuses the
+//! // same cache; no tree is ever computed twice.
+//! let detour = routes.path_avoiding(net.x, net.z, net.c).expect("biconnected");
+//! assert_eq!(detour.cost().value(), 5);
+//! ```
+
+use crate::costs::CostVector;
+use crate::lcp::{lcp_tree, lcp_tree_avoiding};
+use crate::path::PathMetric;
+use crate::topology::Topology;
+use specfaith_core::id::NodeId;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// How many distinct `(topology, cost-vector)` pairs [`RouteCache::shared`]
+/// keeps alive at once. Beyond this the least-recently-used pair is
+/// evicted; correctness is unaffected (a re-miss just recomputes).
+const SHARED_CAPACITY: usize = 64;
+
+/// The process-wide registry behind [`RouteCache::shared`], in LRU order
+/// (front = coldest).
+static SHARED: Mutex<VecDeque<Arc<RouteCache>>> = Mutex::new(VecDeque::new());
+
+/// A 64-bit FNV-1a fingerprint of a `(topology, cost-vector)` pair.
+///
+/// Used only to make registry lookup cheap; equality of the full pair is
+/// re-verified on every hit, so a collision can never alias two different
+/// networks onto one cache.
+fn fingerprint(topo: &Topology, costs: &CostVector) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            h = (h ^ byte as u64).wrapping_mul(PRIME);
+        }
+    };
+    mix(topo.num_nodes() as u64);
+    for &(a, b) in topo.edges() {
+        mix(((a.raw() as u64) << 32) | b.raw() as u64);
+    }
+    for (_, cost) in costs.iter() {
+        mix(cost.value());
+    }
+    h
+}
+
+/// Memoized lowest-cost routes for one `(topology, cost-vector)` pair.
+///
+/// Trees are computed lazily, at most once each, and borrowed out for the
+/// cache's lifetime. All methods take `&self` and are safe to call from
+/// many threads at once; the values they return are pure functions of the
+/// pair, so caching cannot change any result — only how often Dijkstra
+/// runs.
+///
+/// Memory: the avoid-tree table is `n²` lazily-filled slots, so a fully
+/// exercised cache at `n` nodes holds `n + n·(n−1)` trees of `n` entries
+/// each — some tens of megabytes at the sweep's standard `n = 64`, and the
+/// shared registry retains up to 64 such caches (LRU). Long-running
+/// processes that churn through many distinct cost vectors should call
+/// [`RouteCache::clear_shared`] between workloads, or scope
+/// [`RouteCache::new`] caches to a run instead of using the registry.
+pub struct RouteCache {
+    topo: Topology,
+    costs: CostVector,
+    fingerprint: u64,
+    /// `trees[src]`: the LCP tree rooted at `src`.
+    trees: Vec<OnceLock<Box<[Option<PathMetric>]>>>,
+    /// `avoid_trees[src * n + avoid]`: the tree rooted at `src` in `G − avoid`.
+    avoid_trees: Vec<OnceLock<Box<[Option<PathMetric>]>>>,
+    /// Number of Dijkstra runs performed so far (diagnostics for benches
+    /// and tests; not part of any result).
+    computed: AtomicUsize,
+}
+
+impl std::fmt::Debug for RouteCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouteCache")
+            .field("topo", &self.topo)
+            .field("costs", &self.costs)
+            .field("trees_computed", &self.trees_computed())
+            .finish()
+    }
+}
+
+impl RouteCache {
+    /// An empty cache owning `topo` and `costs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cost vector's arity does not match the topology.
+    pub fn new(topo: Topology, costs: CostVector) -> Self {
+        assert_eq!(
+            topo.num_nodes(),
+            costs.len(),
+            "cost vector arity must match topology"
+        );
+        let n = topo.num_nodes();
+        let fingerprint = fingerprint(&topo, &costs);
+        RouteCache {
+            topo,
+            costs,
+            fingerprint,
+            trees: (0..n).map(|_| OnceLock::new()).collect(),
+            avoid_trees: (0..n * n).map(|_| OnceLock::new()).collect(),
+            computed: AtomicUsize::new(0),
+        }
+    }
+
+    /// The process-shared cache for `(topo, costs)`: returns the existing
+    /// cache when one is registered (verified by full structural equality,
+    /// not just fingerprint), otherwise registers a fresh one, evicting
+    /// the least-recently-used entry past the registry capacity (64
+    /// distinct pairs).
+    ///
+    /// This is what lets every cell of a deviation sweep — across rayon
+    /// threads — share one set of Dijkstra runs per distinct declared-cost
+    /// vector.
+    pub fn shared(topo: &Topology, costs: &CostVector) -> Arc<RouteCache> {
+        let print = fingerprint(topo, costs);
+        let mut registry = SHARED.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(at) = registry
+            .iter()
+            .position(|c| c.fingerprint == print && c.topo == *topo && c.costs == *costs)
+        {
+            let hit = registry.remove(at).expect("position just found");
+            registry.push_back(Arc::clone(&hit));
+            return hit;
+        }
+        let fresh = Arc::new(RouteCache::new(topo.clone(), costs.clone()));
+        if registry.len() >= SHARED_CAPACITY {
+            registry.pop_front();
+        }
+        registry.push_back(Arc::clone(&fresh));
+        fresh
+    }
+
+    /// Empties the process-shared registry, releasing every retained
+    /// cache not otherwise referenced. Results are unaffected — future
+    /// [`RouteCache::shared`] lookups just recompute.
+    pub fn clear_shared() {
+        SHARED
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+
+    /// The topology this cache answers for.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The cost vector this cache answers for.
+    pub fn costs(&self) -> &CostVector {
+        &self.costs
+    }
+
+    /// The LCP tree rooted at `src`: entry `dst.index()` is the lowest-cost
+    /// path `src → dst`, or `None` where unreachable. Computed on first
+    /// use, borrowed thereafter.
+    pub fn tree(&self, src: NodeId) -> &[Option<PathMetric>] {
+        self.trees[src.index()].get_or_init(|| {
+            self.computed.fetch_add(1, Ordering::Relaxed);
+            lcp_tree(&self.topo, &self.costs, src).into_boxed_slice()
+        })
+    }
+
+    /// The LCP tree rooted at `src` in `G − avoid` — the `d_{G−k}` query
+    /// behind VCG payments. One tree per `(src, avoid)` pair serves every
+    /// destination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `avoid == src`.
+    pub fn tree_avoiding(&self, src: NodeId, avoid: NodeId) -> &[Option<PathMetric>] {
+        assert!(avoid != src, "cannot avoid the source of the LCP query");
+        let n = self.topo.num_nodes();
+        self.avoid_trees[src.index() * n + avoid.index()].get_or_init(|| {
+            self.computed.fetch_add(1, Ordering::Relaxed);
+            lcp_tree_avoiding(&self.topo, &self.costs, src, Some(avoid)).into_boxed_slice()
+        })
+    }
+
+    /// The lowest-cost path `src → dst`, or `None` if unreachable.
+    /// Borrowed from the cached tree — the zero-clone replacement for the
+    /// deprecated [`crate::lcp::lcp`].
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Option<&PathMetric> {
+        self.tree(src)[dst.index()].as_ref()
+    }
+
+    /// The lowest-cost path `src → dst` avoiding `avoid` entirely, or
+    /// `None` if no such path exists. The zero-clone replacement for the
+    /// deprecated [`crate::lcp::lcp_avoiding`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `avoid` equals `src` or `dst` (the VCG query only ever
+    /// avoids intermediate nodes).
+    pub fn path_avoiding(&self, src: NodeId, dst: NodeId, avoid: NodeId) -> Option<&PathMetric> {
+        assert!(
+            avoid != dst,
+            "cannot avoid the destination of the LCP query"
+        );
+        self.tree_avoiding(src, avoid)[dst.index()].as_ref()
+    }
+
+    /// How many Dijkstra runs this cache has performed. Diagnostic only:
+    /// lets benches and tests verify that repeated queries hit the memo.
+    pub fn trees_computed(&self) -> usize {
+        self.computed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::figure1;
+    use specfaith_core::money::Cost;
+
+    #[test]
+    fn answers_match_direct_trees() {
+        let net = figure1();
+        let cache = RouteCache::new(net.topology.clone(), net.costs.clone());
+        for src in net.topology.nodes() {
+            assert_eq!(
+                cache.tree(src),
+                &lcp_tree(&net.topology, &net.costs, src)[..],
+                "tree({src})"
+            );
+            for avoid in net.topology.nodes() {
+                if avoid == src {
+                    continue;
+                }
+                assert_eq!(
+                    cache.tree_avoiding(src, avoid),
+                    &lcp_tree_avoiding(&net.topology, &net.costs, src, Some(avoid))[..],
+                    "tree_avoiding({src}, {avoid})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_queries_compute_each_tree_once() {
+        let net = figure1();
+        let cache = RouteCache::new(net.topology.clone(), net.costs.clone());
+        for _ in 0..3 {
+            let _ = cache.path(net.x, net.z);
+            let _ = cache.path_avoiding(net.x, net.z, net.c);
+        }
+        assert_eq!(cache.trees_computed(), 2, "one plain tree + one avoid tree");
+    }
+
+    #[test]
+    fn shared_returns_the_same_cache_for_equal_pairs() {
+        let net = figure1();
+        let a = RouteCache::shared(&net.topology, &net.costs);
+        let b = RouteCache::shared(&net.topology, &net.costs);
+        assert!(Arc::ptr_eq(&a, &b), "equal pairs share one cache");
+        // A different cost vector gets its own cache.
+        let lied = net.costs.with_cost(net.c, Cost::new(5));
+        let c = RouteCache::shared(&net.topology, &lied);
+        assert!(!Arc::ptr_eq(&a, &c), "distinct costs must not alias");
+        assert_eq!(c.path(net.x, net.z).expect("connected").cost().value(), 5);
+    }
+
+    #[test]
+    fn path_accessors_agree_with_tree_entries() {
+        let net = figure1();
+        let cache = RouteCache::new(net.topology.clone(), net.costs.clone());
+        let p = cache.path(net.x, net.z).expect("biconnected");
+        assert_eq!(p.nodes(), &[net.x, net.d, net.c, net.z]);
+        let detour = cache
+            .path_avoiding(net.x, net.z, net.c)
+            .expect("biconnected");
+        assert_eq!(detour.nodes(), &[net.x, net.a, net.z]);
+    }
+
+    #[test]
+    fn fingerprint_tracks_cost_changes() {
+        let net = figure1();
+        let base = fingerprint(&net.topology, &net.costs);
+        let lied = net.costs.with_cost(net.c, Cost::new(5));
+        assert_ne!(base, fingerprint(&net.topology, &lied));
+        assert_eq!(base, fingerprint(&net.topology, &net.costs), "stable");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot avoid the source")]
+    fn avoid_source_rejected() {
+        let net = figure1();
+        let cache = RouteCache::new(net.topology.clone(), net.costs.clone());
+        let _ = cache.tree_avoiding(net.x, net.x);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot avoid the destination")]
+    fn avoid_destination_rejected() {
+        let net = figure1();
+        let cache = RouteCache::new(net.topology.clone(), net.costs.clone());
+        let _ = cache.path_avoiding(net.x, net.z, net.z);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn mismatched_arity_rejected() {
+        let net = figure1();
+        let _ = RouteCache::new(net.topology.clone(), CostVector::uniform(2, 1));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::generators::random_biconnected;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The satellite property: across random topologies, cost vectors,
+        /// and avoid-node queries, every cache answer is *identical* to
+        /// the direct `lcp_tree` / `lcp_tree_avoiding` computation.
+        #[test]
+        fn cache_is_identical_to_direct_computation(
+            seed in 0u64..400,
+            n in 4usize..14,
+            cost_hi in 1u64..25,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let topo = random_biconnected(n, n / 2, &mut rng);
+            let costs = CostVector::random(n, 0, cost_hi, &mut rng);
+            let cache = RouteCache::new(topo.clone(), costs.clone());
+            for src in topo.nodes() {
+                let direct = lcp_tree(&topo, &costs, src);
+                prop_assert_eq!(cache.tree(src), &direct[..]);
+                for dst in topo.nodes() {
+                    prop_assert_eq!(cache.path(src, dst), direct[dst.index()].as_ref());
+                    for avoid in topo.nodes() {
+                        if avoid == src || avoid == dst {
+                            continue;
+                        }
+                        let direct_avoid =
+                            lcp_tree_avoiding(&topo, &costs, src, Some(avoid));
+                        prop_assert_eq!(
+                            cache.path_avoiding(src, dst, avoid),
+                            direct_avoid[dst.index()].as_ref()
+                        );
+                    }
+                }
+            }
+        }
+
+        /// The shared registry never mixes up distinct pairs: interleaved
+        /// lookups under different cost vectors stay consistent.
+        #[test]
+        fn shared_registry_is_collision_safe(seed in 0u64..200, n in 4usize..10) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let topo = random_biconnected(n, n / 2, &mut rng);
+            let a = CostVector::random(n, 0, 10, &mut rng);
+            let b = CostVector::random(n, 11, 20, &mut rng);
+            let ca = RouteCache::shared(&topo, &a);
+            let cb = RouteCache::shared(&topo, &b);
+            prop_assert_eq!(ca.costs(), &a);
+            prop_assert_eq!(cb.costs(), &b);
+            for src in topo.nodes() {
+                let direct_a = lcp_tree(&topo, &a, src);
+                let direct_b = lcp_tree(&topo, &b, src);
+                for dst in topo.nodes() {
+                    prop_assert_eq!(ca.path(src, dst), direct_a[dst.index()].as_ref());
+                    prop_assert_eq!(cb.path(src, dst), direct_b[dst.index()].as_ref());
+                }
+            }
+        }
+    }
+}

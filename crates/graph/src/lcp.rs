@@ -83,16 +83,36 @@ pub fn lcp_tree_avoiding(
 }
 
 /// The lowest-cost path from `src` to `dst`, or `None` if unreachable.
+///
+/// Deprecated: a single-pair query has no business cloning a whole tree's
+/// worth of work. The borrow-based [`RouteCache::path`] is the only
+/// implementation now — this wrapper consults the shared cache and clones
+/// the one path at the edge, purely for signature compatibility.
+///
+/// [`RouteCache::path`]: crate::cache::RouteCache::path
+#[deprecated(
+    since = "0.3.0",
+    note = "use `RouteCache::shared(topo, costs).path(src, dst)` and borrow the path"
+)]
 pub fn lcp(topo: &Topology, costs: &CostVector, src: NodeId, dst: NodeId) -> Option<PathMetric> {
-    lcp_tree(topo, costs, src)[dst.index()].clone()
+    crate::cache::RouteCache::shared(topo, costs)
+        .path(src, dst)
+        .cloned()
 }
 
 /// The lowest-cost path from `src` to `dst` avoiding `avoid` entirely.
+///
+/// Deprecated: see [`lcp`]; the borrow-based replacement is
+/// [`RouteCache::path_avoiding`](crate::cache::RouteCache::path_avoiding).
 ///
 /// # Panics
 ///
 /// Panics if `avoid` equals `src` or `dst` (the VCG query only ever avoids
 /// intermediate nodes).
+#[deprecated(
+    since = "0.3.0",
+    note = "use `RouteCache::shared(topo, costs).path_avoiding(src, dst, avoid)` and borrow the path"
+)]
 pub fn lcp_avoiding(
     topo: &Topology,
     costs: &CostVector,
@@ -100,11 +120,9 @@ pub fn lcp_avoiding(
     dst: NodeId,
     avoid: NodeId,
 ) -> Option<PathMetric> {
-    assert!(
-        avoid != dst,
-        "cannot avoid the destination of the LCP query"
-    );
-    lcp_tree_avoiding(topo, costs, src, Some(avoid))[dst.index()].clone()
+    crate::cache::RouteCache::shared(topo, costs)
+        .path_avoiding(src, dst, avoid)
+        .cloned()
 }
 
 /// All-pairs lowest-cost paths: `result[src][dst]`.
@@ -114,6 +132,9 @@ pub fn all_pairs(topo: &Topology, costs: &CostVector) -> Vec<Vec<Option<PathMetr
 
 #[cfg(test)]
 mod tests {
+    // The deprecated single-pair wrappers stay covered until their removal.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::generators::{figure1, ring};
     use specfaith_core::money::Cost;
@@ -253,6 +274,8 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
+    #![allow(deprecated)]
+
     use super::*;
     use crate::generators::random_biconnected;
     use proptest::prelude::*;

@@ -14,27 +14,33 @@
 //! * [`lcp`] — lowest-cost-path computation with a **deterministic total
 //!   tie-breaking order** ([`PathMetric`]), so that every node (and every
 //!   checker mirroring a principal) resolves ties identically.
+//! * [`cache`] — the [`RouteCache`]: memoized all-pairs routes per
+//!   `(topology, cost-vector)` pair, computed once and borrowed everywhere
+//!   (the hot path of the Theorem-1 deviation sweep).
 //! * [`generators`] — the paper's Figure 1 network plus synthetic families
 //!   (rings, grids, wheels, random biconnected graphs).
 //!
 //! # Example
 //!
 //! ```
+//! use specfaith_graph::cache::RouteCache;
 //! use specfaith_graph::generators::figure1;
-//! use specfaith_graph::lcp::lcp;
 //!
 //! let net = figure1();
+//! let routes = RouteCache::shared(&net.topology, &net.costs);
 //! // The paper: "the total LCP cost of sending a packet from X to Z is 2".
-//! let path = lcp(&net.topology, &net.costs, net.x, net.z).expect("connected");
+//! let path = routes.path(net.x, net.z).expect("connected");
 //! assert_eq!(path.cost().value(), 2);
 //! ```
 
+pub mod cache;
 pub mod costs;
 pub mod generators;
 pub mod lcp;
 pub mod path;
 pub mod topology;
 
+pub use cache::RouteCache;
 pub use costs::CostVector;
 pub use path::PathMetric;
 pub use topology::{Topology, TopologyBuilder};

@@ -63,6 +63,11 @@ impl PathMetric {
         &self.nodes
     }
 
+    /// Consumes the path, returning its node sequence without cloning.
+    pub fn into_nodes(self) -> Vec<NodeId> {
+        self.nodes
+    }
+
     /// The source node.
     pub fn source(&self) -> NodeId {
         self.nodes[0]

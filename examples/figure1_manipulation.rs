@@ -25,7 +25,7 @@
 
 use specfaith::fpss::deviation::{DropTransitPackets, UnderreportPayments};
 use specfaith::fpss::pricing::vcg_payment;
-use specfaith::graph::lcp::lcp;
+use specfaith::graph::cache::RouteCache;
 use specfaith::prelude::*;
 
 fn main() {
@@ -42,11 +42,12 @@ fn main() {
     );
     for declared in 0..=8u64 {
         let lied = net.costs.with_cost(net.c, Cost::new(declared));
+        let routes = RouteCache::shared(&net.topology, &lied);
         let mut naive = 0i64;
         let mut vcg = 0i64;
         let mut on_xz = false;
         for &(src, dst, packets) in &flows {
-            let path = lcp(&net.topology, &lied, src, dst).expect("biconnected");
+            let path = routes.path(src, dst).expect("biconnected");
             if !path.transit_nodes().contains(&net.c) {
                 continue;
             }

@@ -1,13 +1,23 @@
 //! The parallel deviation sweep: the `(seed × node × deviation)` grid,
-//! evaluated cell-by-cell with deterministic per-cell seeds.
+//! evaluated in two phases with deterministic per-cell seeds.
 //!
-//! Every cell of the grid is an independent, deterministic simulator run,
-//! so evaluation order cannot influence results; [`cell_seed`] makes each
-//! cell's seed a pure function of `(base seed, agent, deviation)` so the
-//! grid's *contents* do not depend on how it is scheduled either. The
-//! parallel path and the serial path run the identical cell list through
-//! the identical evaluator — `assert_eq!` between their [`SweepReport`]s
-//! is the workspace's standing determinism test.
+//! **Phase 1** runs each seed's honest baseline exactly once, in parallel
+//! across seeds, and wraps the results in `Arc`s: every `(node ×
+//! deviation)` cell of a seed — and the final report assembly — borrows
+//! the same immutable baseline instead of re-deriving it. For plain-FPSS
+//! scenarios the baselines also warm the process-shared
+//! [`RouteCache`](specfaith_graph::cache::RouteCache) for the honest
+//! declared-cost vector before the fan-out, so deviation cells start with
+//! the reference Dijkstra work already done.
+//!
+//! **Phase 2** evaluates the deviation cells. Every cell is an
+//! independent, deterministic simulator run, so evaluation order cannot
+//! influence results; [`cell_seed`] makes each cell's seed a pure
+//! function of `(base seed, agent, deviation)` so the grid's *contents*
+//! do not depend on how it is scheduled either. The parallel path and the
+//! serial path run the identical cell list through the identical
+//! evaluator — `assert_eq!` between their [`SweepReport`]s is the
+//! workspace's standing determinism test.
 
 use super::report::SweepReport;
 use super::Scenario;
@@ -112,58 +122,65 @@ pub fn cell_seed(base_seed: u64, agent: u64, deviation: u64) -> u64 {
     state
 }
 
-/// One cell of the sweep grid.
+/// One deviation cell of the sweep grid. Honest baselines are phase 1 —
+/// they are shared per seed, not enumerated as cells.
 #[derive(Clone, Copy, Debug)]
 struct Cell {
     /// Index into the caller's seed list.
     seed_index: usize,
     /// The caller's base seed for this cell's row.
     base_seed: u64,
-    /// `None` = the faithful baseline; `Some((agent, deviation index))`
-    /// otherwise.
-    deviation: Option<(usize, usize)>,
+    /// The deviating agent (topology index).
+    agent: usize,
+    /// Index into the catalog's deviation list.
+    deviation: usize,
 }
 
-/// A cell's evaluated result: the deviant-relevant utility data.
+/// An evaluated run's deviant-relevant utility data — one per deviation
+/// cell, and (behind an `Arc`, shared across the seed's whole row) one
+/// per honest baseline.
 #[derive(Clone, Debug)]
 struct CellResult {
     utilities: Vec<Money>,
     detected: bool,
 }
 
-fn evaluate(scenario: &Scenario, catalog: &Catalog, cell: &Cell) -> CellResult {
-    let run = match cell.deviation {
-        None => scenario.run(cell.base_seed),
-        Some((agent, deviation)) => {
-            let agent_id = NodeId::from_index(agent);
-            let strategy = catalog.strategy(agent_id, deviation);
-            let seed = cell_seed(cell.base_seed, agent as u64, deviation as u64);
-            scenario.run_with_deviant(agent_id, strategy, seed)
-        }
-    };
+/// Phase 1 evaluator: the honest baseline of one seed, reproducible via
+/// `scenario.run(base_seed)`.
+fn evaluate_baseline(scenario: &Scenario, base_seed: u64) -> CellResult {
+    let run = scenario.run(base_seed);
     CellResult {
         utilities: run.utilities,
         detected: run.detected,
     }
 }
 
-/// Builds the full cell grid for `seeds`: per seed, the baseline first,
-/// then agents × deviations in row-major order.
-fn grid(scenario: &Scenario, seeds: &[u64], deviations: usize) -> Vec<Cell> {
+/// Phase 2 evaluator: one `(agent, deviation)` cell, reproducible via
+/// `scenario.run_with_deviant(agent, strategy, cell_seed(..))`.
+fn evaluate(scenario: &Scenario, catalog: &Catalog, cell: &Cell) -> CellResult {
+    let agent_id = NodeId::from_index(cell.agent);
+    let strategy = catalog.strategy(agent_id, cell.deviation);
+    let seed = cell_seed(cell.base_seed, cell.agent as u64, cell.deviation as u64);
+    let run = scenario.run_with_deviant(agent_id, strategy, seed);
+    CellResult {
+        utilities: run.utilities,
+        detected: run.detected,
+    }
+}
+
+/// Builds the deviation-cell grid for `seeds`: per seed, agents ×
+/// deviations in row-major order.
+fn deviation_grid(scenario: &Scenario, seeds: &[u64], deviations: usize) -> Vec<Cell> {
     let n = scenario.num_nodes();
-    let mut cells = Vec::with_capacity(seeds.len() * (1 + n * deviations));
+    let mut cells = Vec::with_capacity(seeds.len() * n * deviations);
     for (seed_index, &base_seed) in seeds.iter().enumerate() {
-        cells.push(Cell {
-            seed_index,
-            base_seed,
-            deviation: None,
-        });
         for agent in 0..n {
             for deviation in 0..deviations {
                 cells.push(Cell {
                     seed_index,
                     base_seed,
-                    deviation: Some((agent, deviation)),
+                    agent,
+                    deviation,
                 });
             }
         }
@@ -171,32 +188,31 @@ fn grid(scenario: &Scenario, seeds: &[u64], deviations: usize) -> Vec<Cell> {
     cells
 }
 
-/// Assembles per-seed [`EquilibriumReport`]s from the evaluated grid.
+/// Assembles per-seed [`EquilibriumReport`]s: faithful utilities come
+/// from the shared phase-1 baselines, outcomes from the evaluated cells.
 /// `results` must be index-aligned with `cells` — both paths (serial and
 /// parallel) guarantee that by construction.
 fn assemble(
     seeds: &[u64],
     specs: &[DeviationSpec],
+    baselines: &[Arc<CellResult>],
     cells: &[Cell],
     results: Vec<CellResult>,
 ) -> SweepReport {
-    let mut reports: Vec<EquilibriumReport> = vec![EquilibriumReport::default(); seeds.len()];
-    // Baselines first: deviation outcomes need the faithful utilities.
-    for (cell, result) in cells.iter().zip(&results) {
-        if cell.deviation.is_none() {
-            reports[cell.seed_index].faithful_utilities = result.utilities.clone();
-        }
-    }
+    let mut reports: Vec<EquilibriumReport> = baselines
+        .iter()
+        .map(|baseline| EquilibriumReport {
+            faithful_utilities: baseline.utilities.clone(),
+            outcomes: Vec::new(),
+        })
+        .collect();
     for (cell, result) in cells.iter().zip(results) {
-        let Some((agent, deviation)) = cell.deviation else {
-            continue;
-        };
-        let faithful_utility = reports[cell.seed_index].faithful_utilities[agent];
+        let faithful_utility = baselines[cell.seed_index].utilities[cell.agent];
         reports[cell.seed_index].outcomes.push(DeviationOutcome {
-            agent,
-            deviation: specs[deviation].clone(),
+            agent: cell.agent,
+            deviation: specs[cell.deviation].clone(),
             faithful_utility,
-            deviant_utility: result.utilities[agent],
+            deviant_utility: result.utilities[cell.agent],
             detected: result.detected,
         });
     }
@@ -205,8 +221,8 @@ fn assemble(
     }
 }
 
-/// Runs the sweep; `parallel` picks rayon fan-out vs. strict serial
-/// evaluation of the identical grid.
+/// Runs the two-phase sweep; `parallel` picks rayon fan-out vs. strict
+/// serial evaluation of the identical work list.
 pub(super) fn sweep(
     scenario: &Scenario,
     seeds: &[u64],
@@ -214,7 +230,22 @@ pub(super) fn sweep(
     parallel: bool,
 ) -> SweepReport {
     let specs = catalog.specs();
-    let cells = grid(scenario, seeds, specs.len());
+    // Phase 1: one honest baseline per seed, shared immutably with every
+    // cell of that seed's row (and warming the shared route cache for
+    // plain scenarios before the fan-out).
+    let baselines: Vec<Arc<CellResult>> = if parallel {
+        seeds
+            .par_iter()
+            .map(|&base_seed| Arc::new(evaluate_baseline(scenario, base_seed)))
+            .collect()
+    } else {
+        seeds
+            .iter()
+            .map(|&base_seed| Arc::new(evaluate_baseline(scenario, base_seed)))
+            .collect()
+    };
+    // Phase 2: the (node × deviation) cells of every seed.
+    let cells = deviation_grid(scenario, seeds, specs.len());
     let results: Vec<CellResult> = if parallel {
         cells
             .par_iter()
@@ -226,7 +257,7 @@ pub(super) fn sweep(
             .map(|cell| evaluate(scenario, catalog, cell))
             .collect()
     };
-    assemble(seeds, &specs, &cells, results)
+    assemble(seeds, &specs, &baselines, &cells, results)
 }
 
 /// The single-seed serial report (`Scenario::equilibrium_report`).
