@@ -1,37 +1,43 @@
 //! The sweep regression benchmark behind `BENCH_sweep.json` and the CI
-//! bench gate.
+//! bench gates.
 //!
-//! Measures Theorem-1 deviation-sweep throughput (cells/second) on the
-//! standard `n = 64` random biconnected instance under the plain
-//! mechanism, in two arms on the same machine:
+//! Measures Theorem-1 deviation-sweep throughput on the standard
+//! `n = 64` random biconnected instance under the plain mechanism, in two
+//! arms on the same machine:
 //!
-//! * **optimized** — the real `Scenario::sweep_serial` path: shared
+//! * **optimized** — the real `Scenario::sweep_serial` path: run-scoped
 //!   `RouteCache` reference tables plus the destination-scoped
 //!   incremental recompute on honest nodes;
 //! * **reference** — sampled cells through the retained pre-optimization
 //!   paths (`run_plain_uncached` per-pair-query tables, and a bench-only
 //!   honest strategy that reports `is_faithful() == false` so every node
-//!   takes the full-table recompute on every message, exactly as deviants
-//!   still do).
+//!   takes the full-table recompute on every message, exactly as
+//!   table-transforming deviants still do).
 //!
 //! The regression gate compares the **ratio** of the two arms (`speedup`),
 //! which is machine-independent: both arms run on the same host in the
 //! same process, so host speed and load cancel out.
 //!
 //! ```sh
-//! sweep_bench [--quick] [--out BENCH_sweep.json] [--check baseline.json]
+//! sweep_bench [--quick | --large] [--n N] [--out BENCH_sweep.json] [--check baseline.json]
 //! ```
 //!
 //! `--quick` trims the swept catalog (CI-sized run, same instance and
-//! mechanics); `--check` exits nonzero when the measured speedup falls
-//! more than 20% below the committed baseline's.
+//! mechanics). `--large` switches to the large-`n` smoke (default
+//! `n = 1024` uniform-cost scale-free): one honest run, one
+//! agent-sampled quick sweep, and a cached-vs-uncached reference-table
+//! ratio over sampled sources (the uncached arm at full `n` would take
+//! hours). `--check` exits nonzero when the measured speedup falls more
+//! than 20% below the committed baseline's.
 
 use specfaith::scenario::{
-    cell_seed, Catalog, CostModel, Mechanism, Scenario, TopologySource, TrafficModel,
+    cell_seed, CacheScope, Catalog, CostModel, Mechanism, ReferenceCheck, Scenario,
+    ScenarioBuilder, TopologySource, TrafficModel,
 };
 use specfaith_bench::instance;
 use specfaith_core::id::NodeId;
-use specfaith_fpss::deviation::{standard_catalog, FullRecomputeFaithful};
+use specfaith_fpss::deviation::{standard_catalog, FullRecomputeFaithful, MisreportCost};
+use specfaith_fpss::pricing::{expected_tables_for, expected_tables_uncached_for};
 use specfaith_fpss::runner::{run_plain_uncached, PlainConfig};
 use std::process::ExitCode;
 use std::time::Instant;
@@ -39,6 +45,16 @@ use std::time::Instant;
 const N: usize = 64;
 const INSTANCE_SEED: u64 = 2004;
 const SWEEP_SEED: u64 = 7;
+/// Node count of the `--large` smoke (overridable with `--n`).
+const LARGE_N: usize = 1024;
+/// Instance seed of the large smoke (a distinct trajectory from the
+/// standard n=64 instance).
+const LARGE_INSTANCE_SEED: u64 = 2026;
+/// Sources measured by the large mode's cached arm.
+const LARGE_CACHED_SOURCES: usize = 64;
+/// Sources measured by the large mode's uncached reference arm (a full
+/// uncached source costs seconds even alone; all `n` would take hours).
+const LARGE_REFERENCE_SOURCES: usize = 2;
 /// Event budget per cell. Construction-corrupting deviants (spoofed
 /// routes, dropped forwards) keep the routing iteration churning and
 /// would otherwise run to the 5M-event engine default, dominating the
@@ -54,6 +70,8 @@ const FULL_REFERENCE_CELLS: usize = 2;
 
 struct Args {
     quick: bool,
+    large: bool,
+    n: Option<usize>,
     out: String,
     check: Option<String>,
 }
@@ -61,6 +79,8 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
+        large: false,
+        n: None,
         out: "BENCH_sweep.json".to_string(),
         check: None,
     };
@@ -68,12 +88,123 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => args.quick = true,
+            "--large" => args.large = true,
+            "--n" => {
+                args.n = Some(
+                    it.next()
+                        .ok_or("--n needs a count")?
+                        .parse()
+                        .map_err(|e| format!("--n: {e}"))?,
+                )
+            }
             "--out" => args.out = it.next().ok_or("--out needs a path")?,
             "--check" => args.check = Some(it.next().ok_or("--check needs a path")?),
             other => return Err(format!("unknown argument {other}")),
         }
     }
+    if args.quick && args.large {
+        return Err("--quick and --large are mutually exclusive".into());
+    }
     Ok(args)
+}
+
+/// The `--large` smoke: an honest run plus an agent-sampled quick sweep
+/// on the `n ≥ 1024` uniform-cost scale-free preset, and the
+/// cached-vs-uncached reference-table ratio over sampled sources.
+/// Returns `(speedup, json)`.
+fn run_large(n: usize) -> (f64, String) {
+    let scenario = ScenarioBuilder::large_scale_free(n)
+        .costs(CostModel::Uniform(1))
+        .instance_seed(LARGE_INSTANCE_SEED)
+        .build();
+
+    // Arm 1: the honest run (construction + sampled reference check).
+    eprintln!("sweep_bench[large]: honest run at n={n}...");
+    let started = Instant::now();
+    let run = scenario.run(SWEEP_SEED);
+    let honest_secs = started.elapsed().as_secs_f64();
+    assert!(!run.truncated, "honest large-n run must converge in budget");
+    assert_eq!(
+        run.tables_match_centralized(),
+        Some(true),
+        "honest large-n run must match the centralized reference"
+    );
+
+    // Arm 2: the quick sweep — two sampled agents (a seed-clique hub and
+    // the latest attachment) under one misreport deviation, in parallel.
+    let catalog = Catalog::from_factory(|_| vec![Box::new(MisreportCost { delta: 5 })]);
+    let agents = [0usize, n - 1];
+    let sweep_cells = 1 + agents.len() * catalog.len();
+    eprintln!("sweep_bench[large]: quick sweep — {sweep_cells} cells (incl. baseline)...");
+    let started = Instant::now();
+    let report = scenario.sweep_sampled(&[SWEEP_SEED], &catalog, &agents);
+    let sweep_secs = started.elapsed().as_secs_f64();
+    assert_eq!(report.total_deviations(), agents.len() * catalog.len());
+
+    // Arm 3: the gated ratio — reference-table construction per source,
+    // cached (sparse avoid-tree index, one scoped cache) vs uncached
+    // (per-pair-query full recomputes), on sampled sources.
+    let (topo, costs) = (scenario.topology(), scenario.costs());
+    let cached_sources = ReferenceCheck::Sampled {
+        sources: LARGE_CACHED_SOURCES,
+    }
+    .sources(n);
+    eprintln!(
+        "sweep_bench[large]: cached arm — {} reference sources...",
+        cached_sources.len()
+    );
+    let scope = CacheScope::unbounded();
+    let started = Instant::now();
+    let routes = scope.cache(topo, costs);
+    for &src in &cached_sources {
+        let _ = expected_tables_for(&routes, src);
+    }
+    let cached_secs = started.elapsed().as_secs_f64();
+    let cached_sps = cached_sources.len() as f64 / cached_secs;
+    let avoid_trees = routes.avoid_trees_cached();
+    assert!(
+        avoid_trees < n * n / 4,
+        "sparse avoid index must stay far below the n² worst case \
+         ({avoid_trees} slots at n={n})"
+    );
+
+    let reference_sources = ReferenceCheck::Sampled {
+        sources: LARGE_REFERENCE_SOURCES,
+    }
+    .sources(n);
+    eprintln!(
+        "sweep_bench[large]: reference arm — {} uncached sources...",
+        reference_sources.len()
+    );
+    let started = Instant::now();
+    for &src in &reference_sources {
+        let _ = expected_tables_uncached_for(topo, costs, src);
+    }
+    let reference_secs = started.elapsed().as_secs_f64();
+    let reference_sps = reference_sources.len() as f64 / reference_secs;
+
+    let speedup = cached_sps / reference_sps;
+    let json = format!(
+        "{{\n  \"bench\": \"sweep\",\n  \"mode\": \"large\",\n  \"n\": {n},\n  \
+         \"instance_seed\": {LARGE_INSTANCE_SEED},\n  \"sweep_seed\": {SWEEP_SEED},\n  \
+         \"honest_secs\": {honest_secs:.3},\n  \"honest_msgs\": {honest_msgs},\n  \
+         \"sweep_cells\": {sweep_cells},\n  \"sweep_secs\": {sweep_secs:.3},\n  \
+         \"avoid_trees_cached\": {avoid_trees},\n  \
+         \"cached_sources\": {cached_count},\n  \"cached_secs\": {cached_secs:.3},\n  \
+         \"cached_sources_per_sec\": {cached_sps:.4},\n  \
+         \"reference_sources\": {reference_count},\n  \
+         \"reference_secs\": {reference_secs:.3},\n  \
+         \"reference_sources_per_sec\": {reference_sps:.4},\n  \"speedup\": {speedup:.2}\n}}\n",
+        honest_msgs = run.stats.total_msgs(),
+        cached_count = cached_sources.len(),
+        reference_count = reference_sources.len(),
+    );
+    println!(
+        "sweep_bench[large]: honest {honest_secs:.1}s, sweep {sweep_secs:.1}s \
+         ({sweep_cells} cells), cached {cached_sps:.2} src/s vs reference \
+         {reference_sps:.4} src/s, speedup {speedup:.1}x"
+    );
+    (speedup, json)
 }
 
 /// Pulls a numeric field out of a flat JSON object (the only JSON this
@@ -107,7 +238,26 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let mode = if args.quick { "quick" } else { "full" };
+    let mode = if args.large {
+        "large"
+    } else if args.quick {
+        "quick"
+    } else {
+        "full"
+    };
+    if args.large {
+        let n = args.n.unwrap_or(LARGE_N);
+        let (speedup, json) = run_large(n);
+        if let Err(error) = std::fs::write(&args.out, &json) {
+            eprintln!("sweep_bench: cannot write {}: {error}", args.out);
+            return ExitCode::from(2);
+        }
+        println!("sweep_bench[large]: wrote {}", args.out);
+        return match args.check {
+            Some(baseline_path) => check_gate(&baseline_path, mode, n, speedup),
+            None => ExitCode::SUCCESS,
+        };
+    }
     let inst = instance(N, INSTANCE_SEED);
     let scenario = Scenario::builder()
         .topology(TopologySource::Explicit(inst.topo.clone()))
@@ -194,36 +344,51 @@ fn main() -> ExitCode {
     );
 
     if let Some(baseline_path) = args.check {
-        let baseline_json = match std::fs::read_to_string(&baseline_path) {
-            Ok(json) => json,
-            Err(error) => {
-                eprintln!("sweep_bench: cannot read baseline {baseline_path}: {error}");
-                return ExitCode::from(2);
-            }
-        };
-        let baseline_mode = json_string(&baseline_json, "mode").unwrap_or_default();
-        if baseline_mode != mode {
-            eprintln!(
-                "sweep_bench: baseline mode {baseline_mode:?} does not match run mode {mode:?}"
-            );
-            return ExitCode::from(2);
-        }
-        let Some(baseline_speedup) = json_number(&baseline_json, "speedup") else {
-            eprintln!("sweep_bench: baseline {baseline_path} has no \"speedup\" field");
-            return ExitCode::from(2);
-        };
-        let floor = baseline_speedup * 0.8;
-        if speedup < floor {
-            eprintln!(
-                "sweep_bench: REGRESSION — speedup {speedup:.1}x fell below {floor:.1}x \
-                 (80% of the committed baseline {baseline_speedup:.1}x)"
-            );
-            return ExitCode::FAILURE;
-        }
-        println!(
-            "sweep_bench: gate passed — speedup {speedup:.1}x >= {floor:.1}x \
-             (80% of baseline {baseline_speedup:.1}x)"
-        );
+        return check_gate(&baseline_path, mode, N, speedup);
     }
+    ExitCode::SUCCESS
+}
+
+/// The >20% speedup-ratio regression gate shared by every mode. Refuses
+/// baselines whose mode or instance size differ from the run's (a ratio
+/// measured at one `n` says nothing about another).
+fn check_gate(baseline_path: &str, mode: &str, n: usize, speedup: f64) -> ExitCode {
+    let baseline_json = match std::fs::read_to_string(baseline_path) {
+        Ok(json) => json,
+        Err(error) => {
+            eprintln!("sweep_bench: cannot read baseline {baseline_path}: {error}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_mode = json_string(&baseline_json, "mode").unwrap_or_default();
+    if baseline_mode != mode {
+        eprintln!("sweep_bench: baseline mode {baseline_mode:?} does not match run mode {mode:?}");
+        return ExitCode::from(2);
+    }
+    if let Some(baseline_n) = json_number(&baseline_json, "n") {
+        if baseline_n as usize != n {
+            eprintln!(
+                "sweep_bench: baseline n={} does not match run n={n}",
+                baseline_n as usize
+            );
+            return ExitCode::from(2);
+        }
+    }
+    let Some(baseline_speedup) = json_number(&baseline_json, "speedup") else {
+        eprintln!("sweep_bench: baseline {baseline_path} has no \"speedup\" field");
+        return ExitCode::from(2);
+    };
+    let floor = baseline_speedup * 0.8;
+    if speedup < floor {
+        eprintln!(
+            "sweep_bench: REGRESSION — speedup {speedup:.1}x fell below {floor:.1}x \
+             (80% of the committed baseline {baseline_speedup:.1}x)"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "sweep_bench: gate passed — speedup {speedup:.1}x >= {floor:.1}x \
+         (80% of baseline {baseline_speedup:.1}x)"
+    );
     ExitCode::SUCCESS
 }

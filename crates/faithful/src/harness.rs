@@ -26,8 +26,11 @@ use specfaith_core::equilibrium::{test_deviations, DeviationSpec, EquilibriumRep
 use specfaith_core::id::NodeId;
 use specfaith_core::money::Money;
 use specfaith_fpss::deviation::{standard_catalog, Faithful, RationalStrategy};
+use specfaith_fpss::pricing::{expected_tables_for, tables_agree};
+use specfaith_fpss::runner::ReferenceCheck;
 use specfaith_fpss::settle::SettlementConfig;
 use specfaith_fpss::traffic::TrafficMatrix;
+use specfaith_graph::cache::CacheScope;
 use specfaith_graph::costs::CostVector;
 use specfaith_graph::topology::Topology;
 use specfaith_netsim::{Connectivity, Latency, NetStats, Network};
@@ -57,6 +60,13 @@ pub struct FaithfulConfig {
     pub max_events: u64,
     /// Secret the bank derives per-node channel keys from.
     pub bank_secret: Vec<u8>,
+    /// Route-cache registry the harness's centralized reference check
+    /// draws from. Defaults to the process-shared registry
+    /// ([`CacheScope::global`]); run/sweep engines thread a scope of
+    /// their own so the caches die with the workload.
+    pub routes: CacheScope,
+    /// Scope of the post-green-light reference comparison.
+    pub reference_check: ReferenceCheck,
 }
 
 impl FaithfulConfig {
@@ -80,6 +90,8 @@ impl FaithfulConfig {
             latency: Latency::DEFAULT,
             max_events: 10_000_000,
             bank_secret: b"specfaith-bank-secret".to_vec(),
+            routes: CacheScope::global(),
+            reference_check: ReferenceCheck::Full,
         }
     }
 }
@@ -100,6 +112,12 @@ pub struct FaithfulRunResult {
     pub detected: bool,
     /// Penalties charged per node.
     pub penalties: Vec<Money>,
+    /// Whether every checked node's certified tables equal the
+    /// centralized VCG reference under the declared costs — `Some(_)`
+    /// when construction green-lighted (the check draws routes from the
+    /// config's [`CacheScope`]), `None` when the mechanism halted before
+    /// certifying any tables.
+    pub tables_match_centralized: Option<bool>,
     /// Simulator traffic statistics for the whole lifecycle.
     pub stats: NetStats,
     /// Whether the event budget truncated the run.
@@ -223,6 +241,31 @@ pub fn run_faithful(
     let detected =
         restarts > 0 || halted || auth_failures > 0 || penalties.iter().any(|p| p.is_positive());
 
+    // Once the bank certifies construction, the certified tables can be
+    // compared against the centralized VCG reference under the declared
+    // costs — the same pinning the plain engine performs, drawing routes
+    // from the config's cache scope.
+    let tables_match_centralized = if green_lighted {
+        let declared: CostVector = config
+            .topo
+            .nodes()
+            .map(|id| net.node(id).node().declared_cost().expect("started"))
+            .collect();
+        let routes = config.routes.cache(&config.topo, &declared);
+        Some(config.reference_check.sources(n).iter().all(|&id| {
+            let core = net.node(id).node().core();
+            let (expected_routing, expected_pricing) = expected_tables_for(&routes, id);
+            tables_agree(
+                core.routes(),
+                core.prices(),
+                &expected_routing,
+                &expected_pricing,
+            )
+        }))
+    } else {
+        None
+    };
+
     FaithfulRunResult {
         utilities,
         green_lighted,
@@ -230,6 +273,7 @@ pub fn run_faithful(
         restarts,
         detected,
         penalties,
+        tables_match_centralized,
         stats: net.stats().clone(),
         truncated: outcome.truncated,
     }
@@ -508,7 +552,87 @@ mod tests {
         );
     }
 
-    use specfaith_fpss::deviation::FullRecomputeFaithful;
+    use specfaith_fpss::deviation::{ForceFullRecompute, FullRecomputeFaithful, MisreportCost};
+
+    #[test]
+    fn honest_runs_certify_tables_matching_the_centralized_reference() {
+        let (_, config) = figure1_config();
+        let run = run_faithful_honest(&config, 1);
+        assert_eq!(
+            run.tables_match_centralized,
+            Some(true),
+            "green-lighted tables must equal the VCG reference"
+        );
+        // A construction-corrupting deviant halts before certifying:
+        // there are no green-lighted tables to compare.
+        let (net, config) = figure1_config();
+        let halted = run_faithful_with_deviant(&config, net.c, Box::new(SpoofShortRoutes), 1);
+        assert!(!halted.green_lighted);
+        assert_eq!(halted.tables_match_centralized, None);
+    }
+
+    #[test]
+    fn scoped_runs_are_byte_identical_to_the_global_registry_path() {
+        // The tentpole pin (faithful engine): run-scoped route caches
+        // change nothing observable about a faithful run.
+        let (net, config) = figure1_config();
+        let mut scoped_config = config.clone();
+        scoped_config.routes = specfaith_graph::cache::CacheScope::unbounded();
+        for seed in [1u64, 4] {
+            let global = run_faithful_honest(&config, seed);
+            let scoped = run_faithful_honest(&scoped_config, seed);
+            assert_eq!(global.utilities, scoped.utilities, "seed {seed}");
+            assert_eq!(global.penalties, scoped.penalties, "seed {seed}");
+            assert_eq!(
+                global.tables_match_centralized, scoped.tables_match_centralized,
+                "seed {seed}"
+            );
+            assert_eq!(global.stats.total_msgs(), scoped.stats.total_msgs());
+            let dg = run_faithful_with_deviant(
+                &config,
+                net.x,
+                Box::new(UnderreportPayments { keep_percent: 10 }),
+                seed,
+            );
+            let ds = run_faithful_with_deviant(
+                &scoped_config,
+                net.x,
+                Box::new(UnderreportPayments { keep_percent: 10 }),
+                seed,
+            );
+            assert_eq!(dg.utilities, ds.utilities);
+            assert_eq!(dg.penalties, ds.penalties);
+            assert_eq!(dg.detected, ds.detected);
+        }
+    }
+
+    #[test]
+    fn safe_deviants_take_the_incremental_path_byte_identically() {
+        // The deviant-node recompute satellite, under the full
+        // enforcement stack: a destination-scoped-safe deviant
+        // (MisreportCost only perturbs its declaration) on the
+        // incremental path is indistinguishable from the same deviant
+        // forced onto the full recompute — same utilities, penalties,
+        // detection, and message counts.
+        let (net, config) = figure1_config();
+        let fast =
+            run_faithful_with_deviant(&config, net.c, Box::new(MisreportCost { delta: 3 }), 1);
+        let slow = run_faithful_with_deviant(
+            &config,
+            net.c,
+            Box::new(ForceFullRecompute(Box::new(MisreportCost { delta: 3 }))),
+            1,
+        );
+        assert_eq!(fast.utilities, slow.utilities);
+        assert_eq!(fast.penalties, slow.penalties);
+        assert_eq!(fast.detected, slow.detected);
+        assert_eq!(fast.green_lighted, slow.green_lighted);
+        assert_eq!(
+            fast.stats.total_msgs(),
+            slow.stats.total_msgs(),
+            "announcement traffic must be identical"
+        );
+    }
 
     #[test]
     fn incremental_recompute_is_byte_identical_to_full() {

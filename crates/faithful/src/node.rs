@@ -484,7 +484,17 @@ impl Actor for FaithfulNode {
                             }
                         }
                     }
-                    self.recompute_and_announce(ctx);
+                    if self.strategy.dst_scoped_recompute_safe() {
+                        // First-write-wins costs only *enable* candidates:
+                        // the affected destinations are exactly those with
+                        // an advertised route through the origin.
+                        let changed_dsts = self.core.dsts_affected_by_cost(origin);
+                        let (routes, prices, retractions) =
+                            self.core.recompute_dsts(&changed_dsts, true);
+                        self.announce(ctx, routes, prices, retractions);
+                    } else {
+                        self.recompute_and_announce(ctx);
+                    }
                 }
             }
             FMsg::Fpss(FpssMsg::RoutingUpdate { rows }) => {
@@ -500,7 +510,7 @@ impl Actor for FaithfulNode {
                     }
                 }
                 if !changed_dsts.is_empty() {
-                    if self.strategy.is_faithful() {
+                    if self.strategy.dst_scoped_recompute_safe() {
                         let (routes, prices, retractions) =
                             self.core.recompute_dsts(&changed_dsts, true);
                         self.announce(ctx, routes, prices, retractions);
@@ -530,7 +540,7 @@ impl Actor for FaithfulNode {
                     }
                 }
                 if !changed_dsts.is_empty() {
-                    if self.strategy.is_faithful() {
+                    if self.strategy.dst_scoped_recompute_safe() {
                         // Advertised prices are not a routing input:
                         // routing rows cannot change here.
                         let (routes, prices, retractions) =

@@ -45,12 +45,48 @@ pub struct NeighborView {
     sparse_routes: BTreeMap<(NodeId, NodeId), Vec<NodeId>>,
     /// `(neighbor, dst, transit) → neighbor's advertised per-packet price`.
     prices: BTreeMap<(NodeId, NodeId, NodeId), i64>,
+    /// Reverse membership index: `node → (dst → occurrences)` counts how
+    /// many stored routes toward `dst` contain `node` anywhere on their
+    /// path. Maintained incrementally by [`NeighborView::learn_route`]
+    /// (an accounting view of the stored rows — deliberately excluded
+    /// from equality) so [`NeighborView::dsts_through`] answers the
+    /// flood-time invalidation query — *which destinations could a newly
+    /// learned cost affect?* — without scanning every stored path.
+    through: BTreeMap<NodeId, BTreeMap<NodeId, u32>>,
 }
 
 impl NeighborView {
     /// An empty view.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    fn index_path(
+        through: &mut BTreeMap<NodeId, BTreeMap<NodeId, u32>>,
+        dst: NodeId,
+        path: &[NodeId],
+    ) {
+        for &v in path {
+            *through.entry(v).or_default().entry(dst).or_insert(0) += 1;
+        }
+    }
+
+    fn unindex_path(
+        through: &mut BTreeMap<NodeId, BTreeMap<NodeId, u32>>,
+        dst: NodeId,
+        path: &[NodeId],
+    ) {
+        for &v in path {
+            let per_node = through.get_mut(&v).expect("indexed path node");
+            let count = per_node.get_mut(&dst).expect("indexed dst");
+            *count -= 1;
+            if *count == 0 {
+                per_node.remove(&dst);
+                if per_node.is_empty() {
+                    through.remove(&v);
+                }
+            }
+        }
     }
 
     /// Records a route advertisement from `neighbor`. Returns `true` if
@@ -66,7 +102,10 @@ impl NeighborView {
             if self.sparse_routes.get(&key) == Some(&row.path) {
                 return false;
             }
-            self.sparse_routes.insert(key, row.path.clone());
+            if let Some(old) = self.sparse_routes.insert(key, row.path.clone()) {
+                Self::unindex_path(&mut self.through, row.dst, &old);
+            }
+            Self::index_path(&mut self.through, row.dst, &row.path);
             return true;
         }
         let at = match self.routes.iter().position(|(b, _)| *b == neighbor) {
@@ -83,8 +122,21 @@ impl NeighborView {
         if paths[slot].as_ref() == Some(&row.path) {
             return false;
         }
-        paths[slot] = Some(row.path.clone());
+        if let Some(old) = paths[slot].replace(row.path.clone()) {
+            Self::unindex_path(&mut self.through, row.dst, &old);
+        }
+        Self::index_path(&mut self.through, row.dst, &row.path);
         true
+    }
+
+    /// The destinations with at least one stored route whose path visits
+    /// `node` (as transit, origin, or the destination itself) — the
+    /// invalidation set of a newly learned declared cost for `node`.
+    pub fn dsts_through(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.through
+            .get(&node)
+            .into_iter()
+            .flat_map(|dsts| dsts.keys().copied())
     }
 
     /// Records a price advertisement from `neighbor`. Returns `true` if

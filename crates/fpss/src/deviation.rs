@@ -43,13 +43,31 @@ pub mod phases {
 /// faithful.
 pub trait RationalStrategy: fmt::Debug {
     /// Whether this strategy is the honest baseline — every hook the
-    /// identity, no internal state. Honest nodes take the
-    /// destination-scoped incremental recompute fast path
-    /// ([`crate::node::FpssCore::recompute_dsts`]); strategies that
-    /// transform tables or announcements (or count invocations) must see
-    /// the full-table hooks, so they leave this `false`.
+    /// identity, no internal state.
     fn is_faithful(&self) -> bool {
         false
+    }
+
+    /// Whether the destination-scoped incremental recompute fast path
+    /// ([`crate::node::FpssCore::recompute_dsts`]) may serve this
+    /// strategy. Safe exactly when the strategy's construction-phase
+    /// *computation* hooks — [`RationalStrategy::announce_routing`],
+    /// [`RationalStrategy::announce_pricing`],
+    /// [`RationalStrategy::install_own_pricing`] — are the identity:
+    /// the incremental path produces byte-identical changed rows but
+    /// installs the recomputed pricing directly, bypassing
+    /// `install_own_pricing`, so table-transforming deviations must keep
+    /// the full recompute. Deviations confined to other surfaces
+    /// (misreported declarations, tampered floods, packet drops, payment
+    /// fraud, checker-forward manipulation) override this to `true` and
+    /// take the same fast path honest nodes do — pinned byte-identical
+    /// to the full recompute by the engine equivalence tests.
+    ///
+    /// Defaults to [`RationalStrategy::is_faithful`], so the honest
+    /// baseline is incremental and unknown deviations conservatively get
+    /// the full-table path.
+    fn dst_scoped_recompute_safe(&self) -> bool {
+        self.is_faithful()
     }
 
     /// The deviation's descriptor (name, action surface, phase attacked).
@@ -135,6 +153,57 @@ impl RationalStrategy for FullRecomputeFaithful {
     }
 }
 
+/// Wraps any strategy, delegating every hook verbatim while reporting
+/// `dst_scoped_recompute_safe() == false` — forcing the wrapped strategy
+/// onto the full-table recompute path it would otherwise skip.
+///
+/// Not a deviation — retained for the equivalence tests that pin
+/// incremental-safe deviations (e.g. [`MisreportCost`]) byte-identical to
+/// their full-recompute behavior.
+#[doc(hidden)]
+#[derive(Debug)]
+pub struct ForceFullRecompute(pub Box<dyn RationalStrategy>);
+
+impl RationalStrategy for ForceFullRecompute {
+    // is_faithful and dst_scoped_recompute_safe keep their defaults:
+    // always the full-table path.
+    fn spec(&self) -> DeviationSpec {
+        self.0.spec()
+    }
+
+    fn declare_cost(&mut self, true_cost: Cost) -> Cost {
+        self.0.declare_cost(true_cost)
+    }
+
+    fn reflood_cost(&mut self, origin: NodeId, declared: Cost) -> Option<Cost> {
+        self.0.reflood_cost(origin, declared)
+    }
+
+    fn announce_routing(&mut self, me: NodeId, honest: Vec<RouteRow>) -> Vec<RouteRow> {
+        self.0.announce_routing(me, honest)
+    }
+
+    fn announce_pricing(&mut self, me: NodeId, honest: Vec<PriceRow>) -> Vec<PriceRow> {
+        self.0.announce_pricing(me, honest)
+    }
+
+    fn install_own_pricing(&mut self, me: NodeId, honest: PricingTable) -> PricingTable {
+        self.0.install_own_pricing(me, honest)
+    }
+
+    fn forward_to_checkers(&mut self, original_from: NodeId, msg: FpssMsg) -> Option<FpssMsg> {
+        self.0.forward_to_checkers(original_from, msg)
+    }
+
+    fn forward_packet(&mut self, me: NodeId, packet: &Packet) -> bool {
+        self.0.forward_packet(me, packet)
+    }
+
+    fn report_owed(&mut self, me: NodeId, honest: Vec<(NodeId, Money)>) -> Vec<(NodeId, Money)> {
+        self.0.report_owed(me, honest)
+    }
+}
+
 /// Misreport the declared transit cost by `delta` (information
 /// revelation, construction phase 1). FPSS's strategyproofness should make
 /// this unprofitable *everywhere*, even in the plain mechanism.
@@ -145,6 +214,10 @@ pub struct MisreportCost {
 }
 
 impl RationalStrategy for MisreportCost {
+    fn dst_scoped_recompute_safe(&self) -> bool {
+        true
+    }
+
     fn spec(&self) -> DeviationSpec {
         DeviationSpec::new(
             format!("misreport-cost({:+})", self.delta),
@@ -172,6 +245,10 @@ pub struct TamperCostFlood {
 }
 
 impl RationalStrategy for TamperCostFlood {
+    fn dst_scoped_recompute_safe(&self) -> bool {
+        true
+    }
+
     fn spec(&self) -> DeviationSpec {
         DeviationSpec::new(
             format!("tamper-cost-flood(x{})", self.multiplier),
@@ -195,6 +272,10 @@ impl RationalStrategy for TamperCostFlood {
 pub struct DropCostFlood;
 
 impl RationalStrategy for DropCostFlood {
+    fn dst_scoped_recompute_safe(&self) -> bool {
+        true
+    }
+
     fn spec(&self) -> DeviationSpec {
         DeviationSpec::new(
             "drop-cost-flood",
@@ -333,6 +414,10 @@ impl RationalStrategy for SpoofPricingTags {
 pub struct DropCheckerForwards;
 
 impl RationalStrategy for DropCheckerForwards {
+    fn dst_scoped_recompute_safe(&self) -> bool {
+        true
+    }
+
     fn spec(&self) -> DeviationSpec {
         DeviationSpec::new(
             "drop-checker-forwards",
@@ -353,6 +438,10 @@ impl RationalStrategy for DropCheckerForwards {
 pub struct TamperCheckerForwards;
 
 impl RationalStrategy for TamperCheckerForwards {
+    fn dst_scoped_recompute_safe(&self) -> bool {
+        true
+    }
+
     fn spec(&self) -> DeviationSpec {
         DeviationSpec::new(
             "tamper-checker-forwards",
@@ -394,6 +483,10 @@ impl RationalStrategy for TamperCheckerForwards {
 pub struct DropTransitPackets;
 
 impl RationalStrategy for DropTransitPackets {
+    fn dst_scoped_recompute_safe(&self) -> bool {
+        true
+    }
+
     fn spec(&self) -> DeviationSpec {
         DeviationSpec::new(
             "drop-transit-packets",
@@ -416,6 +509,10 @@ pub struct UnderreportPayments {
 }
 
 impl RationalStrategy for UnderreportPayments {
+    fn dst_scoped_recompute_safe(&self) -> bool {
+        true
+    }
+
     fn spec(&self) -> DeviationSpec {
         DeviationSpec::new(
             format!("underreport-payments({}%)", self.keep_percent),
@@ -457,6 +554,10 @@ impl DropAndUnderreport {
 }
 
 impl RationalStrategy for DropAndUnderreport {
+    fn dst_scoped_recompute_safe(&self) -> bool {
+        true
+    }
+
     fn spec(&self) -> DeviationSpec {
         DeviationSpec::new(
             "drop-and-underreport",

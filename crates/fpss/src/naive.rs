@@ -10,21 +10,23 @@
 use crate::pricing::vcg_payment_in;
 use specfaith_core::id::NodeId;
 use specfaith_core::money::{Cost, Money};
-use specfaith_graph::cache::RouteCache;
+use specfaith_graph::cache::CacheScope;
 use specfaith_graph::costs::CostVector;
 use specfaith_graph::topology::Topology;
 
-/// A transit node's utility under **naive** (pay-declared-cost) pricing:
-/// for each flow whose LCP (under `declared`) transits `node`, it is paid
-/// its declared cost and incurs its true cost, per packet.
-pub fn naive_transit_utility(
+/// A transit node's utility under **naive** (pay-declared-cost) pricing,
+/// with routes served from `scope`: for each flow whose LCP (under
+/// `declared`) transits `node`, it is paid its declared cost and incurs
+/// its true cost, per packet.
+pub fn naive_transit_utility_scoped(
+    scope: &CacheScope,
     topo: &Topology,
     true_costs: &CostVector,
     declared: &CostVector,
     flows: &[(NodeId, NodeId, u64)],
     node: NodeId,
 ) -> Money {
-    let routes = RouteCache::shared(topo, declared);
+    let routes = scope.cache(topo, declared);
     let paid = declared.cost(node).value() as i64;
     let incurred = true_costs.cost(node).value() as i64;
     let mut utility = 0i64;
@@ -39,16 +41,37 @@ pub fn naive_transit_utility(
     Money::new(utility)
 }
 
-/// The same transit node's utility under **VCG** pricing for the same
-/// declared costs (payment `ĉ + d_{G−k} − d` per packet).
-pub fn vcg_transit_utility(
+/// [`naive_transit_utility_scoped`] against the process-shared registry —
+/// the compatibility default for callers with no [`CacheScope`].
+pub fn naive_transit_utility(
     topo: &Topology,
     true_costs: &CostVector,
     declared: &CostVector,
     flows: &[(NodeId, NodeId, u64)],
     node: NodeId,
 ) -> Money {
-    let routes = RouteCache::shared(topo, declared);
+    naive_transit_utility_scoped(
+        &CacheScope::global(),
+        topo,
+        true_costs,
+        declared,
+        flows,
+        node,
+    )
+}
+
+/// The same transit node's utility under **VCG** pricing for the same
+/// declared costs (payment `ĉ + d_{G−k} − d` per packet), with routes
+/// served from `scope`.
+pub fn vcg_transit_utility_scoped(
+    scope: &CacheScope,
+    topo: &Topology,
+    true_costs: &CostVector,
+    declared: &CostVector,
+    flows: &[(NodeId, NodeId, u64)],
+    node: NodeId,
+) -> Money {
+    let routes = scope.cache(topo, declared);
     let incurred = true_costs.cost(node).value() as i64;
     let mut utility = 0i64;
     for &(src, dst, packets) in flows {
@@ -59,8 +82,31 @@ pub fn vcg_transit_utility(
     Money::new(utility)
 }
 
+/// [`vcg_transit_utility_scoped`] against the process-shared registry —
+/// the compatibility default for callers with no [`CacheScope`].
+pub fn vcg_transit_utility(
+    topo: &Topology,
+    true_costs: &CostVector,
+    declared: &CostVector,
+    flows: &[(NodeId, NodeId, u64)],
+    node: NodeId,
+) -> Money {
+    vcg_transit_utility_scoped(
+        &CacheScope::global(),
+        topo,
+        true_costs,
+        declared,
+        flows,
+        node,
+    )
+}
+
 /// Sweeps `node`'s declared cost over `0..=max_declared` and returns
 /// `(declared, naive utility, vcg utility)` rows — the Example 1 table.
+///
+/// The sweep owns its route caches: every row declares a distinct cost
+/// vector, so the rows are served from a sweep-scoped [`CacheScope`]
+/// dropped on return instead of churning the process-wide registry.
 pub fn example1_sweep(
     topo: &Topology,
     true_costs: &CostVector,
@@ -68,13 +114,14 @@ pub fn example1_sweep(
     node: NodeId,
     max_declared: u64,
 ) -> Vec<(u64, Money, Money)> {
+    let scope = CacheScope::unbounded();
     (0..=max_declared)
         .map(|declared_cost| {
             let declared = true_costs.with_cost(node, Cost::new(declared_cost));
             (
                 declared_cost,
-                naive_transit_utility(topo, true_costs, &declared, flows, node),
-                vcg_transit_utility(topo, true_costs, &declared, flows, node),
+                naive_transit_utility_scoped(&scope, topo, true_costs, &declared, flows, node),
+                vcg_transit_utility_scoped(&scope, topo, true_costs, &declared, flows, node),
             )
         })
         .collect()
@@ -84,6 +131,7 @@ pub fn example1_sweep(
 mod tests {
     use super::*;
     use crate::pricing::vcg_payment;
+    use specfaith_graph::cache::RouteCache;
     use specfaith_graph::generators::figure1;
 
     fn flows(net: &specfaith_graph::generators::Figure1) -> Vec<(NodeId, NodeId, u64)> {

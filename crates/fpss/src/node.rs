@@ -76,6 +76,28 @@ impl FpssCore {
         self.data1.learn(origin, declared)
     }
 
+    /// The destinations a newly learned declared cost for `origin` can
+    /// affect — the flood-time counterpart of the destination-scoped
+    /// recompute.
+    ///
+    /// Soundness: declared costs are first-write-wins, so learning
+    /// `origin`'s cost can only *enable* candidates that were previously
+    /// skipped for an unknown cost. Every such candidate — a routing
+    /// candidate whose advertised path crosses `origin`, a pricing
+    /// witness `b = origin`, or `origin` newly becoming a destination —
+    /// involves `origin` on some stored advertised path (advertised paths
+    /// start at the advertising neighbor, so `b = origin` rows index
+    /// themselves) or is `origin` itself. Destinations outside this set
+    /// have bit-identical recompute inputs before and after the learn,
+    /// so their rows provably cannot change; pass the set to
+    /// [`FpssCore::recompute_dsts`] for byte-identical results at
+    /// flood-proportional cost.
+    pub fn dsts_affected_by_cost(&self, origin: NodeId) -> BTreeSet<NodeId> {
+        let mut dsts: BTreeSet<NodeId> = self.view.dsts_through(origin).collect();
+        dsts.insert(origin);
+        dsts
+    }
+
     /// Records a neighbor's routing row. Returns `true` when the view
     /// changed.
     pub fn learn_route(&mut self, from: NodeId, row: &RouteRow) -> bool {
@@ -148,10 +170,13 @@ impl FpssCore {
     /// prices are not a routing input). DATA1 changes invalidate every
     /// destination and must go through the full recompute.
     ///
-    /// This is the construction-phase hot path: honest nodes process each
-    /// routing/pricing update in time proportional to the rows it touched
-    /// rather than the whole table. Deviant strategies keep the full
-    /// recompute so their whole-table hooks observe unchanged inputs.
+    /// This is the construction-phase hot path: honest nodes — and
+    /// deviants declaring [`destination-scoped
+    /// safety`](crate::deviation::RationalStrategy::dst_scoped_recompute_safe)
+    /// — process each routing/pricing update in time proportional to the
+    /// rows it touched rather than the whole table. Strategies that
+    /// transform tables or announcements keep the full recompute so their
+    /// whole-table hooks observe unchanged inputs.
     #[allow(clippy::type_complexity)]
     pub fn recompute_dsts(
         &mut self,
@@ -230,8 +255,9 @@ pub struct PlainFpssNode {
     true_cost: Cost,
     declared: Option<Cost>,
     strategy: Box<dyn RationalStrategy>,
-    /// Cached [`RationalStrategy::is_faithful`]: honest nodes take the
-    /// destination-scoped incremental recompute path.
+    /// Cached [`RationalStrategy::dst_scoped_recompute_safe`]: honest
+    /// nodes — and deviants whose computation hooks are the identity —
+    /// take the destination-scoped incremental recompute path.
     incremental: bool,
     pending_traffic: Vec<(NodeId, u64)>,
     originated: BTreeMap<NodeId, u64>,
@@ -262,7 +288,7 @@ impl PlainFpssNode {
         strategy: Box<dyn RationalStrategy>,
         max_hops: u32,
     ) -> Self {
-        let incremental = strategy.is_faithful();
+        let incremental = strategy.dst_scoped_recompute_safe();
         PlainFpssNode {
             core: FpssCore::new(me, neighbors),
             true_cost,
@@ -468,7 +494,17 @@ impl Actor for PlainFpssNode {
                             }
                         }
                     }
-                    self.recompute_and_announce(ctx);
+                    if self.incremental {
+                        // First-write-wins costs only *enable* candidates:
+                        // the affected destinations are exactly those with
+                        // an advertised route through the origin.
+                        let changed_dsts = self.core.dsts_affected_by_cost(origin);
+                        let (routes, prices, retractions) =
+                            self.core.recompute_dsts(&changed_dsts, true);
+                        self.announce(ctx, routes, prices, retractions);
+                    } else {
+                        self.recompute_and_announce(ctx);
+                    }
                 }
             }
             FpssMsg::RoutingUpdate { rows } => {

@@ -11,7 +11,7 @@ use crate::state::{PricingTable, RoutingTable};
 use specfaith_core::id::NodeId;
 use specfaith_core::money::{Cost, Money};
 use specfaith_core::vcg::CostMinimizationProblem;
-use specfaith_graph::cache::RouteCache;
+use specfaith_graph::cache::{CacheScope, RouteCache};
 use specfaith_graph::costs::CostVector;
 use specfaith_graph::lcp::{lcp_tree, lcp_tree_avoiding};
 use specfaith_graph::path::PathMetric;
@@ -35,18 +35,52 @@ pub fn vcg_payment_in(routes: &RouteCache, src: NodeId, dst: NodeId, k: NodeId) 
     if !best.transit_nodes().contains(&k) {
         return None;
     }
-    let detour = routes
-        .path_avoiding(src, dst, k)
+    let avoid_tree = routes.tree_avoiding(src, k);
+    Some(payment_from_tree(routes.costs(), best, &avoid_tree, dst, k))
+}
+
+/// The payment formula given the LCP and a prefetched `(src, k)` avoid
+/// tree — the shared core of [`vcg_payment_in`] and the per-source table
+/// builder (which hoists the avoid-tree handle out of its destination
+/// loop instead of re-fetching it per query).
+///
+/// # Panics
+///
+/// Panics if the avoid tree has no `dst` entry (the graph is not
+/// biconnected enough for the query).
+fn payment_from_tree(
+    costs: &CostVector,
+    best: &PathMetric,
+    avoid_tree: &[Option<PathMetric>],
+    dst: NodeId,
+    k: NodeId,
+) -> Money {
+    let detour = avoid_tree[dst.index()]
+        .as_ref()
         .expect("biconnected graph admits a k-avoiding path");
-    let c_k = routes.costs().cost(k).value() as i64;
+    let c_k = costs.cost(k).value() as i64;
     let d = best.cost().value() as i64;
     let d_avoid = detour.cost().value() as i64;
-    Some(Money::new(c_k + d_avoid - d))
+    Money::new(c_k + d_avoid - d)
+}
+
+/// [`vcg_payment_in`] against `scope`'s [`RouteCache`] for
+/// `(topo, declared)` — repeated calls under the same declared costs
+/// share all Dijkstra work with every other user of the scope.
+pub fn vcg_payment_scoped(
+    scope: &CacheScope,
+    topo: &Topology,
+    declared: &CostVector,
+    src: NodeId,
+    dst: NodeId,
+    k: NodeId,
+) -> Option<Money> {
+    vcg_payment_in(&scope.cache(topo, declared), src, dst, k)
 }
 
 /// [`vcg_payment_in`] against the process-shared [`RouteCache`] for
-/// `(topo, declared)` — repeated calls under the same declared costs share
-/// all Dijkstra work.
+/// `(topo, declared)` — the compatibility default for callers with no
+/// [`CacheScope`] of their own.
 pub fn vcg_payment(
     topo: &Topology,
     declared: &CostVector,
@@ -54,7 +88,41 @@ pub fn vcg_payment(
     dst: NodeId,
     k: NodeId,
 ) -> Option<Money> {
-    vcg_payment_in(&RouteCache::shared(topo, declared), src, dst, k)
+    vcg_payment_scoped(&CacheScope::global(), topo, declared, src, dst, k)
+}
+
+/// The routing and pricing tables node `src` *should* converge to under
+/// `routes`' declared costs — one source's slice of
+/// [`expected_tables_in`], for callers (large-`n` sampled reference
+/// checks) that must not pay for all `n` sources.
+pub fn expected_tables_for(routes: &RouteCache, src: NodeId) -> (RoutingTable, PricingTable) {
+    let tree = routes.tree(src);
+    let mut routing = RoutingTable::new();
+    let mut pricing = PricingTable::new();
+    // The same transit recurs across many destinations of one source;
+    // fetch each (src, k) avoid-tree handle from the sparse index once
+    // and index it per destination.
+    let mut avoid_trees: std::collections::BTreeMap<NodeId, specfaith_graph::cache::AvoidTree> =
+        std::collections::BTreeMap::new();
+    for entry in tree.iter().flatten() {
+        let dst = entry.destination();
+        routing.install(dst, entry.nodes().to_vec());
+        for &k in entry.transit_nodes() {
+            let avoid_tree = avoid_trees
+                .entry(k)
+                .or_insert_with(|| routes.tree_avoiding(src, k));
+            let price = payment_from_tree(routes.costs(), entry, avoid_tree, dst, k);
+            pricing.insert(
+                dst,
+                k,
+                crate::state::PriceEntry {
+                    price,
+                    tags: Default::default(),
+                },
+            );
+        }
+    }
+    (routing, pricing)
 }
 
 /// The routing and pricing tables every node *should* converge to under
@@ -67,37 +135,73 @@ pub fn expected_tables_in(routes: &RouteCache) -> Vec<(RoutingTable, PricingTabl
     routes
         .topology()
         .nodes()
-        .map(|src| {
-            let tree = routes.tree(src);
-            let mut routing = RoutingTable::new();
-            let mut pricing = PricingTable::new();
-            for entry in tree.iter().flatten() {
-                routing.install(entry.destination(), entry.nodes().to_vec());
-                for &k in entry.transit_nodes() {
-                    let price = vcg_payment_in(routes, src, entry.destination(), k)
-                        .expect("k is on the LCP");
-                    pricing.insert(
-                        entry.destination(),
-                        k,
-                        crate::state::PriceEntry {
-                            price,
-                            tags: Default::default(),
-                        },
-                    );
-                }
-            }
-            (routing, pricing)
-        })
+        .map(|src| expected_tables_for(routes, src))
         .collect()
 }
 
+/// [`expected_tables_in`] against `scope`'s [`RouteCache`] for
+/// `(topo, declared)` — run engines pass their run-scoped cache registry
+/// here so every cell of a sweep shares (and then releases) the reference
+/// Dijkstra work.
+pub fn expected_tables_scoped(
+    scope: &CacheScope,
+    topo: &Topology,
+    declared: &CostVector,
+) -> Vec<(RoutingTable, PricingTable)> {
+    expected_tables_in(&scope.cache(topo, declared))
+}
+
 /// [`expected_tables_in`] against the process-shared [`RouteCache`] for
-/// `(topo, declared)`.
+/// `(topo, declared)` — the compatibility default for callers with no
+/// [`CacheScope`] of their own.
 pub fn expected_tables(
     topo: &Topology,
     declared: &CostVector,
 ) -> Vec<(RoutingTable, PricingTable)> {
-    expected_tables_in(&RouteCache::shared(topo, declared))
+    expected_tables_scoped(&CacheScope::global(), topo, declared)
+}
+
+/// One source's slice of [`expected_tables_uncached`]: the pre-`RouteCache`
+/// per-pair-query reference path, for the large-`n` benchmark arm (where
+/// all `n` uncached sources would take hours, a sampled handful minutes).
+///
+/// Retained **only** for benchmark reference arms; never call this from
+/// product code.
+#[doc(hidden)]
+pub fn expected_tables_uncached_for(
+    topo: &Topology,
+    declared: &CostVector,
+    src: NodeId,
+) -> (RoutingTable, PricingTable) {
+    let pair_query = |src: NodeId, dst: NodeId| lcp_tree(topo, declared, src)[dst.index()].clone();
+    let avoid_query = |src: NodeId, dst: NodeId, k: NodeId| {
+        lcp_tree_avoiding(topo, declared, src, Some(k))[dst.index()].clone()
+    };
+    let tree = lcp_tree(topo, declared, src);
+    let mut routing = RoutingTable::new();
+    let mut pricing = PricingTable::new();
+    for entry in tree.iter().flatten() {
+        let dst = entry.destination();
+        routing.install(dst, entry.nodes().to_vec());
+        for &k in entry.transit_nodes() {
+            let best = pair_query(src, dst).expect("dst on tree");
+            let detour =
+                avoid_query(src, dst, k).expect("biconnected graph admits a k-avoiding path");
+            let price = Money::new(
+                declared.cost(k).value() as i64 + detour.cost().value() as i64
+                    - best.cost().value() as i64,
+            );
+            pricing.insert(
+                dst,
+                k,
+                crate::state::PriceEntry {
+                    price,
+                    tags: Default::default(),
+                },
+            );
+        }
+    }
+    (routing, pricing)
 }
 
 /// The pre-`RouteCache` reference implementation: every single-pair query
@@ -112,38 +216,8 @@ pub fn expected_tables_uncached(
     topo: &Topology,
     declared: &CostVector,
 ) -> Vec<(RoutingTable, PricingTable)> {
-    let pair_query = |src: NodeId, dst: NodeId| lcp_tree(topo, declared, src)[dst.index()].clone();
-    let avoid_query = |src: NodeId, dst: NodeId, k: NodeId| {
-        lcp_tree_avoiding(topo, declared, src, Some(k))[dst.index()].clone()
-    };
     topo.nodes()
-        .map(|src| {
-            let tree = lcp_tree(topo, declared, src);
-            let mut routing = RoutingTable::new();
-            let mut pricing = PricingTable::new();
-            for entry in tree.iter().flatten() {
-                let dst = entry.destination();
-                routing.install(dst, entry.nodes().to_vec());
-                for &k in entry.transit_nodes() {
-                    let best = pair_query(src, dst).expect("dst on tree");
-                    let detour = avoid_query(src, dst, k)
-                        .expect("biconnected graph admits a k-avoiding path");
-                    let price = Money::new(
-                        declared.cost(k).value() as i64 + detour.cost().value() as i64
-                            - best.cost().value() as i64,
-                    );
-                    pricing.insert(
-                        dst,
-                        k,
-                        crate::state::PriceEntry {
-                            price,
-                            tags: Default::default(),
-                        },
-                    );
-                }
-            }
-            (routing, pricing)
-        })
+        .map(|src| expected_tables_uncached_for(topo, declared, src))
         .collect()
 }
 
@@ -181,6 +255,12 @@ pub struct RoutingProblem {
     topo: Topology,
     /// `(src, dst, packets)` flows.
     flows: Vec<(NodeId, NodeId, u64)>,
+    /// Problem-scoped route caches: a strategyproofness check sweeps a
+    /// misreport grid of declared-cost vectors, each wanting its own
+    /// cache; scoping them to the problem keeps them from thrashing (or
+    /// being thrashed by) the process-wide registry, and releases them
+    /// when the problem drops.
+    routes: CacheScope,
 }
 
 impl RoutingProblem {
@@ -196,7 +276,11 @@ impl RoutingProblem {
             flows.iter().all(|&(s, d, _)| s != d),
             "flows need distinct endpoints"
         );
-        RoutingProblem { topo, flows }
+        RoutingProblem {
+            topo,
+            flows,
+            routes: CacheScope::unbounded(),
+        }
     }
 
     fn total_cost(&self, paths: &[PathMetric]) -> Money {
@@ -220,7 +304,7 @@ impl CostMinimizationProblem for RoutingProblem {
 
     fn optimal(&self, decls: &[Cost]) -> Option<(Vec<PathMetric>, Money)> {
         let declared = CostVector::from_costs(decls.to_vec());
-        let routes = RouteCache::shared(&self.topo, &declared);
+        let routes = self.routes.cache(&self.topo, &declared);
         let paths: Option<Vec<PathMetric>> = self
             .flows
             .iter()
@@ -237,7 +321,7 @@ impl CostMinimizationProblem for RoutingProblem {
         excluded: usize,
     ) -> Option<(Vec<PathMetric>, Money)> {
         let declared = CostVector::from_costs(decls.to_vec());
-        let routes = RouteCache::shared(&self.topo, &declared);
+        let routes = self.routes.cache(&self.topo, &declared);
         let avoid = NodeId::from_index(excluded);
         let paths: Option<Vec<PathMetric>> = self
             .flows
@@ -248,7 +332,7 @@ impl CostMinimizationProblem for RoutingProblem {
                     // unaffected by its exclusion as a *transit*.
                     routes.path(src, dst).cloned()
                 } else {
-                    routes.path_avoiding(src, dst, avoid).cloned()
+                    routes.path_avoiding(src, dst, avoid)
                 }
             })
             .collect();

@@ -9,14 +9,48 @@
 
 use crate::deviation::{Faithful, RationalStrategy};
 use crate::node::{PlainFpssNode, TAG_BEGIN_EXECUTION};
-use crate::pricing::{expected_tables, tables_agree};
+use crate::pricing::{expected_tables_for, tables_agree};
 use crate::settle::{settle_plain, SettlementConfig};
 use crate::traffic::TrafficMatrix;
 use specfaith_core::id::NodeId;
 use specfaith_core::money::Money;
+use specfaith_graph::cache::CacheScope;
 use specfaith_graph::costs::CostVector;
 use specfaith_graph::topology::Topology;
 use specfaith_netsim::{Connectivity, Latency, NetStats, Network, SimDuration};
+
+/// How a run's converged tables are compared against the centralized VCG
+/// reference.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReferenceCheck {
+    /// Compare every node's tables (the default). Costs one LCP tree per
+    /// node plus one avoid tree per `(source, on-path transit)` pair.
+    Full,
+    /// Compare a deterministic, evenly spaced sample of `sources` nodes.
+    /// The large-`n` (≥ 1k nodes) setting: reference cost becomes
+    /// proportional to the sample, not to `n`, at the price of only
+    /// *sampled* divergence detection.
+    Sampled {
+        /// How many source nodes to verify (clamped to `n`).
+        sources: usize,
+    },
+}
+
+impl ReferenceCheck {
+    /// The node ids this policy verifies, in ascending order.
+    pub fn sources(&self, n: usize) -> Vec<NodeId> {
+        match *self {
+            ReferenceCheck::Full => (0..n).map(NodeId::from_index).collect(),
+            ReferenceCheck::Sampled { sources } => {
+                let sources = sources.clamp(1, n);
+                // Evenly spaced, deterministic, duplicate-free.
+                let mut ids: Vec<usize> = (0..sources).map(|i| i * n / sources).collect();
+                ids.dedup();
+                ids.into_iter().map(NodeId::from_index).collect()
+            }
+        }
+    }
+}
 
 /// Plain-data configuration of a plain-FPSS simulation instance.
 #[derive(Clone, Debug)]
@@ -33,11 +67,19 @@ pub struct PlainConfig {
     pub settlement: SettlementConfig,
     /// Event budget before a run is truncated.
     pub max_events: u64,
+    /// Route-cache registry the run's centralized reference check draws
+    /// from. Defaults to the process-shared registry
+    /// ([`CacheScope::global`]) for compatibility; run/sweep engines
+    /// thread a scope of their own so the caches die with the workload.
+    pub routes: CacheScope,
+    /// Scope of the post-construction reference comparison.
+    pub reference_check: ReferenceCheck,
 }
 
 impl PlainConfig {
-    /// A configuration with the default latency, settlement, and event
-    /// budget.
+    /// A configuration with the default latency, settlement, event
+    /// budget, route-cache scope (the process-shared registry), and
+    /// reference check (every node).
     ///
     /// # Panics
     ///
@@ -52,6 +94,8 @@ impl PlainConfig {
             latency: Latency::DEFAULT,
             settlement: SettlementConfig::default(),
             max_events: 5_000_000,
+            routes: CacheScope::global(),
+            reference_check: ReferenceCheck::Full,
         }
     }
 }
@@ -102,12 +146,12 @@ pub fn run_plain_with_deviant(
 /// whole lifecycle (cost flood, distributed routing + pricing, execution,
 /// reported settlement) in one simulator run.
 ///
-/// The post-run comparison against the centralized VCG reference borrows
-/// every route from the process-shared
-/// [`RouteCache`](specfaith_graph::cache::RouteCache) for the declared
-/// cost vector, so repeated runs over the same declarations — every
-/// non-misreporting cell of a deviation sweep — share one set of Dijkstra
-/// trees.
+/// The post-run comparison against the centralized VCG reference draws
+/// every route from the config's [`CacheScope`] (`config.routes`) for the
+/// declared cost vector, so repeated runs over the same declarations —
+/// every non-misreporting cell of a deviation sweep sharing one scope —
+/// share one set of Dijkstra trees, and the whole set is released when
+/// the scope drops. The scope defaults to the process-shared registry.
 pub fn run_plain(
     config: &PlainConfig,
     strategies: impl FnMut(NodeId) -> Box<dyn RationalStrategy>,
@@ -161,27 +205,38 @@ fn run_plain_impl(
     let construction = net.run();
 
     // Compare converged tables with the centralized reference under
-    // the declared costs.
+    // the declared costs, for the sources the policy selects.
     let declared: CostVector = config
         .topo
         .nodes()
         .map(|id| net.node(id).declared_cost().expect("started"))
         .collect();
-    let reference = if cached_reference {
-        expected_tables(&config.topo, &declared)
+    let check_sources = config.reference_check.sources(n);
+    let tables_match_centralized = if cached_reference {
+        let routes = config.routes.cache(&config.topo, &declared);
+        check_sources.iter().all(|&id| {
+            let core = net.node(id).core();
+            let (expected_routing, expected_pricing) = expected_tables_for(&routes, id);
+            tables_agree(
+                core.routes(),
+                core.prices(),
+                &expected_routing,
+                &expected_pricing,
+            )
+        })
     } else {
-        crate::pricing::expected_tables_uncached(&config.topo, &declared)
+        check_sources.iter().all(|&id| {
+            let core = net.node(id).core();
+            let (expected_routing, expected_pricing) =
+                crate::pricing::expected_tables_uncached_for(&config.topo, &declared, id);
+            tables_agree(
+                core.routes(),
+                core.prices(),
+                &expected_routing,
+                &expected_pricing,
+            )
+        })
     };
-    let tables_match_centralized = config.topo.nodes().all(|id| {
-        let core = net.node(id).core();
-        let (expected_routing, expected_pricing) = &reference[id.index()];
-        tables_agree(
-            core.routes(),
-            core.prices(),
-            expected_routing,
-            expected_pricing,
-        )
-    });
 
     // Execution: queue traffic, start all sources at once.
     for flow in config.traffic.flows() {
@@ -371,7 +426,143 @@ mod tests {
         );
     }
 
-    use crate::deviation::FullRecomputeFaithful;
+    use crate::deviation::{ForceFullRecompute, FullRecomputeFaithful};
+
+    #[test]
+    fn safe_deviants_take_the_incremental_path_byte_identically() {
+        // The deviant-node recompute satellite: strategies whose
+        // computation hooks are the identity declare destination-scoped
+        // safety and ride the incremental path — observationally
+        // indistinguishable (same utilities, same message counts, same
+        // reference agreement) from the same strategy forced onto the
+        // full-table recompute.
+        let (net, config) = figure1_config();
+        type StrategyFactory = Box<dyn Fn() -> Box<dyn RationalStrategy>>;
+        let cases: Vec<(StrategyFactory, &str)> = vec![
+            (
+                Box::new(|| Box::new(MisreportCost { delta: 3 })),
+                "misreport",
+            ),
+            (
+                Box::new(|| Box::new(crate::deviation::TamperCostFlood { multiplier: 7 })),
+                "tamper-flood",
+            ),
+            (
+                Box::new(|| Box::new(crate::deviation::DropCostFlood)),
+                "drop-flood",
+            ),
+            (Box::new(|| Box::new(DropTransitPackets)), "drop-packets"),
+            (
+                Box::new(|| Box::new(UnderreportPayments { keep_percent: 10 })),
+                "underreport",
+            ),
+        ];
+        for (make, label) in cases {
+            assert!(
+                make().dst_scoped_recompute_safe(),
+                "{label} must declare destination-scoped safety"
+            );
+            let fast = run_plain_with_deviant(&config, net.c, make(), 3);
+            let slow =
+                run_plain_with_deviant(&config, net.c, Box::new(ForceFullRecompute(make())), 3);
+            assert_eq!(fast.utilities, slow.utilities, "{label}");
+            assert_eq!(
+                fast.stats.total_msgs(),
+                slow.stats.total_msgs(),
+                "{label}: announcement traffic must be identical"
+            );
+            assert_eq!(
+                fast.tables_match_centralized, slow.tables_match_centralized,
+                "{label}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_transforming_deviants_stay_on_the_full_path() {
+        use crate::deviation::{DeflateOwnPricing, SpoofAndTamper};
+        for strategy in [
+            Box::new(SpoofShortRoutes) as Box<dyn RationalStrategy>,
+            Box::new(DeflateOwnPricing { keep_percent: 50 }),
+            Box::new(SpoofAndTamper::default()),
+        ] {
+            assert!(
+                !strategy.dst_scoped_recompute_safe(),
+                "{} transforms tables/announcements; the incremental path \
+                 would bypass its hooks",
+                strategy.spec().name()
+            );
+        }
+    }
+
+    #[test]
+    fn scoped_runs_are_byte_identical_to_the_global_registry_path() {
+        // The tentpole pin (plain engine): a run whose reference check
+        // draws from a run-scoped CacheScope produces exactly the result
+        // of the same run on the process-shared registry.
+        let (net, config) = figure1_config();
+        let mut scoped_config = config.clone();
+        scoped_config.routes = specfaith_graph::cache::CacheScope::unbounded();
+        for seed in [1u64, 3, 9] {
+            let global = run_plain_faithful(&config, seed);
+            let scoped = run_plain_faithful(&scoped_config, seed);
+            assert_eq!(global.utilities, scoped.utilities, "seed {seed}");
+            assert_eq!(
+                global.tables_match_centralized, scoped.tables_match_centralized,
+                "seed {seed}"
+            );
+            assert_eq!(
+                global.stats.total_msgs(),
+                scoped.stats.total_msgs(),
+                "seed {seed}"
+            );
+            let deviant_global =
+                run_plain_with_deviant(&config, net.c, Box::new(MisreportCost { delta: 2 }), seed);
+            let deviant_scoped = run_plain_with_deviant(
+                &scoped_config,
+                net.c,
+                Box::new(MisreportCost { delta: 2 }),
+                seed,
+            );
+            assert_eq!(deviant_global.utilities, deviant_scoped.utilities);
+            assert_eq!(
+                deviant_global.tables_match_centralized,
+                deviant_scoped.tables_match_centralized
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_reference_check_matches_full_on_honest_runs() {
+        let (_, config) = figure1_config();
+        let mut sampled = config.clone();
+        sampled.reference_check = ReferenceCheck::Sampled { sources: 3 };
+        let full = run_plain_faithful(&config, 3);
+        let quick = run_plain_faithful(&sampled, 3);
+        assert!(full.tables_match_centralized);
+        assert!(quick.tables_match_centralized);
+        assert_eq!(full.utilities, quick.utilities);
+    }
+
+    #[test]
+    fn reference_check_sources_are_deterministic_and_in_range() {
+        assert_eq!(
+            ReferenceCheck::Full.sources(4),
+            (0..4).map(NodeId::from_index).collect::<Vec<_>>()
+        );
+        let sampled = ReferenceCheck::Sampled { sources: 4 }.sources(1024);
+        assert_eq!(sampled.len(), 4);
+        assert_eq!(
+            sampled,
+            vec![0usize, 256, 512, 768]
+                .into_iter()
+                .map(NodeId::from_index)
+                .collect::<Vec<_>>()
+        );
+        // Oversampling clamps to n, never duplicates.
+        let clamped = ReferenceCheck::Sampled { sources: 99 }.sources(6);
+        assert_eq!(clamped.len(), 6);
+    }
 
     #[test]
     fn incremental_recompute_is_byte_identical_to_full() {
@@ -390,6 +581,15 @@ mod tests {
             let topo = random_biconnected(n, n / 2, &mut rng);
             let costs = CostVector::random(n, 0, 15, &mut rng);
             let traffic = TrafficMatrix::random(n, 3, 2, &mut rng);
+            configs.push(PlainConfig::new(topo, costs, traffic));
+        }
+        // Larger instances exercise the flood-time destination scoping
+        // (dsts_affected_by_cost) across longer convergence runs.
+        for seed in [100u64, 101] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let topo = specfaith_graph::generators::scale_free(24, 2, &mut rng);
+            let costs = CostVector::random(24, 1, 20, &mut rng);
+            let traffic = TrafficMatrix::random(24, 5, 2, &mut rng);
             configs.push(PlainConfig::new(topo, costs, traffic));
         }
         for (i, config) in configs.iter().enumerate() {

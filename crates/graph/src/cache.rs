@@ -1,4 +1,5 @@
-//! Memoized all-pairs lowest-cost routes: the [`RouteCache`].
+//! Memoized all-pairs lowest-cost routes: the [`RouteCache`] and the
+//! [`CacheScope`] registries that own collections of them.
 //!
 //! Every layer of the workspace asks the same two questions of a
 //! `(topology, cost-vector)` pair — *"what is the LCP from `src` to
@@ -11,15 +12,31 @@
 //!
 //! A [`RouteCache`] owns one `(topology, cost-vector)` pair and memoizes
 //! every tree the pair can produce, computing each at most once (behind
-//! [`OnceLock`], so concurrent sweep cells share the work) and handing out
-//! **borrows** — no per-query tree clone, no per-path allocation.
+//! [`OnceLock`], so concurrent sweep cells share the work).
 //!
-//! [`RouteCache::shared`] adds a process-wide registry keyed by a
-//! fingerprint of the pair, so independent callers (every cell of a
-//! deviation sweep, say) transparently share one cache per distinct
-//! declared-cost vector. Lookup verifies full structural equality after
-//! the fingerprint match — cached answers are *provably* the answers the
-//! direct computation would give, never approximately so.
+//! # Memory model
+//!
+//! Plain trees live in a dense per-source table (`n` lazily-filled slots —
+//! one pointer-sized slot per node, filled on first query). Avoid trees —
+//! of which there are `n·(n−1)` *possible* but typically only
+//! `O(n · transits-per-tree)` *needed* — live in a **sparse index** keyed
+//! by `(src, avoid)`: a slot exists only for pairs actually queried, so a
+//! cache's footprint is proportional to the trees it has computed, never
+//! to `n²`. At `n = 1024` a fully-dense table would be ~1M slots before a
+//! single query; the sparse index allocates nothing until asked.
+//!
+//! # Scoping guidance
+//!
+//! Registries of caches are [`CacheScope`]s: create one per run or sweep
+//! ([`CacheScope::unbounded`]), let every cell of the workload share it,
+//! and drop it on completion — memory is then bounded by the distinct
+//! declared-cost vectors *that workload* actually produced, and two
+//! concurrent workloads can never evict each other's caches. The
+//! process-wide registry behind [`RouteCache::shared`] survives as a
+//! compatibility default ([`CacheScope::global`], capacity-bounded with
+//! LRU eviction); long-running processes that churn through many distinct
+//! cost vectors should prefer run-scoped caches, or call
+//! [`RouteCache::clear_shared`] between workloads.
 //!
 //! # Example
 //!
@@ -42,18 +59,27 @@ use crate::lcp::{lcp_tree, lcp_tree_avoiding};
 use crate::path::PathMetric;
 use crate::topology::Topology;
 use specfaith_core::id::NodeId;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
-/// How many distinct `(topology, cost-vector)` pairs [`RouteCache::shared`]
-/// keeps alive at once. Beyond this the least-recently-used pair is
-/// evicted; correctness is unaffected (a re-miss just recomputes).
+/// How many distinct `(topology, cost-vector)` pairs the process-wide
+/// [`CacheScope::global`] registry keeps alive at once. Beyond this the
+/// least-recently-used pair is evicted; correctness is unaffected (a
+/// re-miss just recomputes). Run-scoped registries
+/// ([`CacheScope::unbounded`]) have no such limit — they are dropped
+/// wholesale when their workload completes.
 const SHARED_CAPACITY: usize = 64;
 
-/// The process-wide registry behind [`RouteCache::shared`], in LRU order
-/// (front = coldest).
-static SHARED: Mutex<VecDeque<Arc<RouteCache>>> = Mutex::new(VecDeque::new());
+/// Shard count of the sparse avoid-tree index. Shards only bound lock
+/// contention on the *index* (tree computation itself happens outside any
+/// shard lock); 16 keeps the per-cache overhead at sixteen empty maps.
+const AVOID_SHARDS: usize = 16;
+
+/// A lazily computed `d_{G−avoid}` tree, shared by reference: entry
+/// `dst.index()` is the lowest-cost `src → dst` path avoiding the node
+/// the tree was keyed under, or `None` where unreachable without it.
+pub type AvoidTree = Arc<[Option<PathMetric>]>;
 
 /// A 64-bit FNV-1a fingerprint of a `(topology, cost-vector)` pair.
 ///
@@ -79,29 +105,66 @@ fn fingerprint(topo: &Topology, costs: &CostVector) -> u64 {
     h
 }
 
+/// The sparse `(src, avoid)` → tree index: per-shard maps of lazily
+/// initialized slots. A slot is created on first lookup of its pair and
+/// never removed while the cache lives, so memory is proportional to the
+/// distinct pairs queried. The tree itself is computed outside the shard
+/// lock, behind the slot's [`OnceLock`] (so two threads racing on one
+/// pair still compute it once, and threads on different pairs never
+/// serialize each other's Dijkstra runs).
+type AvoidShard = Mutex<HashMap<u64, Arc<OnceLock<AvoidTree>>>>;
+
+struct SparseAvoidIndex {
+    shards: Box<[AvoidShard]>,
+    entries: AtomicUsize,
+}
+
+impl SparseAvoidIndex {
+    fn new() -> Self {
+        SparseAvoidIndex {
+            shards: (0..AVOID_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            entries: AtomicUsize::new(0),
+        }
+    }
+
+    /// The slot for `key`, created if absent.
+    fn slot(&self, key: u64) -> Arc<OnceLock<AvoidTree>> {
+        let shard = &self.shards[key as usize % self.shards.len()];
+        let mut map = shard.lock().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(map.entry(key).or_insert_with(|| {
+            self.entries.fetch_add(1, Ordering::Relaxed);
+            Arc::new(OnceLock::new())
+        }))
+    }
+
+    /// Number of `(src, avoid)` pairs with a slot (every queried pair,
+    /// whether or not its computation has finished).
+    fn len(&self) -> usize {
+        self.entries.load(Ordering::Relaxed)
+    }
+}
+
 /// Memoized lowest-cost routes for one `(topology, cost-vector)` pair.
 ///
-/// Trees are computed lazily, at most once each, and borrowed out for the
-/// cache's lifetime. All methods take `&self` and are safe to call from
-/// many threads at once; the values they return are pure functions of the
-/// pair, so caching cannot change any result — only how often Dijkstra
-/// runs.
+/// Trees are computed lazily, at most once each. All methods take `&self`
+/// and are safe to call from many threads at once; the values they return
+/// are pure functions of the pair, so caching cannot change any result —
+/// only how often Dijkstra runs.
 ///
-/// Memory: the avoid-tree table is `n²` lazily-filled slots, so a fully
-/// exercised cache at `n` nodes holds `n + n·(n−1)` trees of `n` entries
-/// each — some tens of megabytes at the sweep's standard `n = 64`, and the
-/// shared registry retains up to 64 such caches (LRU). Long-running
-/// processes that churn through many distinct cost vectors should call
-/// [`RouteCache::clear_shared`] between workloads, or scope
-/// [`RouteCache::new`] caches to a run instead of using the registry.
+/// Memory is proportional to the trees actually computed: `n` dense slots
+/// for the plain per-source trees plus one sparse entry per distinct
+/// `(src, avoid)` query — never the `n²` worst case (see the
+/// [module docs](self) for the full memory model).
 pub struct RouteCache {
     topo: Topology,
     costs: CostVector,
     fingerprint: u64,
     /// `trees[src]`: the LCP tree rooted at `src`.
     trees: Vec<OnceLock<Box<[Option<PathMetric>]>>>,
-    /// `avoid_trees[src * n + avoid]`: the tree rooted at `src` in `G − avoid`.
-    avoid_trees: Vec<OnceLock<Box<[Option<PathMetric>]>>>,
+    /// Sparse `(src, avoid)` index of `d_{G−avoid}` trees.
+    avoid_trees: SparseAvoidIndex,
     /// Number of Dijkstra runs performed so far (diagnostics for benches
     /// and tests; not part of any result).
     computed: AtomicUsize,
@@ -113,12 +176,14 @@ impl std::fmt::Debug for RouteCache {
             .field("topo", &self.topo)
             .field("costs", &self.costs)
             .field("trees_computed", &self.trees_computed())
+            .field("avoid_trees_cached", &self.avoid_trees_cached())
             .finish()
     }
 }
 
 impl RouteCache {
-    /// An empty cache owning `topo` and `costs`.
+    /// An empty cache owning `topo` and `costs`. Construction allocates
+    /// `n` empty tree slots and nothing else — no `n²` table.
     ///
     /// # Panics
     ///
@@ -136,47 +201,26 @@ impl RouteCache {
             costs,
             fingerprint,
             trees: (0..n).map(|_| OnceLock::new()).collect(),
-            avoid_trees: (0..n * n).map(|_| OnceLock::new()).collect(),
+            avoid_trees: SparseAvoidIndex::new(),
             computed: AtomicUsize::new(0),
         }
     }
 
-    /// The process-shared cache for `(topo, costs)`: returns the existing
-    /// cache when one is registered (verified by full structural equality,
-    /// not just fingerprint), otherwise registers a fresh one, evicting
-    /// the least-recently-used entry past the registry capacity (64
-    /// distinct pairs).
+    /// The process-shared cache for `(topo, costs)` — shorthand for
+    /// [`CacheScope::global`]`.cache(topo, costs)`, retained as the
+    /// compatibility default for callers with no scope of their own.
     ///
-    /// This is what lets every cell of a deviation sweep — across rayon
-    /// threads — share one set of Dijkstra runs per distinct declared-cost
-    /// vector.
+    /// Run and sweep engines thread an explicit run-scoped [`CacheScope`]
+    /// instead, so concurrent workloads cannot evict each other.
     pub fn shared(topo: &Topology, costs: &CostVector) -> Arc<RouteCache> {
-        let print = fingerprint(topo, costs);
-        let mut registry = SHARED.lock().unwrap_or_else(PoisonError::into_inner);
-        if let Some(at) = registry
-            .iter()
-            .position(|c| c.fingerprint == print && c.topo == *topo && c.costs == *costs)
-        {
-            let hit = registry.remove(at).expect("position just found");
-            registry.push_back(Arc::clone(&hit));
-            return hit;
-        }
-        let fresh = Arc::new(RouteCache::new(topo.clone(), costs.clone()));
-        if registry.len() >= SHARED_CAPACITY {
-            registry.pop_front();
-        }
-        registry.push_back(Arc::clone(&fresh));
-        fresh
+        CacheScope::global().cache(topo, costs)
     }
 
     /// Empties the process-shared registry, releasing every retained
     /// cache not otherwise referenced. Results are unaffected — future
     /// [`RouteCache::shared`] lookups just recompute.
     pub fn clear_shared() {
-        SHARED
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clear();
+        CacheScope::global().clear();
     }
 
     /// The topology this cache answers for.
@@ -201,18 +245,22 @@ impl RouteCache {
 
     /// The LCP tree rooted at `src` in `G − avoid` — the `d_{G−k}` query
     /// behind VCG payments. One tree per `(src, avoid)` pair serves every
-    /// destination.
+    /// destination; the handle is a cheap [`Arc`] clone of the cached
+    /// tree, so hot paths hold it across a destination loop without
+    /// re-hashing per query.
     ///
     /// # Panics
     ///
     /// Panics if `avoid == src`.
-    pub fn tree_avoiding(&self, src: NodeId, avoid: NodeId) -> &[Option<PathMetric>] {
+    pub fn tree_avoiding(&self, src: NodeId, avoid: NodeId) -> AvoidTree {
         assert!(avoid != src, "cannot avoid the source of the LCP query");
-        let n = self.topo.num_nodes();
-        self.avoid_trees[src.index() * n + avoid.index()].get_or_init(|| {
+        let key = src.index() as u64 * self.topo.num_nodes() as u64 + avoid.index() as u64;
+        let slot = self.avoid_trees.slot(key);
+        slot.get_or_init(|| {
             self.computed.fetch_add(1, Ordering::Relaxed);
-            lcp_tree_avoiding(&self.topo, &self.costs, src, Some(avoid)).into_boxed_slice()
+            lcp_tree_avoiding(&self.topo, &self.costs, src, Some(avoid)).into()
         })
+        .clone()
     }
 
     /// The lowest-cost path `src → dst`, or `None` if unreachable.
@@ -223,25 +271,223 @@ impl RouteCache {
     }
 
     /// The lowest-cost path `src → dst` avoiding `avoid` entirely, or
-    /// `None` if no such path exists. The zero-clone replacement for the
-    /// deprecated [`crate::lcp::lcp_avoiding`].
+    /// `None` if no such path exists. Clones the one path at the edge;
+    /// loops over many destinations of one `(src, avoid)` pair should
+    /// hold [`RouteCache::tree_avoiding`] instead and index it.
     ///
     /// # Panics
     ///
     /// Panics if `avoid` equals `src` or `dst` (the VCG query only ever
     /// avoids intermediate nodes).
-    pub fn path_avoiding(&self, src: NodeId, dst: NodeId, avoid: NodeId) -> Option<&PathMetric> {
+    pub fn path_avoiding(&self, src: NodeId, dst: NodeId, avoid: NodeId) -> Option<PathMetric> {
         assert!(
             avoid != dst,
             "cannot avoid the destination of the LCP query"
         );
-        self.tree_avoiding(src, avoid)[dst.index()].as_ref()
+        self.tree_avoiding(src, avoid)[dst.index()].clone()
     }
 
     /// How many Dijkstra runs this cache has performed. Diagnostic only:
     /// lets benches and tests verify that repeated queries hit the memo.
     pub fn trees_computed(&self) -> usize {
         self.computed.load(Ordering::Relaxed)
+    }
+
+    /// How many `(src, avoid)` pairs the sparse index holds slots for —
+    /// the avoid-tree memory footprint in units of trees, which tests pin
+    /// to the number of *distinct pairs queried* (never `n²`).
+    pub fn avoid_trees_cached(&self) -> usize {
+        self.avoid_trees.len()
+    }
+}
+
+/// A registry of [`RouteCache`]s keyed by `(topology, cost-vector)`
+/// equality: the ownership boundary for route-cache memory.
+///
+/// A scope is a cheap-to-clone handle (internally `Arc`-shared): run and
+/// sweep engines create one per workload, thread clones of it through
+/// every cell, and drop it on completion — releasing exactly the caches
+/// that workload created. Lookup pre-filters by fingerprint and verifies
+/// full structural equality on a match, so cached answers are *provably*
+/// the answers the direct computation would give; cache construction and
+/// the `(topology, costs)` clones happen **outside** the registry lock,
+/// so concurrent sweep threads never serialize behind another thread's
+/// allocation.
+#[derive(Clone)]
+pub struct CacheScope {
+    inner: Arc<ScopeInner>,
+}
+
+struct ScopeInner {
+    /// Registered caches in LRU order (front = coldest).
+    registry: Mutex<VecDeque<Arc<RouteCache>>>,
+    /// `None` = unbounded (run-scoped); `Some(cap)` = LRU-evicting.
+    capacity: Option<usize>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+impl std::fmt::Debug for CacheScope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheScope")
+            .field("len", &self.len())
+            .field("capacity", &self.inner.capacity)
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .field("evictions", &self.evictions())
+            .finish()
+    }
+}
+
+impl CacheScope {
+    fn with_capacity(capacity: Option<usize>) -> Self {
+        CacheScope {
+            inner: Arc::new(ScopeInner {
+                registry: Mutex::new(VecDeque::new()),
+                capacity,
+                hits: AtomicUsize::new(0),
+                misses: AtomicUsize::new(0),
+                evictions: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// An unbounded scope: nothing is ever evicted, memory is released
+    /// when the scope (and every outstanding cache handle) drops. The
+    /// right choice for run/sweep-scoped registries, whose distinct
+    /// cost-vector population is bounded by the workload itself.
+    pub fn unbounded() -> Self {
+        CacheScope::with_capacity(None)
+    }
+
+    /// A scope retaining at most `capacity` caches, evicting the
+    /// least-recently-used beyond that. Correctness is unaffected by
+    /// eviction (a re-miss just recomputes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a scope that can hold nothing would
+    /// silently recompute every lookup).
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(
+            capacity > 0,
+            "a cache scope needs capacity for at least one cache"
+        );
+        CacheScope::with_capacity(Some(capacity))
+    }
+
+    /// The process-wide scope behind [`RouteCache::shared`]: bounded at
+    /// 64 caches, shared by every caller that does not thread a scope of
+    /// its own. A compatibility default — scoped workloads should create
+    /// their own registry instead.
+    pub fn global() -> CacheScope {
+        static GLOBAL: OnceLock<CacheScope> = OnceLock::new();
+        GLOBAL
+            .get_or_init(|| CacheScope::bounded(SHARED_CAPACITY))
+            .clone()
+    }
+
+    /// The cache for `(topo, costs)` in this scope: returns the
+    /// registered cache when one exists (fingerprint pre-filter, then
+    /// full structural equality), otherwise registers a fresh one,
+    /// evicting the least-recently-used entry past the scope's capacity.
+    pub fn cache(&self, topo: &Topology, costs: &CostVector) -> Arc<RouteCache> {
+        let print = fingerprint(topo, costs);
+        if let Some(hit) = self.lookup(print, topo, costs) {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        // Miss: allocate — and deep-clone the topology and cost vector —
+        // outside the lock, so rayon sweep threads building caches for
+        // *different* cost vectors do not serialize each other.
+        let fresh = Arc::new(RouteCache::new(topo.clone(), costs.clone()));
+        let mut registry = self
+            .inner
+            .registry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        // Re-check under the lock: another thread may have registered the
+        // same pair while we were allocating; sharing its cache keeps the
+        // work-once guarantee.
+        if let Some(at) = registry
+            .iter()
+            .position(|c| c.fingerprint == print && c.topo == *topo && c.costs == *costs)
+        {
+            let hit = registry.remove(at).expect("position just found");
+            registry.push_back(Arc::clone(&hit));
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(capacity) = self.inner.capacity {
+            while registry.len() >= capacity {
+                registry.pop_front();
+                self.inner.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        registry.push_back(Arc::clone(&fresh));
+        fresh
+    }
+
+    /// Registry lookup: fingerprint pre-filter, full equality verify,
+    /// LRU promotion on hit.
+    fn lookup(&self, print: u64, topo: &Topology, costs: &CostVector) -> Option<Arc<RouteCache>> {
+        let mut registry = self
+            .inner
+            .registry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let at = registry
+            .iter()
+            .position(|c| c.fingerprint == print && c.topo == *topo && c.costs == *costs)?;
+        let hit = registry.remove(at).expect("position just found");
+        registry.push_back(Arc::clone(&hit));
+        Some(hit)
+    }
+
+    /// Empties the scope, releasing every retained cache not otherwise
+    /// referenced. Hit/miss/eviction counters are preserved.
+    pub fn clear(&self) {
+        self.inner
+            .registry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+
+    /// Number of caches currently retained.
+    pub fn len(&self) -> usize {
+        self.inner
+            .registry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the scope retains no caches.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served by an already-registered cache.
+    pub fn hits(&self) -> usize {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that registered a fresh cache. In a well-scoped workload
+    /// this equals the number of distinct cost vectors the workload
+    /// produced — if it exceeds that, caches are being evicted and
+    /// silently recomputed (the registry-thrash bug this type exists to
+    /// prevent).
+    pub fn misses(&self) -> usize {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// Caches evicted to stay within the scope's capacity. Always zero
+    /// for [`CacheScope::unbounded`] scopes.
+    pub fn evictions(&self) -> usize {
+        self.inner.evictions.load(Ordering::Relaxed)
     }
 }
 
@@ -266,7 +512,7 @@ mod tests {
                     continue;
                 }
                 assert_eq!(
-                    cache.tree_avoiding(src, avoid),
+                    &cache.tree_avoiding(src, avoid)[..],
                     &lcp_tree_avoiding(&net.topology, &net.costs, src, Some(avoid))[..],
                     "tree_avoiding({src}, {avoid})"
                 );
@@ -286,6 +532,31 @@ mod tests {
     }
 
     #[test]
+    fn avoid_index_grows_with_queries_not_n_squared() {
+        // The sparse-index memory contract: slots exist only for queried
+        // (src, avoid) pairs. A fresh cache holds none; k distinct
+        // queries hold exactly k, repeats included free.
+        let net = figure1();
+        let cache = RouteCache::new(net.topology.clone(), net.costs.clone());
+        assert_eq!(
+            cache.avoid_trees_cached(),
+            0,
+            "construction allocates no avoid slots"
+        );
+        let _ = cache.tree_avoiding(net.x, net.c);
+        let _ = cache.tree_avoiding(net.x, net.c);
+        assert_eq!(cache.avoid_trees_cached(), 1);
+        let _ = cache.tree_avoiding(net.x, net.d);
+        let _ = cache.tree_avoiding(net.z, net.c);
+        assert_eq!(cache.avoid_trees_cached(), 3);
+        assert_eq!(
+            cache.trees_computed(),
+            3,
+            "each distinct pair computed once"
+        );
+    }
+
+    #[test]
     fn shared_returns_the_same_cache_for_equal_pairs() {
         let net = figure1();
         let a = RouteCache::shared(&net.topology, &net.costs);
@@ -296,6 +567,122 @@ mod tests {
         let c = RouteCache::shared(&net.topology, &lied);
         assert!(!Arc::ptr_eq(&a, &c), "distinct costs must not alias");
         assert_eq!(c.path(net.x, net.z).expect("connected").cost().value(), 5);
+    }
+
+    #[test]
+    fn scoped_caches_are_isolated_from_the_global_registry() {
+        let net = figure1();
+        let scope = CacheScope::unbounded();
+        let scoped = scope.cache(&net.topology, &net.costs);
+        let global = RouteCache::shared(&net.topology, &net.costs);
+        assert!(
+            !Arc::ptr_eq(&scoped, &global),
+            "a run-scoped cache lives in its own registry"
+        );
+        // Identical answers regardless of which registry owns the cache.
+        assert_eq!(
+            scoped.path(net.x, net.z).map(|p| p.nodes().to_vec()),
+            global.path(net.x, net.z).map(|p| p.nodes().to_vec())
+        );
+        assert_eq!(scope.len(), 1);
+        assert_eq!(scope.misses(), 1);
+        let again = scope.cache(&net.topology, &net.costs);
+        assert!(Arc::ptr_eq(&scoped, &again));
+        assert_eq!(scope.hits(), 1);
+    }
+
+    #[test]
+    fn bounded_scope_evicts_least_recently_used() {
+        let net = figure1();
+        let scope = CacheScope::bounded(2);
+        let costs_a = net.costs.clone();
+        let costs_b = net.costs.with_cost(net.c, Cost::new(2));
+        let costs_c = net.costs.with_cost(net.c, Cost::new(3));
+        let a = scope.cache(&net.topology, &costs_a);
+        let _b = scope.cache(&net.topology, &costs_b);
+        // Touch A so B becomes the LRU entry, then insert C.
+        let a_again = scope.cache(&net.topology, &costs_a);
+        assert!(Arc::ptr_eq(&a, &a_again));
+        let _c = scope.cache(&net.topology, &costs_c);
+        assert_eq!(scope.len(), 2);
+        assert_eq!(scope.evictions(), 1, "B evicted, not A");
+        // A survives (hit); B was evicted (fresh miss).
+        let a_survivor = scope.cache(&net.topology, &costs_a);
+        assert!(Arc::ptr_eq(&a, &a_survivor), "recently-used entry survives");
+        let misses_before = scope.misses();
+        let _b_again = scope.cache(&net.topology, &costs_b);
+        assert_eq!(scope.misses(), misses_before + 1, "LRU entry was evicted");
+    }
+
+    #[test]
+    fn capacity_boundary_holds_exactly() {
+        let net = figure1();
+        let scope = CacheScope::bounded(1);
+        let lied = net.costs.with_cost(net.c, Cost::new(9));
+        let _ = scope.cache(&net.topology, &net.costs);
+        assert_eq!((scope.len(), scope.evictions()), (1, 0));
+        let _ = scope.cache(&net.topology, &lied);
+        assert_eq!((scope.len(), scope.evictions()), (1, 1));
+        // Unbounded scopes never evict.
+        let unbounded = CacheScope::unbounded();
+        for declared in 0..100u64 {
+            let costs = net.costs.with_cost(net.c, Cost::new(declared));
+            let _ = unbounded.cache(&net.topology, &costs);
+        }
+        assert_eq!(unbounded.len(), 100);
+        assert_eq!(unbounded.evictions(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity for at least one cache")]
+    fn zero_capacity_scope_rejected() {
+        let _ = CacheScope::bounded(0);
+    }
+
+    #[test]
+    fn concurrent_lookups_share_one_cache_per_pair() {
+        // The registry under contention: many threads interleaving
+        // lookups over a handful of distinct cost vectors must end up
+        // with exactly one registered cache per vector (allocation races
+        // are resolved by the under-lock re-check) and consistent
+        // answers throughout.
+        let net = figure1();
+        let scope = CacheScope::unbounded();
+        const VECTORS: u64 = 4;
+        const THREADS: usize = 8;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let scope = scope.clone();
+                let net = &net;
+                s.spawn(move || {
+                    for round in 0..20u64 {
+                        let declared = (round + t as u64) % VECTORS;
+                        let costs = net.costs.with_cost(net.c, Cost::new(declared + 1));
+                        let cache = scope.cache(&net.topology, &costs);
+                        assert_eq!(cache.costs(), &costs, "never handed a mismatched cache");
+                        let path = cache.path(net.d, net.z).expect("biconnected");
+                        assert!(path.cost().value() <= 1000);
+                        let _ = cache.tree_avoiding(net.x, net.c);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            scope.len(),
+            VECTORS as usize,
+            "one cache per distinct vector"
+        );
+        assert_eq!(
+            scope.misses(),
+            VECTORS as usize,
+            "no duplicate registrations"
+        );
+        assert_eq!(scope.evictions(), 0);
+        assert_eq!(
+            scope.hits() + scope.misses(),
+            THREADS * 20,
+            "every lookup accounted"
+        );
     }
 
     #[test]
@@ -354,9 +741,11 @@ mod proptests {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
 
-        /// The satellite property: across random topologies, cost vectors,
-        /// and avoid-node queries, every cache answer is *identical* to
-        /// the direct `lcp_tree` / `lcp_tree_avoiding` computation.
+        /// The satellite property: across random biconnected topologies,
+        /// cost vectors, and avoid-node queries, every answer of the
+        /// sparse avoid-tree index is *identical* to the direct
+        /// `lcp_tree` / `lcp_tree_avoiding` computation, and the index
+        /// holds exactly the pairs queried.
         #[test]
         fn cache_is_identical_to_direct_computation(
             seed in 0u64..400,
@@ -380,11 +769,13 @@ mod proptests {
                             lcp_tree_avoiding(&topo, &costs, src, Some(avoid));
                         prop_assert_eq!(
                             cache.path_avoiding(src, dst, avoid),
-                            direct_avoid[dst.index()].as_ref()
+                            direct_avoid[dst.index()].clone()
                         );
                     }
                 }
             }
+            // Exactly the queried pairs are indexed — never more.
+            prop_assert_eq!(cache.avoid_trees_cached(), n * (n - 1));
         }
 
         /// The shared registry never mixes up distinct pairs: interleaved

@@ -120,9 +120,7 @@ pub fn lcp_avoiding(
     dst: NodeId,
     avoid: NodeId,
 ) -> Option<PathMetric> {
-    crate::cache::RouteCache::shared(topo, costs)
-        .path_avoiding(src, dst, avoid)
-        .cloned()
+    crate::cache::RouteCache::shared(topo, costs).path_avoiding(src, dst, avoid)
 }
 
 /// All-pairs lowest-cost paths: `result[src][dst]`.

@@ -6,9 +6,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use specfaith_core::id::NodeId;
 use specfaith_faithful::harness::FaithfulConfig;
-use specfaith_fpss::runner::PlainConfig;
+use specfaith_fpss::runner::{PlainConfig, ReferenceCheck};
 use specfaith_fpss::settle::SettlementConfig;
 use specfaith_fpss::traffic::{Flow, TrafficMatrix};
+use specfaith_graph::cache::CacheScope;
 use specfaith_graph::costs::CostVector;
 use specfaith_graph::generators;
 use specfaith_graph::topology::Topology;
@@ -242,6 +243,8 @@ pub struct ScenarioBuilder {
     settlement: SettlementConfig,
     max_events: Option<u64>,
     instance_seed: u64,
+    route_scope: Option<CacheScope>,
+    reference_check: ReferenceCheck,
 }
 
 impl Default for ScenarioBuilder {
@@ -256,6 +259,8 @@ impl Default for ScenarioBuilder {
             settlement: SettlementConfig::default(),
             max_events: None,
             instance_seed: 0,
+            route_scope: None,
+            reference_check: ReferenceCheck::Full,
         }
     }
 }
@@ -264,6 +269,41 @@ impl ScenarioBuilder {
     /// A builder with the defaults above.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A preset for large sparse scale-free workloads (`n ≥ 1024`):
+    /// Barabási–Albert topology with two attachments per newcomer,
+    /// random costs in `1..=20`, `max(32, n/16)` random flows, the plain
+    /// mechanism, a destination-sampled reference check (64 sources),
+    /// and an event budget sized for large-`n` construction.
+    ///
+    /// Returned as a builder so callers can still override any choice
+    /// (e.g. switch the mechanism or tighten the reference check).
+    pub fn large_scale_free(n: usize) -> Self {
+        ScenarioBuilder::new()
+            .topology(TopologySource::ScaleFree { n, attachments: 2 })
+            .large_sparse_defaults(n)
+    }
+
+    /// A preset for large sparse grid workloads: a `side × side` grid
+    /// with the same cost/traffic/check defaults as
+    /// [`ScenarioBuilder::large_scale_free`].
+    pub fn large_grid(side: usize) -> Self {
+        ScenarioBuilder::new()
+            .topology(TopologySource::Grid(side, side))
+            .large_sparse_defaults(side * side)
+    }
+
+    /// The shared large-`n` defaults behind the presets above.
+    fn large_sparse_defaults(self, n: usize) -> Self {
+        self.costs(CostModel::Random { lo: 1, hi: 20 })
+            .traffic(TrafficModel::Random {
+                flows: (n / 16).max(32),
+                max_packets: 3,
+            })
+            .mechanism(Mechanism::Plain)
+            .reference_check(ReferenceCheck::Sampled { sources: 64 })
+            .max_events(1_000_000_000)
     }
 
     /// Sets the topology source.
@@ -328,6 +368,27 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Overrides the route-cache scope the scenario's runs draw from.
+    /// Defaults to a scenario-owned bounded scope (dropped with the
+    /// scenario); sweeps always substitute a sweep-scoped registry of
+    /// their own regardless of this setting.
+    #[must_use]
+    pub fn route_scope(mut self, scope: CacheScope) -> Self {
+        self.route_scope = Some(scope);
+        self
+    }
+
+    /// Sets how runs compare converged tables against the centralized
+    /// VCG reference: [`ReferenceCheck::Full`] (default) verifies every
+    /// node; [`ReferenceCheck::Sampled`] verifies a deterministic sample
+    /// — the large-`n` setting, where full verification costs one LCP
+    /// tree per node plus avoid trees for every on-path transit.
+    #[must_use]
+    pub fn reference_check(mut self, check: ReferenceCheck) -> Self {
+        self.reference_check = check;
+        self
+    }
+
     /// Materializes and validates the scenario.
     ///
     /// # Errors
@@ -364,11 +425,20 @@ impl ScenarioBuilder {
         }
         let traffic = self.traffic.materialize(n, &mut rng);
 
+        // Each scenario owns its route caches: an explicit scope when the
+        // builder was given one, otherwise a scenario-scoped registry
+        // (bounded like the old process-wide default, but private — two
+        // scenarios can never evict each other's caches, and the memory
+        // dies with the scenario). Sweeps substitute a sweep-scoped
+        // registry on top of this.
+        let routes = self.route_scope.unwrap_or_else(|| CacheScope::bounded(64));
         let engine = match &self.mechanism {
             Mechanism::Plain => {
                 let mut config = PlainConfig::new(topo, costs, traffic);
                 config.latency = self.latency;
                 config.settlement = self.settlement;
+                config.routes = routes;
+                config.reference_check = self.reference_check;
                 if let Some(max_events) = self.max_events {
                     config.max_events = max_events;
                 }
@@ -386,6 +456,8 @@ impl ScenarioBuilder {
                 config.max_restarts = *max_restarts;
                 config.progress_value = *progress_value;
                 config.settlement = *settlement;
+                config.routes = routes;
+                config.reference_check = self.reference_check;
                 if let Some(max_events) = self.max_events {
                     config.max_events = max_events;
                 }

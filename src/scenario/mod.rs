@@ -52,6 +52,8 @@ mod sweep;
 
 pub use builder::{CostModel, ScenarioBuilder, ScenarioError, TopologySource, TrafficModel};
 pub use report::{MechanismOutcome, RunReport, SweepReport};
+pub use specfaith_fpss::runner::ReferenceCheck;
+pub use specfaith_graph::cache::CacheScope;
 pub use sweep::{cell_seed, Catalog};
 
 use specfaith_core::equilibrium::EquilibriumReport;
@@ -137,6 +139,27 @@ impl Scenario {
 
     pub(crate) fn from_parts(engine: EngineConfig, mechanism: Mechanism) -> Self {
         Scenario { engine, mechanism }
+    }
+
+    /// This scenario with its route caches drawn from `scope` instead —
+    /// the seam the sweep engine uses to give each sweep a registry of
+    /// its own, created before the fan-out and dropped with the last
+    /// cell.
+    pub fn with_route_scope(&self, scope: CacheScope) -> Scenario {
+        let mut scenario = self.clone();
+        match &mut scenario.engine {
+            EngineConfig::Plain(c) => c.routes = scope,
+            EngineConfig::Faithful(c) => c.routes = scope,
+        }
+        scenario
+    }
+
+    /// The route-cache scope this scenario's runs draw from.
+    pub fn route_scope(&self) -> &CacheScope {
+        match &self.engine {
+            EngineConfig::Plain(c) => &c.routes,
+            EngineConfig::Faithful(c) => &c.routes,
+        }
     }
 
     /// The topology.
@@ -236,15 +259,78 @@ impl Scenario {
     /// depend on scheduling; the output is byte-identical to
     /// [`Scenario::sweep_serial`] for the same inputs, regardless of
     /// thread count.
+    ///
+    /// The sweep owns its route caches: every cell draws from one fresh
+    /// sweep-scoped [`CacheScope`] (never the process-wide registry), so
+    /// the cells of this sweep can neither evict each other's caches nor
+    /// be evicted by concurrent workloads, and all cache memory is
+    /// released when the sweep returns.
+    ///
+    /// The default scope is unbounded, so peak cache memory is
+    /// proportional to the *distinct declared-cost vectors* the sweep
+    /// produces — one single-use cache per misreport cell (roughly
+    /// 2 MB/cell at `n = 64`; ~1.5 GB peak for the full-catalog
+    /// standard sweep). Memory-constrained callers can cap it by passing
+    /// a [`CacheScope::bounded`] scope to [`Scenario::sweep_scoped`]
+    /// (results are unaffected; an evicted-then-needed cache just
+    /// recomputes).
     pub fn sweep(&self, seeds: &[u64], catalog: &Catalog) -> SweepReport {
-        sweep::sweep(self, seeds, catalog, true)
+        self.sweep_scoped(seeds, catalog, &CacheScope::unbounded())
+    }
+
+    /// [`Scenario::sweep`] drawing route caches from a caller-provided
+    /// scope — for callers that sweep repeatedly over the same instance
+    /// (keep the scope alive to share reference tables across sweeps) or
+    /// that assert on cache behavior (hits, misses, evictions).
+    pub fn sweep_scoped(
+        &self,
+        seeds: &[u64],
+        catalog: &Catalog,
+        scope: &CacheScope,
+    ) -> SweepReport {
+        sweep::sweep(&self.with_route_scope(scope.clone()), seeds, catalog, true)
     }
 
     /// The same sweep as [`Scenario::sweep`], executed strictly serially
     /// on the calling thread. Reference implementation for determinism
     /// tests and a fallback for single-core environments.
     pub fn sweep_serial(&self, seeds: &[u64], catalog: &Catalog) -> SweepReport {
-        sweep::sweep(self, seeds, catalog, false)
+        sweep::sweep(
+            &self.with_route_scope(CacheScope::unbounded()),
+            seeds,
+            catalog,
+            false,
+        )
+    }
+
+    /// The sweep restricted to deviations by `agents` (topology indices):
+    /// the large-`n` entry point, where the full `n × catalog` grid is
+    /// out of reach but a sampled agent set still probes faithfulness.
+    ///
+    /// Every evaluated cell is **byte-identical** to the corresponding
+    /// cell of the full [`Scenario::sweep`] — per-cell seeds depend only
+    /// on `(seed, agent, deviation)`, not on which other agents are swept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an agent index is out of range or listed twice.
+    pub fn sweep_sampled(&self, seeds: &[u64], catalog: &Catalog, agents: &[usize]) -> SweepReport {
+        let n = self.num_nodes();
+        assert!(
+            agents.iter().all(|&agent| agent < n),
+            "sampled agents must be topology indices"
+        );
+        assert!(
+            (1..agents.len()).all(|i| !agents[..i].contains(&agents[i])),
+            "sampled agents must be distinct"
+        );
+        sweep::sweep_agents(
+            &self.with_route_scope(CacheScope::unbounded()),
+            seeds,
+            catalog,
+            agents,
+            true,
+        )
     }
 }
 

@@ -26,6 +26,10 @@ pub enum MechanismOutcome {
         restarts: u32,
         /// Penalties charged per node.
         penalties: Vec<Money>,
+        /// Whether the certified tables equal the centralized VCG
+        /// reference (`None` when the mechanism halted before
+        /// certifying).
+        tables_match_centralized: Option<bool>,
     },
 }
 
@@ -78,6 +82,7 @@ impl RunReport {
                 halted: run.halted,
                 restarts: run.restarts,
                 penalties: run.penalties,
+                tables_match_centralized: run.tables_match_centralized,
             },
         }
     }
@@ -117,14 +122,18 @@ impl RunReport {
     }
 
     /// Whether converged tables matched the centralized reference:
-    /// `Some(_)` for plain runs, `None` for faithful runs (where the
-    /// bank's hash checkpoints subsume the comparison).
+    /// `Some(_)` for plain runs and for faithful runs that green-lighted;
+    /// `None` for faithful runs that halted before certifying any tables
+    /// (where the bank's hash checkpoints already flagged the run).
     pub fn tables_match_centralized(&self) -> Option<bool> {
         match &self.outcome {
             MechanismOutcome::Plain {
                 tables_match_centralized,
             } => Some(*tables_match_centralized),
-            MechanismOutcome::Faithful { .. } => None,
+            MechanismOutcome::Faithful {
+                tables_match_centralized,
+                ..
+            } => *tables_match_centralized,
         }
     }
 }

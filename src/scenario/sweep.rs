@@ -4,11 +4,14 @@
 //! **Phase 1** runs each seed's honest baseline exactly once, in parallel
 //! across seeds, and wraps the results in `Arc`s: every `(node ×
 //! deviation)` cell of a seed — and the final report assembly — borrows
-//! the same immutable baseline instead of re-deriving it. For plain-FPSS
-//! scenarios the baselines also warm the process-shared
-//! [`RouteCache`](specfaith_graph::cache::RouteCache) for the honest
-//! declared-cost vector before the fan-out, so deviation cells start with
-//! the reference Dijkstra work already done.
+//! the same immutable baseline instead of re-deriving it. Every sweep
+//! owns a fresh sweep-scoped
+//! [`CacheScope`](specfaith_graph::cache::CacheScope) threaded through
+//! all of its cells: the baselines warm it with the honest declared-cost
+//! vector's [`RouteCache`](specfaith_graph::cache::RouteCache) before the
+//! fan-out, each distinct misreported vector is registered exactly once
+//! (never evicted — the scope is unbounded and dies with the sweep), and
+//! concurrent workloads cannot interfere with it.
 //!
 //! **Phase 2** evaluates the deviation cells. Every cell is an
 //! independent, deterministic simulator run, so evaluation order cannot
@@ -124,6 +127,10 @@ pub fn cell_seed(base_seed: u64, agent: u64, deviation: u64) -> u64 {
 
 /// One deviation cell of the sweep grid. Honest baselines are phase 1 —
 /// they are shared per seed, not enumerated as cells.
+///
+/// A cell's seed ([`cell_seed`]) depends only on `(base_seed, agent,
+/// deviation)` — never on which *other* cells the grid holds — so an
+/// agent-sampled grid evaluates exactly the cells the full grid would.
 #[derive(Clone, Copy, Debug)]
 struct Cell {
     /// Index into the caller's seed list.
@@ -170,11 +177,10 @@ fn evaluate(scenario: &Scenario, catalog: &Catalog, cell: &Cell) -> CellResult {
 
 /// Builds the deviation-cell grid for `seeds`: per seed, agents ×
 /// deviations in row-major order.
-fn deviation_grid(scenario: &Scenario, seeds: &[u64], deviations: usize) -> Vec<Cell> {
-    let n = scenario.num_nodes();
-    let mut cells = Vec::with_capacity(seeds.len() * n * deviations);
+fn deviation_grid(seeds: &[u64], agents: &[usize], deviations: usize) -> Vec<Cell> {
+    let mut cells = Vec::with_capacity(seeds.len() * agents.len() * deviations);
     for (seed_index, &base_seed) in seeds.iter().enumerate() {
-        for agent in 0..n {
+        for &agent in agents {
             for deviation in 0..deviations {
                 cells.push(Cell {
                     seed_index,
@@ -221,18 +227,35 @@ fn assemble(
     }
 }
 
-/// Runs the two-phase sweep; `parallel` picks rayon fan-out vs. strict
-/// serial evaluation of the identical work list.
+/// Runs the two-phase sweep over the full agent set; `parallel` picks
+/// rayon fan-out vs. strict serial evaluation of the identical work
+/// list. Route caches come from whatever [`CacheScope`] the scenario
+/// carries — the public `Scenario::sweep*` wrappers thread a fresh
+/// sweep-scoped registry in before calling here.
+///
+/// [`CacheScope`]: specfaith_graph::cache::CacheScope
 pub(super) fn sweep(
     scenario: &Scenario,
     seeds: &[u64],
     catalog: &Catalog,
     parallel: bool,
 ) -> SweepReport {
+    let agents: Vec<usize> = (0..scenario.num_nodes()).collect();
+    sweep_agents(scenario, seeds, catalog, &agents, parallel)
+}
+
+/// [`sweep`] restricted to deviations by `agents`.
+pub(super) fn sweep_agents(
+    scenario: &Scenario,
+    seeds: &[u64],
+    catalog: &Catalog,
+    agents: &[usize],
+    parallel: bool,
+) -> SweepReport {
     let specs = catalog.specs();
     // Phase 1: one honest baseline per seed, shared immutably with every
-    // cell of that seed's row (and warming the shared route cache for
-    // plain scenarios before the fan-out).
+    // cell of that seed's row (and warming the scenario's route-cache
+    // scope for plain scenarios before the fan-out).
     let baselines: Vec<Arc<CellResult>> = if parallel {
         seeds
             .par_iter()
@@ -244,8 +267,8 @@ pub(super) fn sweep(
             .map(|&base_seed| Arc::new(evaluate_baseline(scenario, base_seed)))
             .collect()
     };
-    // Phase 2: the (node × deviation) cells of every seed.
-    let cells = deviation_grid(scenario, seeds, specs.len());
+    // Phase 2: the (agent × deviation) cells of every seed.
+    let cells = deviation_grid(seeds, agents, specs.len());
     let results: Vec<CellResult> = if parallel {
         cells
             .par_iter()
@@ -260,13 +283,15 @@ pub(super) fn sweep(
     assemble(seeds, &specs, &baselines, &cells, results)
 }
 
-/// The single-seed serial report (`Scenario::equilibrium_report`).
+/// The single-seed serial report (`Scenario::equilibrium_report`), in a
+/// report-scoped cache registry of its own.
 pub(super) fn equilibrium_report_serial(
     scenario: &Scenario,
     seed: u64,
     catalog: &Catalog,
 ) -> EquilibriumReport {
-    let mut report = sweep(scenario, &[seed], catalog, false);
+    let scoped = scenario.with_route_scope(specfaith_graph::cache::CacheScope::unbounded());
+    let mut report = sweep(&scoped, &[seed], catalog, false);
     report
         .per_seed
         .pop()
@@ -334,6 +359,93 @@ mod tests {
         let report = scenario.equilibrium_report(3, &catalog);
         let baseline = scenario.run(3);
         assert_eq!(report.faithful_utilities, baseline.utilities);
+    }
+
+    #[test]
+    fn sweeps_own_their_caches_and_never_evict() {
+        // Regression test for the registry-thrash bug: a sweep's
+        // misreport cells each declare a distinct cost vector, and under
+        // the old process-wide LRU registry enough of them silently
+        // evicted each other's caches and recomputed Dijkstra trees.
+        // A sweep-scoped registry must register each distinct vector
+        // exactly once (misses == distinct vectors — a thrashing
+        // registry shows more), evict nothing, and serve every repeat
+        // lookup from cache.
+        use specfaith_fpss::deviation::{DropTransitPackets, MisreportCost};
+        let scenario = Scenario::builder()
+            .topology(crate::scenario::TopologySource::RandomBiconnected {
+                n: 12,
+                extra_edges: 4,
+            })
+            .costs(crate::scenario::CostModel::Random { lo: 1, hi: 9 })
+            .traffic(TrafficModel::single_by_index(0, 7, 2))
+            .instance_seed(5)
+            .build();
+        let n = scenario.num_nodes();
+        // Two misreports (distinct positive deltas: every cell's declared
+        // vector is unique) plus one declaration-preserving deviation
+        // (its cells all share the honest baseline's cache).
+        let catalog = Catalog::from_factory(|_| {
+            vec![
+                Box::new(MisreportCost { delta: 1 }),
+                Box::new(MisreportCost { delta: 2 }),
+                Box::new(DropTransitPackets),
+            ]
+        });
+        let scope = crate::scenario::CacheScope::unbounded();
+        let report = scenario.sweep_scoped(&[3], &catalog, &scope);
+        assert_eq!(report.total_deviations(), n * 3);
+        let distinct_vectors = 1 + 2 * n; // honest + (agent × misreport)
+        assert_eq!(
+            scope.misses(),
+            distinct_vectors,
+            "every distinct declared-cost vector registered exactly once"
+        );
+        assert_eq!(scope.evictions(), 0, "sweep scopes never evict");
+        assert_eq!(
+            scope.hits(),
+            n, // the declaration-preserving cells reuse the honest cache
+            "declaration-preserving cells must share the baseline's cache"
+        );
+        assert_eq!(scope.len(), distinct_vectors);
+    }
+
+    #[test]
+    fn sampled_sweep_cells_equal_the_full_grid() {
+        let scenario = tiny_scenario();
+        let catalog = Catalog::from_factory(|_| {
+            standard_catalog(NodeId::new(0))
+                .into_iter()
+                .take(2)
+                .collect()
+        });
+        let full = scenario.sweep(&[7], &catalog);
+        let sampled = scenario.sweep_sampled(&[7], &catalog, &[1, 4]);
+        assert_eq!(sampled.per_seed.len(), 1);
+        let full_report = &full.per_seed[0].1;
+        let sampled_report = &sampled.per_seed[0].1;
+        assert_eq!(
+            sampled_report.faithful_utilities,
+            full_report.faithful_utilities
+        );
+        assert_eq!(sampled_report.outcomes.len(), 2 * 2);
+        for outcome in &sampled_report.outcomes {
+            let matching = full_report
+                .outcomes
+                .iter()
+                .find(|o| {
+                    o.agent == outcome.agent && o.deviation.name() == outcome.deviation.name()
+                })
+                .expect("sampled cell exists in the full grid");
+            assert_eq!(outcome, matching, "sampled cells are the full grid's cells");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn sampled_sweep_rejects_duplicate_agents() {
+        let scenario = tiny_scenario();
+        let _ = scenario.sweep_sampled(&[1], &Catalog::standard(), &[2, 2]);
     }
 
     #[test]

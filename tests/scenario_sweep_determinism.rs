@@ -96,3 +96,37 @@ fn repeated_parallel_sweeps_agree_with_themselves() {
     let second = scenario.sweep(&[9], &catalog);
     assert_eq!(first, second);
 }
+
+#[test]
+fn run_scoped_caches_are_byte_identical_to_the_global_registry_in_both_engines() {
+    // The tentpole pin at the scenario level: sweeping against a fresh
+    // run-scoped CacheScope (the default), an explicit caller scope, the
+    // process-wide registry, and the dense serial reference all produce
+    // the same report — for both mechanisms.
+    let catalog = Catalog::standard();
+    let seeds = [11u64];
+    for mechanism in [Mechanism::Plain, Mechanism::faithful()] {
+        let scenario = Scenario::builder()
+            .topology(TopologySource::Figure1)
+            .traffic(TrafficModel::single_by_index(5, 4, 4))
+            .mechanism(mechanism.clone())
+            .build();
+        let reference = scenario.sweep_serial(&seeds, &catalog);
+        let run_scoped = scenario.sweep(&seeds, &catalog);
+        assert_eq!(run_scoped, reference, "{mechanism:?}: run-scoped");
+        let explicit = CacheScope::unbounded();
+        assert_eq!(
+            scenario.sweep_scoped(&seeds, &catalog, &explicit),
+            reference,
+            "{mechanism:?}: explicit scope"
+        );
+        assert!(explicit.misses() > 0, "the explicit scope served the sweep");
+        assert_eq!(
+            scenario
+                .with_route_scope(CacheScope::global())
+                .sweep_scoped(&seeds, &catalog, &CacheScope::global()),
+            reference,
+            "{mechanism:?}: process-wide registry"
+        );
+    }
+}
