@@ -33,7 +33,7 @@ use specfaith_fpss::traffic::TrafficMatrix;
 use specfaith_graph::cache::CacheScope;
 use specfaith_graph::costs::CostVector;
 use specfaith_graph::topology::Topology;
-use specfaith_netsim::{Connectivity, Latency, NetStats, Network};
+use specfaith_netsim::{Connectivity, Dynamics, Latency, NetModel, NetStats, Network, SimTime};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -56,6 +56,15 @@ pub struct FaithfulConfig {
     pub max_restarts: u32,
     /// Link latency model.
     pub latency: Latency,
+    /// Network model deciding delivery from message size and link load
+    /// (default [`NetModel::Ideal`]: latency-only, byte-identical to the
+    /// pre-model engine).
+    pub network: NetModel,
+    /// Scheduled topology dynamics (default: none). Note the bank overlay
+    /// node (id `n`) is subject to dynamics like any other: a partition
+    /// that excludes it from its island severs checkpointing — the
+    /// documented liveness failure mode probed by `tests/network_models.rs`.
+    pub dynamics: Dynamics,
     /// Event budget before a run is truncated.
     pub max_events: u64,
     /// Secret the bank derives per-node channel keys from.
@@ -88,6 +97,8 @@ impl FaithfulConfig {
             epsilon: Money::new(1),
             max_restarts: 2,
             latency: Latency::DEFAULT,
+            network: NetModel::DEFAULT,
+            dynamics: Dynamics::new(),
             max_events: 10_000_000,
             bank_secret: b"specfaith-bank-secret".to_vec(),
             routes: CacheScope::global(),
@@ -120,6 +131,8 @@ pub struct FaithfulRunResult {
     pub tables_match_centralized: Option<bool>,
     /// Simulator traffic statistics for the whole lifecycle.
     pub stats: NetStats,
+    /// Virtual time at which the run settled.
+    pub final_time: SimTime,
     /// Whether the event budget truncated the run.
     pub truncated: bool,
 }
@@ -204,6 +217,8 @@ pub fn run_faithful(
         config.latency,
         seed,
     )
+    .with_network(&config.network)
+    .with_dynamics(&config.dynamics)
     .with_max_events(config.max_events);
 
     let outcome = net.run();
@@ -252,7 +267,7 @@ pub fn run_faithful(
             .map(|id| net.node(id).node().declared_cost().expect("started"))
             .collect();
         let routes = config.routes.cache(&config.topo, &declared);
-        Some(config.reference_check.sources(n).iter().all(|&id| {
+        let ok = config.reference_check.sources(n).iter().all(|&id| {
             let core = net.node(id).node().core();
             let (expected_routing, expected_pricing) = expected_tables_for(&routes, id);
             tables_agree(
@@ -261,7 +276,11 @@ pub fn run_faithful(
                 &expected_routing,
                 &expected_pricing,
             )
-        }))
+        });
+        // Eager scopes (sweeps) drop this cell's cache here; no-op
+        // elsewhere.
+        config.routes.release(&routes);
+        Some(ok)
     } else {
         None
     };
@@ -275,6 +294,7 @@ pub fn run_faithful(
         penalties,
         tables_match_centralized,
         stats: net.stats().clone(),
+        final_time: outcome.final_time,
         truncated: outcome.truncated,
     }
 }

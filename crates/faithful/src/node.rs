@@ -43,6 +43,12 @@ pub enum FMsg {
 }
 
 impl Payload for FMsg {
+    /// Frozen wire-size formulas — the mechanism's overhead accounting and
+    /// the byte-identical golden runs in `tests/network_models.rs` both
+    /// build on them (see the wire-size contract in `specfaith_fpss::msg`).
+    /// `CheckerCopy` adds a 4-byte claimed-sender id to the inner message;
+    /// `Bank` counts sender id (4) + sequence (8) + HMAC tag (32) + the
+    /// sealed payload bytes.
     fn size_bytes(&self) -> usize {
         match self {
             FMsg::Fpss(m) => m.size_bytes(),
@@ -567,5 +573,34 @@ impl Actor for FaithfulNode {
             }
             FMsg::Bank(env) => self.handle_bank(ctx, env),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specfaith_fpss::msg::Packet;
+
+    /// Pins the faithful-layer wire-size formulas. These feed the network
+    /// models' serialization/contention math and the golden byte totals in
+    /// `tests/network_models.rs`; changing them is a reproducibility break.
+    #[test]
+    fn wire_sizes_are_frozen() {
+        let packet = Packet {
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+            hops: 2,
+        };
+        assert_eq!(FMsg::Fpss(FpssMsg::Data(packet)).size_bytes(), 12);
+        assert_eq!(
+            FMsg::CheckerCopy {
+                original_from: NodeId::new(3),
+                inner: FpssMsg::Data(packet),
+            }
+            .size_bytes(),
+            4 + 12
+        );
+        let env = ChannelKey::derive(b"test-secret", 7).seal(1, vec![0u8; 10]);
+        assert_eq!(FMsg::Bank(env).size_bytes(), 4 + 8 + 32 + 10);
     }
 }

@@ -1,4 +1,25 @@
 //! FPSS protocol messages.
+//!
+//! # Wire-size contract
+//!
+//! Every message type's [`Payload::size_bytes`] is a **frozen** formula:
+//! the network models in `specfaith-netsim` turn these byte counts into
+//! serialization delays, fair-share contention, and per-run byte totals,
+//! and those totals are pinned by the byte-identical golden tests in
+//! `tests/network_models.rs`. Changing any formula below is a
+//! reproducibility break, not a refactor — it must come with refreshed
+//! goldens and a changelog entry. The formulas count 4 bytes per node id,
+//! 8 per money amount / table key, plus a fixed header per enum variant:
+//!
+//! | Message | Bytes |
+//! |---|---|
+//! | `RouteRow` | `4 + 4·path.len()` |
+//! | `PriceRow` | `4 + 4 + 8 + 4·tags.len()` |
+//! | `Packet` | `12` |
+//! | `CostAnnounce` | `12` |
+//! | `RoutingUpdate` | `8 + Σ rows` |
+//! | `PricingUpdate` | `8 + Σ rows + 8·retractions.len()` |
+//! | `Data` | inner `Packet` |
 
 use specfaith_core::id::NodeId;
 use specfaith_core::money::{Cost, Money};
@@ -149,5 +170,41 @@ mod tests {
             hops: 3,
         };
         assert_eq!(FpssMsg::Data(p).size_bytes(), 12);
+    }
+
+    /// Pins every variant's wire-size formula (see the module docs): the
+    /// network models convert these into delays and contention, and the
+    /// golden byte totals in `tests/network_models.rs` depend on them.
+    #[test]
+    fn wire_sizes_are_frozen() {
+        assert_eq!(
+            FpssMsg::CostAnnounce {
+                origin: n(3),
+                declared: Cost::new(7),
+            }
+            .size_bytes(),
+            12
+        );
+        let empty_path = RouteRow {
+            dst: n(1),
+            path: Vec::new(),
+        };
+        assert_eq!(empty_path.size_bytes(), 4);
+        assert_eq!(FpssMsg::RoutingUpdate { rows: Vec::new() }.size_bytes(), 8);
+        let bare_price = PriceRow {
+            dst: n(1),
+            transit: n(2),
+            price: Money::new(0),
+            tags: BTreeSet::new(),
+        };
+        assert_eq!(bare_price.size_bytes(), 16);
+        assert_eq!(
+            FpssMsg::PricingUpdate {
+                rows: vec![bare_price],
+                retractions: vec![(n(1), n(2)), (n(3), n(4))],
+            }
+            .size_bytes(),
+            8 + 16 + 16
+        );
     }
 }

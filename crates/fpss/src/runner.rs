@@ -17,7 +17,9 @@ use specfaith_core::money::Money;
 use specfaith_graph::cache::CacheScope;
 use specfaith_graph::costs::CostVector;
 use specfaith_graph::topology::Topology;
-use specfaith_netsim::{Connectivity, Latency, NetStats, Network, SimDuration};
+use specfaith_netsim::{
+    Connectivity, Dynamics, Latency, NetModel, NetStats, Network, SimDuration, SimTime,
+};
 
 /// How a run's converged tables are compared against the centralized VCG
 /// reference.
@@ -63,6 +65,12 @@ pub struct PlainConfig {
     pub traffic: TrafficMatrix,
     /// Link latency model.
     pub latency: Latency,
+    /// Network model deciding delivery from message size and link load
+    /// (default [`NetModel::Ideal`]: latency-only, byte-identical to the
+    /// pre-model engine).
+    pub network: NetModel,
+    /// Scheduled topology dynamics (default: none).
+    pub dynamics: Dynamics,
     /// Settlement parameters (per-packet value `W`).
     pub settlement: SettlementConfig,
     /// Event budget before a run is truncated.
@@ -92,6 +100,8 @@ impl PlainConfig {
             true_costs,
             traffic,
             latency: Latency::DEFAULT,
+            network: NetModel::DEFAULT,
+            dynamics: Dynamics::new(),
             settlement: SettlementConfig::default(),
             max_events: 5_000_000,
             routes: CacheScope::global(),
@@ -111,6 +121,8 @@ pub struct PlainRunResult {
     pub tables_match_centralized: bool,
     /// Network traffic statistics (construction + execution).
     pub stats: NetStats,
+    /// Virtual time at which the run settled (construction + execution).
+    pub final_time: SimTime,
     /// Whether either run phase hit the event budget.
     pub truncated: bool,
 }
@@ -199,6 +211,8 @@ fn run_plain_impl(
         config.latency,
         seed,
     )
+    .with_network(&config.network)
+    .with_dynamics(&config.dynamics)
     .with_max_events(config.max_events);
 
     // Construction: flood costs, converge routing and pricing.
@@ -214,7 +228,7 @@ fn run_plain_impl(
     let check_sources = config.reference_check.sources(n);
     let tables_match_centralized = if cached_reference {
         let routes = config.routes.cache(&config.topo, &declared);
-        check_sources.iter().all(|&id| {
+        let ok = check_sources.iter().all(|&id| {
             let core = net.node(id).core();
             let (expected_routing, expected_pricing) = expected_tables_for(&routes, id);
             tables_agree(
@@ -223,7 +237,12 @@ fn run_plain_impl(
                 &expected_routing,
                 &expected_pricing,
             )
-        })
+        });
+        // Under an eager scope (sweeps), a single-use per-cell cache is
+        // evicted here instead of lingering to sweep end; a no-op on
+        // ordinary scopes.
+        config.routes.release(&routes);
+        ok
     } else {
         check_sources.iter().all(|&id| {
             let core = net.node(id).core();
@@ -260,6 +279,7 @@ fn run_plain_impl(
         utilities,
         tables_match_centralized,
         stats: net.stats().clone(),
+        final_time: execution.final_time,
         truncated: construction.truncated || execution.truncated,
     }
 }

@@ -323,9 +323,20 @@ struct ScopeInner {
     registry: Mutex<VecDeque<Arc<RouteCache>>>,
     /// `None` = unbounded (run-scoped); `Some(cap)` = LRU-evicting.
     capacity: Option<usize>,
+    /// Eager scopes drop single-use caches at [`CacheScope::release`]
+    /// instead of retaining them to scope end.
+    eager: bool,
+    /// Caches exempt from eager release (e.g. a sweep's shared honest
+    /// baseline); holding the `Arc` here also keeps their refcount above
+    /// the release threshold.
+    pinned: Mutex<Vec<Arc<RouteCache>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     evictions: AtomicUsize,
+    /// Caches dropped early by [`CacheScope::release`].
+    released: AtomicUsize,
+    /// High-water mark of simultaneously registered caches.
+    peak: AtomicUsize,
 }
 
 impl std::fmt::Debug for CacheScope {
@@ -341,16 +352,36 @@ impl std::fmt::Debug for CacheScope {
 }
 
 impl CacheScope {
-    fn with_capacity(capacity: Option<usize>) -> Self {
+    fn build(capacity: Option<usize>, eager: bool) -> Self {
         CacheScope {
             inner: Arc::new(ScopeInner {
                 registry: Mutex::new(VecDeque::new()),
                 capacity,
+                eager,
+                pinned: Mutex::new(Vec::new()),
                 hits: AtomicUsize::new(0),
                 misses: AtomicUsize::new(0),
                 evictions: AtomicUsize::new(0),
+                released: AtomicUsize::new(0),
+                peak: AtomicUsize::new(0),
             }),
         }
+    }
+
+    fn with_capacity(capacity: Option<usize>) -> Self {
+        CacheScope::build(capacity, false)
+    }
+
+    /// An unbounded scope with **eager release**: when a workload cell
+    /// finishes with a cache no other cell shares
+    /// ([`CacheScope::release`]), the cache is dropped immediately instead
+    /// of lingering to scope end. Sweep engines use this so peak memory
+    /// tracks *concurrent* cells, not the total distinct cost vectors of
+    /// the sweep; caches several cells share — a [`CacheScope::pin`]ned
+    /// honest baseline, or any cache another cell still holds — are
+    /// retained exactly as in an ordinary unbounded scope.
+    pub fn eager() -> Self {
+        CacheScope::build(None, true)
     }
 
     /// An unbounded scope: nothing is ever evicted, memory is released
@@ -427,7 +458,69 @@ impl CacheScope {
             }
         }
         registry.push_back(Arc::clone(&fresh));
+        self.inner.peak.fetch_max(registry.len(), Ordering::Relaxed);
         fresh
+    }
+
+    /// Whether this scope releases single-use caches eagerly
+    /// ([`CacheScope::eager`]).
+    pub fn is_eager(&self) -> bool {
+        self.inner.eager
+    }
+
+    /// The cache for `(topo, costs)`, additionally **pinned**: exempt from
+    /// eager [`CacheScope::release`] for the scope's lifetime. Sweep
+    /// engines pin the honest-declaration cache every non-misreporting
+    /// cell shares; releasing it between cells would thrash it.
+    pub fn pin(&self, topo: &Topology, costs: &CostVector) -> Arc<RouteCache> {
+        let cache = self.cache(topo, costs);
+        let mut pinned = self
+            .inner
+            .pinned
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if !pinned.iter().any(|p| Arc::ptr_eq(p, &cache)) {
+            pinned.push(Arc::clone(&cache));
+        }
+        cache
+    }
+
+    /// Declares the caller finished with `cache`. On an **eager** scope,
+    /// if no other workload cell shares the cache (and it is not pinned),
+    /// it is dropped from the registry immediately — freeing its trees
+    /// midway through the workload instead of at scope end. On ordinary
+    /// scopes this is a no-op, so engines can call it unconditionally with
+    /// zero behavioral change. Never affects correctness either way: a
+    /// released pair that is looked up again simply recomputes.
+    pub fn release(&self, cache: &Arc<RouteCache>) {
+        if !self.inner.eager {
+            return;
+        }
+        {
+            let pinned = self
+                .inner
+                .pinned
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if pinned.iter().any(|p| Arc::ptr_eq(p, cache)) {
+                return;
+            }
+        }
+        let mut registry = self
+            .inner
+            .registry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        // Single-use check under the registry lock: the caller's handle
+        // plus the registry's account for 2 strong refs; any more means
+        // another cell is still using this cache — leave it registered.
+        if Arc::strong_count(cache) > 2 {
+            return;
+        }
+        if let Some(at) = registry.iter().position(|c| Arc::ptr_eq(c, cache)) {
+            registry.remove(at);
+            self.inner.released.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Registry lookup: fingerprint pre-filter, full equality verify,
@@ -488,6 +581,19 @@ impl CacheScope {
     /// for [`CacheScope::unbounded`] scopes.
     pub fn evictions(&self) -> usize {
         self.inner.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Caches dropped early by [`CacheScope::release`] (eager scopes
+    /// only; distinct from capacity `evictions`).
+    pub fn released(&self) -> usize {
+        self.inner.released.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of simultaneously registered caches — the metric
+    /// eager release exists to bound: an eager sweep's peak tracks its
+    /// *concurrent* cells, not its total distinct cost vectors.
+    pub fn peak_len(&self) -> usize {
+        self.inner.peak.load(Ordering::Relaxed)
     }
 }
 
@@ -637,6 +743,82 @@ mod tests {
     #[should_panic(expected = "capacity for at least one cache")]
     fn zero_capacity_scope_rejected() {
         let _ = CacheScope::bounded(0);
+    }
+
+    #[test]
+    fn eager_release_drops_single_use_caches_immediately() {
+        let net = figure1();
+        let scope = CacheScope::eager();
+        assert!(scope.is_eager());
+        let cache = scope.cache(&net.topology, &net.costs);
+        assert_eq!(scope.len(), 1);
+        scope.release(&cache);
+        assert_eq!(scope.len(), 0, "single-use cache dropped at release");
+        assert_eq!(scope.released(), 1);
+        assert_eq!(scope.evictions(), 0, "release is not a capacity eviction");
+        // Looking the pair up again is a fresh (correct) miss.
+        let again = scope.cache(&net.topology, &net.costs);
+        assert!(!Arc::ptr_eq(&cache, &again));
+        assert_eq!(scope.misses(), 2);
+    }
+
+    #[test]
+    fn eager_release_spares_shared_and_pinned_caches() {
+        let net = figure1();
+        let scope = CacheScope::eager();
+        // Pinned: never released.
+        let pinned = scope.pin(&net.topology, &net.costs);
+        scope.release(&pinned);
+        assert_eq!(scope.len(), 1, "pinned cache survives release");
+        // Shared: a second outstanding handle blocks release.
+        let lied = net.costs.with_cost(net.c, Cost::new(4));
+        let a = scope.cache(&net.topology, &lied);
+        let b = scope.cache(&net.topology, &lied);
+        assert!(Arc::ptr_eq(&a, &b));
+        scope.release(&a);
+        assert_eq!(scope.len(), 2, "cache another cell holds is retained");
+        drop(b);
+        scope.release(&a);
+        assert_eq!(scope.len(), 1, "last holder's release drops it");
+        assert_eq!(scope.released(), 1);
+    }
+
+    #[test]
+    fn non_eager_scopes_ignore_release() {
+        let net = figure1();
+        for scope in [CacheScope::unbounded(), CacheScope::bounded(8)] {
+            assert!(!scope.is_eager());
+            let cache = scope.cache(&net.topology, &net.costs);
+            scope.release(&cache);
+            assert_eq!(scope.len(), 1, "release is a no-op off eager scopes");
+            assert_eq!(scope.released(), 0);
+        }
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let net = figure1();
+        let scope = CacheScope::eager();
+        for declared in 1..=5u64 {
+            let costs = net.costs.with_cost(net.c, Cost::new(declared));
+            let cache = scope.cache(&net.topology, &costs);
+            scope.release(&cache);
+        }
+        assert_eq!(scope.len(), 0, "every single-use cache released");
+        assert_eq!(scope.released(), 5);
+        assert_eq!(
+            scope.peak_len(),
+            1,
+            "serial release keeps one cache live at a time"
+        );
+        // A non-eager scope accumulates instead.
+        let lingering = CacheScope::unbounded();
+        for declared in 1..=5u64 {
+            let costs = net.costs.with_cost(net.c, Cost::new(declared));
+            let cache = lingering.cache(&net.topology, &costs);
+            lingering.release(&cache);
+        }
+        assert_eq!(lingering.peak_len(), 5);
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! Scheduled topology dynamics: link-cost changes, node churn, partitions.
+//!
+//! A [`Dynamics`] value is a plain-data schedule of [`TopologyEvent`]s at
+//! absolute sim times. The engine applies every event whose time has
+//! arrived *before* processing each simulation event, so a partition
+//! scheduled at `t=500µs` blocks a message delivered at `t=500µs` or
+//! later — even one sent long before.
+//!
+//! Semantics (all checked at both send *and* delivery time, so a message
+//! in flight when a link goes down is lost):
+//!
+//! - [`TopologyEvent::LinkCost`] overrides the propagation latency of one
+//!   undirected link, replacing the latency model's draw for it. While an
+//!   override is active the engine skips the RNG draw for that link, so
+//!   overrides perturb the random stream of jittered models; fixed-latency
+//!   runs (the default) are unaffected.
+//! - [`TopologyEvent::NodeDown`] silently drops everything the node sends
+//!   or would receive. Its timers still fire (the node's local clock keeps
+//!   running) — a crashed process loses its network, not its scheduler
+//!   entries; protocols must tolerate a neighbor that times out silently.
+//! - [`TopologyEvent::NodeUp`] restores a downed node.
+//! - [`TopologyEvent::Partition`] splits the network in two: messages
+//!   crossing the island boundary (either direction) are dropped. Nodes
+//!   not named in `island` — including engine overlay nodes such as the
+//!   faithful harness's bank — form the other side. A new partition
+//!   replaces any active one.
+//! - [`TopologyEvent::Heal`] removes the active partition.
+//!
+//! Dynamics never mutate the static [`Connectivity`](crate::Connectivity)
+//! graph: sending to a non-neighbor remains a protocol bug (a panic), and
+//! messages blocked by dynamics are *dropped* (counted in
+//! `NetStats::msgs_dropped`), not rejected.
+
+use crate::time::{SimDuration, SimTime};
+use specfaith_core::id::NodeId;
+use std::collections::BTreeMap;
+
+/// One scheduled change to the network's behavior.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologyEvent {
+    /// Override the propagation latency of the undirected link `a ↔ b`
+    /// to `micros`, replacing the latency model's draw (both directions).
+    LinkCost {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// New propagation latency in microseconds.
+        micros: u64,
+    },
+    /// Take a node offline: everything it sends or would receive is
+    /// dropped until a matching [`TopologyEvent::NodeUp`].
+    NodeDown(NodeId),
+    /// Bring a downed node back online.
+    NodeUp(NodeId),
+    /// Split the network: messages between `island` and everyone else
+    /// (including overlay nodes) are dropped until [`TopologyEvent::Heal`].
+    Partition {
+        /// The nodes on one side of the split.
+        island: Vec<NodeId>,
+    },
+    /// Remove the active partition.
+    Heal,
+}
+
+/// A plain-data schedule of [`TopologyEvent`]s at absolute sim times.
+///
+/// Build with [`Dynamics::at`]; times need not be added in order (the
+/// schedule sorts stably, so same-time events apply in insertion order).
+///
+/// # Example
+///
+/// ```
+/// use specfaith_netsim::{Dynamics, TopologyEvent};
+/// use specfaith_core::id::NodeId;
+///
+/// let dynamics = Dynamics::new()
+///     .at(500, TopologyEvent::Partition { island: vec![NodeId::new(0), NodeId::new(1)] })
+///     .at(2_000, TopologyEvent::Heal);
+/// assert_eq!(dynamics.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Dynamics {
+    schedule: Vec<(SimTime, TopologyEvent)>,
+}
+
+impl Dynamics {
+    /// An empty schedule (no dynamics — the default).
+    pub fn new() -> Self {
+        Dynamics::default()
+    }
+
+    /// Adds `event` at `micros` microseconds of sim time.
+    #[must_use]
+    pub fn at(mut self, micros: u64, event: TopologyEvent) -> Self {
+        let at = SimTime::from_micros(micros);
+        let pos = self.schedule.partition_point(|(t, _)| *t <= at);
+        self.schedule.insert(pos, (at, event));
+        self
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.schedule.is_empty()
+    }
+
+    /// The scheduled events in application order.
+    pub fn events(&self) -> &[(SimTime, TopologyEvent)] {
+        &self.schedule
+    }
+}
+
+/// Engine-side interpreter of a [`Dynamics`] schedule: tracks which nodes
+/// are down, the active partition, and latency overrides as sim time
+/// advances.
+#[derive(Debug)]
+pub struct DynamicsState {
+    schedule: Vec<(SimTime, TopologyEvent)>,
+    /// Index of the next unapplied event.
+    next: usize,
+    /// `down[i]` — node `i` is offline. Indexed past `n` returns false
+    /// (overlay nodes can only go down if explicitly named).
+    down: Vec<bool>,
+    /// Active partition: `Some(island)` where `island[i]` marks side A.
+    island: Option<Vec<bool>>,
+    /// Latency overrides per undirected link, keyed `(min, max)`.
+    overrides: BTreeMap<(NodeId, NodeId), SimDuration>,
+    /// Total nodes (topology + overlay), for sizing the flag vectors.
+    n: usize,
+}
+
+impl DynamicsState {
+    /// Interprets `dynamics` for a network of `n` nodes (including any
+    /// overlay nodes).
+    pub fn new(dynamics: &Dynamics, n: usize) -> Self {
+        DynamicsState {
+            schedule: dynamics.schedule.clone(),
+            next: 0,
+            down: vec![false; n],
+            island: None,
+            overrides: BTreeMap::new(),
+            n,
+        }
+    }
+
+    /// Whether any events remain unapplied or any state is active; when
+    /// false, `blocked`/`latency_override` are trivially inert.
+    pub fn is_inert(&self) -> bool {
+        self.next >= self.schedule.len()
+            && self.island.is_none()
+            && self.overrides.is_empty()
+            && !self.down.iter().any(|&d| d)
+    }
+
+    /// Applies every scheduled event with time ≤ `now`, in order.
+    pub fn apply_until(&mut self, now: SimTime) {
+        while let Some((at, event)) = self.schedule.get(self.next) {
+            if *at > now {
+                break;
+            }
+            let event = event.clone();
+            self.next += 1;
+            self.apply(&event);
+        }
+    }
+
+    fn apply(&mut self, event: &TopologyEvent) {
+        match event {
+            TopologyEvent::LinkCost { a, b, micros } => {
+                let key = if a <= b { (*a, *b) } else { (*b, *a) };
+                self.overrides
+                    .insert(key, SimDuration::from_micros(*micros));
+            }
+            TopologyEvent::NodeDown(node) => {
+                if node.index() < self.n {
+                    self.down[node.index()] = true;
+                }
+            }
+            TopologyEvent::NodeUp(node) => {
+                if node.index() < self.n {
+                    self.down[node.index()] = false;
+                }
+            }
+            TopologyEvent::Partition { island } => {
+                let mut side = vec![false; self.n];
+                for node in island {
+                    if node.index() < self.n {
+                        side[node.index()] = true;
+                    }
+                }
+                self.island = Some(side);
+            }
+            TopologyEvent::Heal => {
+                self.island = None;
+            }
+        }
+    }
+
+    /// Whether a message `from → to` is dropped under the current state
+    /// (either endpoint down, or the link crosses the active partition).
+    pub fn blocked(&self, from: NodeId, to: NodeId) -> bool {
+        if self.down.get(from.index()).copied().unwrap_or(false)
+            || self.down.get(to.index()).copied().unwrap_or(false)
+        {
+            return true;
+        }
+        if let Some(island) = &self.island {
+            let side = |id: NodeId| island.get(id.index()).copied().unwrap_or(false);
+            if side(from) != side(to) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The active latency override for `from → to`, if any.
+    pub fn latency_override(&self, from: NodeId, to: NodeId) -> Option<SimDuration> {
+        let key = if from <= to { (from, to) } else { (to, from) };
+        self.overrides.get(&key).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn schedule_sorts_by_time_stably() {
+        let d = Dynamics::new()
+            .at(200, TopologyEvent::Heal)
+            .at(100, TopologyEvent::NodeDown(n(1)))
+            .at(100, TopologyEvent::NodeUp(n(1)));
+        let times: Vec<u64> = d.events().iter().map(|(t, _)| t.micros()).collect();
+        assert_eq!(times, vec![100, 100, 200]);
+        // Same-time events keep insertion order: down then up.
+        assert_eq!(d.events()[0].1, TopologyEvent::NodeDown(n(1)));
+        assert_eq!(d.events()[1].1, TopologyEvent::NodeUp(n(1)));
+    }
+
+    #[test]
+    fn node_down_blocks_both_directions_until_up() {
+        let d = Dynamics::new()
+            .at(100, TopologyEvent::NodeDown(n(1)))
+            .at(300, TopologyEvent::NodeUp(n(1)));
+        let mut state = DynamicsState::new(&d, 4);
+        state.apply_until(SimTime::from_micros(50));
+        assert!(!state.blocked(n(0), n(1)));
+        state.apply_until(SimTime::from_micros(100));
+        assert!(state.blocked(n(0), n(1)), "receive blocked");
+        assert!(state.blocked(n(1), n(2)), "send blocked");
+        assert!(!state.blocked(n(0), n(2)), "bystanders unaffected");
+        state.apply_until(SimTime::from_micros(300));
+        assert!(!state.blocked(n(0), n(1)));
+        assert!(state.is_inert());
+    }
+
+    #[test]
+    fn partition_blocks_crossings_and_heals() {
+        let d = Dynamics::new()
+            .at(
+                100,
+                TopologyEvent::Partition {
+                    island: vec![n(0), n(1)],
+                },
+            )
+            .at(500, TopologyEvent::Heal);
+        let mut state = DynamicsState::new(&d, 5);
+        state.apply_until(SimTime::from_micros(100));
+        assert!(state.blocked(n(0), n(2)), "island → mainland");
+        assert!(state.blocked(n(3), n(1)), "mainland → island");
+        assert!(!state.blocked(n(0), n(1)), "within island");
+        assert!(!state.blocked(n(2), n(3)), "within mainland");
+        // Overlay node 4 (not named) is on the mainland side.
+        assert!(state.blocked(n(0), n(4)));
+        assert!(!state.blocked(n(2), n(4)));
+        state.apply_until(SimTime::from_micros(500));
+        assert!(!state.blocked(n(0), n(2)));
+    }
+
+    #[test]
+    fn link_cost_overrides_one_undirected_link() {
+        let d = Dynamics::new().at(
+            0,
+            TopologyEvent::LinkCost {
+                a: n(2),
+                b: n(1),
+                micros: 77,
+            },
+        );
+        let mut state = DynamicsState::new(&d, 4);
+        state.apply_until(SimTime::ZERO);
+        let want = Some(SimDuration::from_micros(77));
+        assert_eq!(state.latency_override(n(1), n(2)), want);
+        assert_eq!(state.latency_override(n(2), n(1)), want, "undirected");
+        assert_eq!(state.latency_override(n(0), n(1)), None);
+    }
+
+    #[test]
+    fn events_apply_in_order_not_all_at_once() {
+        let d = Dynamics::new()
+            .at(100, TopologyEvent::NodeDown(n(0)))
+            .at(200, TopologyEvent::NodeDown(n(1)));
+        let mut state = DynamicsState::new(&d, 2);
+        state.apply_until(SimTime::from_micros(150));
+        assert!(state.blocked(n(0), n(1)));
+        assert!(state.down[0]);
+        assert!(!state.down[1], "the t=200 event has not arrived");
+    }
+
+    #[test]
+    fn empty_dynamics_is_inert() {
+        let state = DynamicsState::new(&Dynamics::new(), 8);
+        assert!(state.is_inert());
+        assert!(!state.blocked(n(0), n(1)));
+        assert_eq!(state.latency_override(n(0), n(1)), None);
+    }
+}

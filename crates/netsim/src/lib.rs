@@ -20,6 +20,11 @@
 //! * **Accounting.** Per-node message and byte counters feed the overhead
 //!   experiments (E8) that quantify the cost of checkpointing the paper
 //!   warns about.
+//! * **Pluggable network models.** The paper assumes a benign network;
+//!   the [`model`] subsystem relaxes that with bandwidth contention and
+//!   loss, and [`dynamics`] adds scheduled partitions and node churn —
+//!   with [`model::Ideal`] (the default) reproducing the latency-only
+//!   engine byte-for-byte.
 //!
 //! # Example
 //!
@@ -59,13 +64,17 @@
 //! ```
 
 pub mod connect;
+pub mod dynamics;
 pub mod latency;
+pub mod model;
 pub mod payload;
 pub mod sim;
 pub mod time;
 
 pub use connect::Connectivity;
+pub use dynamics::{Dynamics, TopologyEvent};
 pub use latency::{FixedLatency, JitteredLatency, Latency, LatencyModel};
+pub use model::{NetModel, NetworkModel, TransferId};
 pub use payload::Payload;
 pub use sim::{Actor, Ctx, NetStats, Network, RunOutcome};
 pub use time::{SimDuration, SimTime};

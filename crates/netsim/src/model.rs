@@ -1,0 +1,813 @@
+//! Pluggable network models: how long a message occupies its link.
+//!
+//! The [`LatencyModel`](crate::latency::LatencyModel) decides a message's
+//! *propagation* delay; a [`NetworkModel`] decides everything else about
+//! its delivery — serialization time as a function of wire size, fair
+//! sharing of a link's bandwidth among concurrent transfers, and loss.
+//! Four implementations cover the space the experiments need:
+//!
+//! | model | delivery time | state |
+//! |---|---|---|
+//! | [`Ideal`] | `now + latency` (the pre-0.3 behavior, default) | none |
+//! | [`ConstantThroughput`] | `now + latency + size/bandwidth` | none |
+//! | [`SharedThroughput`] | latency + fair-share serialization | per-link in-flight set |
+//! | [`Lossy`] | inner model's, or dropped | seeded RNG draws |
+//!
+//! **Determinism contract.** Every model is a pure function of its
+//! configuration, the message sequence, and the simulator's seeded RNG
+//! stream ([`Lossy`] draws one value per send; the others draw nothing).
+//! [`SharedThroughput`] keeps its in-flight bookkeeping in `BTreeMap`s so
+//! iteration order — and therefore every reschedule — is deterministic.
+//! Two runs with the same seed and the same model produce identical
+//! traces, exactly as with latency-only simulation.
+//!
+//! **Engine protocol.** The simulator assigns each sent message a
+//! [`TransferId`] and calls [`NetworkModel::on_send`] with the message's
+//! wire size and pre-drawn propagation latency. The model answers with a
+//! [`SendVerdict`]: deliver at a final time, drop, or treat the message as
+//! an in-flight *transfer* whose serialization completes at a tentative
+//! time. Transfers may be **re-scheduled** while in flight (fair sharing
+//! slows everyone down when a link gains a transfer, speeds everyone up
+//! when one completes); the engine honors reschedules lazily — a delayed
+//! completion is discovered when its queued event pops early and
+//! re-pushes itself, and only completions moving *earlier* than their
+//! queued event push a fresh one. When a transfer's
+//! serialization completes, [`NetworkModel::on_serialized`] yields the
+//! final delivery time (completion + propagation latency) plus any
+//! reschedules freed bandwidth causes.
+
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+use specfaith_core::id::NodeId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Engine-assigned identity of one sent message, used to address
+/// re-schedulable in-flight transfers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TransferId(pub u64);
+
+impl fmt::Display for TransferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transfer#{}", self.0)
+    }
+}
+
+/// What a [`NetworkModel`] decides about a freshly sent message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SendVerdict {
+    /// Deliver at `at`, final — the model will not touch this message
+    /// again. Stateless models ([`Ideal`], [`ConstantThroughput`]) always
+    /// answer this.
+    Deliver {
+        /// Final delivery time.
+        at: SimTime,
+    },
+    /// The message is an in-flight transfer whose serialization currently
+    /// completes at `completes_at`; the engine calls
+    /// [`NetworkModel::on_serialized`] when the (possibly re-scheduled)
+    /// completion fires.
+    Transfer {
+        /// Tentative serialization-completion time.
+        completes_at: SimTime,
+    },
+    /// The message is lost; it is never delivered.
+    Drop,
+}
+
+/// [`NetworkModel::on_send`]'s full answer: the new message's verdict plus
+/// reschedules of *other* in-flight transfers whose fair share changed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SendOutcome {
+    /// The new message's fate.
+    pub verdict: SendVerdict,
+    /// `(transfer, new completion time)` for every in-flight transfer
+    /// whose serialization-completion moved.
+    pub reschedules: Vec<(TransferId, SimTime)>,
+}
+
+impl SendOutcome {
+    /// A final delivery at `at`, rescheduling nothing.
+    pub fn deliver(at: SimTime) -> Self {
+        SendOutcome {
+            verdict: SendVerdict::Deliver { at },
+            reschedules: Vec::new(),
+        }
+    }
+}
+
+/// [`NetworkModel::on_serialized`]'s answer: when the completed transfer
+/// is delivered, plus reschedules of transfers sped up by the freed
+/// bandwidth.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Serialized {
+    /// Final delivery time of the completed transfer (completion time plus
+    /// its propagation latency).
+    pub deliver_at: SimTime,
+    /// `(transfer, new completion time)` for transfers that sped up.
+    pub reschedules: Vec<(TransferId, SimTime)>,
+}
+
+/// Decides delivery time from message size, link state, and in-flight
+/// load.
+///
+/// Implementations must be deterministic given the RNG stream (see the
+/// [module docs](self) for the engine protocol and determinism contract).
+pub trait NetworkModel: fmt::Debug + Send {
+    /// A message of `size_bytes` enters the directed link
+    /// `link.0 → link.1` at `now`, with propagation latency `latency`
+    /// already drawn by the engine.
+    fn on_send(
+        &mut self,
+        id: TransferId,
+        link: (NodeId, NodeId),
+        size_bytes: u64,
+        latency: SimDuration,
+        now: SimTime,
+        rng: &mut StdRng,
+    ) -> SendOutcome;
+
+    /// Transfer `id`'s serialization completed at `now`. Only called for
+    /// messages answered with [`SendVerdict::Transfer`], exactly once
+    /// each.
+    fn on_serialized(&mut self, id: TransferId, now: SimTime) -> Serialized;
+}
+
+/// Latency-only delivery: every message arrives after exactly its
+/// propagation delay, regardless of size or load — the simulator's
+/// historical behavior and the default.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Ideal;
+
+impl NetworkModel for Ideal {
+    fn on_send(
+        &mut self,
+        _id: TransferId,
+        _link: (NodeId, NodeId),
+        _size_bytes: u64,
+        latency: SimDuration,
+        now: SimTime,
+        _rng: &mut StdRng,
+    ) -> SendOutcome {
+        SendOutcome::deliver(now + latency)
+    }
+
+    fn on_serialized(&mut self, id: TransferId, _now: SimTime) -> Serialized {
+        unreachable!("Ideal never answers Transfer (asked about {id})")
+    }
+}
+
+/// Per-link constant bandwidth: a message of `s` bytes takes
+/// `⌈s / bandwidth⌉` to serialize on top of its propagation latency,
+/// independent of what else the link carries (every transfer gets the
+/// full link rate — the dslab `ConstantThroughputNetwork` shape).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConstantThroughput {
+    bytes_per_sec: u64,
+}
+
+impl ConstantThroughput {
+    /// A constant-throughput model where every link carries
+    /// `bytes_per_sec` bytes per (virtual) second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is zero.
+    pub fn new(bytes_per_sec: u64) -> Self {
+        assert!(bytes_per_sec > 0, "link bandwidth must be positive");
+        ConstantThroughput { bytes_per_sec }
+    }
+
+    /// Serialization delay of `size_bytes` at this bandwidth, rounded up
+    /// to whole microseconds.
+    fn serialization(&self, size_bytes: u64) -> SimDuration {
+        let micros = (size_bytes * 1_000_000).div_ceil(self.bytes_per_sec);
+        SimDuration::from_micros(micros)
+    }
+}
+
+impl NetworkModel for ConstantThroughput {
+    fn on_send(
+        &mut self,
+        _id: TransferId,
+        _link: (NodeId, NodeId),
+        size_bytes: u64,
+        latency: SimDuration,
+        now: SimTime,
+        _rng: &mut StdRng,
+    ) -> SendOutcome {
+        SendOutcome::deliver(now + latency + self.serialization(size_bytes))
+    }
+
+    fn on_serialized(&mut self, id: TransferId, _now: SimTime) -> Serialized {
+        unreachable!("ConstantThroughput never answers Transfer (asked about {id})")
+    }
+}
+
+/// One in-flight transfer of the [`SharedThroughput`] model.
+#[derive(Clone, Debug)]
+struct Flight {
+    /// Bytes still to serialize (fractional: fair shares divide bandwidth).
+    remaining: f64,
+    /// Propagation latency drawn at send time, applied after completion.
+    latency: SimDuration,
+    /// Currently scheduled completion (to skip no-op reschedules).
+    completes_at: SimTime,
+}
+
+/// One directed link's in-flight population. Every flight on a link shares
+/// the link's fair rate, so a single `updated` stamp covers them all:
+/// every arrival or completion brings the whole link current first.
+///
+/// Flights are kept in a `Vec` sorted by id — transfer ids are globally
+/// monotone, so arrivals always append — which makes the per-event passes
+/// below linear scans instead of tree walks.
+#[derive(Clone, Debug, Default)]
+struct Link {
+    /// Sim time at which every flight's `remaining` was last brought
+    /// current.
+    updated: SimTime,
+    flights: Vec<(TransferId, Flight)>,
+}
+
+impl Link {
+    /// Brings every flight current to `now`: subtracts the bytes
+    /// serialized since the last update at the fair share `rate` that held
+    /// over that interval (the share was constant, because every
+    /// arrival/completion passes through here first).
+    fn advance(&mut self, rate: f64, now: SimTime) {
+        let elapsed = (now - self.updated).micros() as f64;
+        self.updated = now;
+        if elapsed == 0.0 {
+            return;
+        }
+        let served = rate * elapsed;
+        for (_, flight) in self.flights.iter_mut() {
+            flight.remaining = (flight.remaining - served).max(0.0);
+        }
+    }
+
+    /// Recomputes every completion for the current population at fair
+    /// share `rate`, returning the `(id, completes_at)` pairs that
+    /// actually moved.
+    fn reschedule(&mut self, rate: f64, now: SimTime) -> Vec<(TransferId, SimTime)> {
+        let mut moved = Vec::new();
+        for (id, flight) in self.flights.iter_mut() {
+            let micros = (flight.remaining / rate).ceil() as u64;
+            let completes_at = now + SimDuration::from_micros(micros);
+            if completes_at != flight.completes_at {
+                flight.completes_at = completes_at;
+                moved.push((*id, completes_at));
+            }
+        }
+        moved
+    }
+
+    /// Removes and returns flight `id` (present by protocol contract).
+    fn remove(&mut self, id: TransferId) -> Flight {
+        let i = self
+            .flights
+            .binary_search_by_key(&id, |(fid, _)| *fid)
+            .expect("links and flights agree");
+        self.flights.remove(i).1
+    }
+}
+
+/// Fair sharing of each directed link's bandwidth among its concurrent
+/// transfers (the dslab `SharedThroughputNetwork` shape): a link carrying
+/// `k` transfers serializes each at `bandwidth / k`, and every arrival or
+/// completion re-divides the rate — re-scheduling the in-flight
+/// completions.
+///
+/// Bookkeeping is in `BTreeMap`s keyed by link and [`TransferId`], so the
+/// reschedule order is deterministic. Remaining sizes are tracked in `f64`
+/// bytes (fair shares are fractional); completion times round up to whole
+/// microseconds. All arithmetic is IEEE-deterministic, so runs remain
+/// byte-reproducible per seed.
+#[derive(Clone, Debug)]
+pub struct SharedThroughput {
+    bytes_per_sec: u64,
+    links: BTreeMap<(NodeId, NodeId), Link>,
+    /// Which link each in-flight transfer occupies (completions arrive by
+    /// transfer id).
+    occupied: BTreeMap<TransferId, (NodeId, NodeId)>,
+}
+
+impl SharedThroughput {
+    /// A fair-sharing model where each directed link carries
+    /// `bytes_per_sec` bytes per (virtual) second, split evenly among the
+    /// link's concurrent transfers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is zero.
+    pub fn new(bytes_per_sec: u64) -> Self {
+        assert!(bytes_per_sec > 0, "link bandwidth must be positive");
+        SharedThroughput {
+            bytes_per_sec,
+            links: BTreeMap::new(),
+            occupied: BTreeMap::new(),
+        }
+    }
+
+    /// Number of transfers currently in flight (all links).
+    pub fn in_flight(&self) -> usize {
+        self.occupied.len()
+    }
+
+    fn rate_per_flight(&self, k: usize) -> f64 {
+        self.bytes_per_sec as f64 / 1_000_000.0 / k as f64
+    }
+}
+
+impl NetworkModel for SharedThroughput {
+    fn on_send(
+        &mut self,
+        id: TransferId,
+        link: (NodeId, NodeId),
+        size_bytes: u64,
+        latency: SimDuration,
+        now: SimTime,
+        _rng: &mut StdRng,
+    ) -> SendOutcome {
+        let key = link;
+        let old_rate = self.rate_per_flight(self.links.get(&key).map_or(1, |l| l.flights.len()));
+        let link = self.links.entry(key).or_default();
+        // The bytes served so far accrued at the *old* population's share.
+        link.advance(old_rate, now);
+        link.flights.push((
+            id,
+            Flight {
+                remaining: size_bytes as f64,
+                latency,
+                // Placeholder; the reschedule below sets the real time
+                // (and reports it as "moved", which is how we read it out).
+                completes_at: SimTime::from_micros(u64::MAX),
+            },
+        ));
+        let new_rate = self.bytes_per_sec as f64 / 1_000_000.0 / link.flights.len() as f64;
+        let mut reschedules = link.reschedule(new_rate, now);
+        self.occupied.insert(id, key);
+        let at = reschedules
+            .iter()
+            .position(|(moved, _)| *moved == id)
+            .map(|i| reschedules.remove(i).1)
+            .expect("a fresh transfer always receives a completion time");
+        SendOutcome {
+            verdict: SendVerdict::Transfer { completes_at: at },
+            reschedules,
+        }
+    }
+
+    fn on_serialized(&mut self, id: TransferId, now: SimTime) -> Serialized {
+        let key = self
+            .occupied
+            .remove(&id)
+            .expect("completion of a live transfer");
+        let link = self.links.get_mut(&key).expect("links and flights agree");
+        let rate = self.bytes_per_sec as f64 / 1_000_000.0 / link.flights.len() as f64;
+        link.advance(rate, now);
+        let flight = link.remove(id);
+        let reschedules = if link.flights.is_empty() {
+            self.links.remove(&key);
+            Vec::new()
+        } else {
+            let rate = self.bytes_per_sec as f64 / 1_000_000.0 / link.flights.len() as f64;
+            link.reschedule(rate, now)
+        };
+        Serialized {
+            deliver_at: now + flight.latency,
+            reschedules,
+        }
+    }
+}
+
+/// Seeded per-link loss wrapping any inner model: each send is dropped
+/// with probability `drop_permille / 1000`, drawn from the simulator's
+/// seeded RNG stream (one draw per send, so loss patterns are
+/// reproducible per seed); survivors are passed through unchanged.
+#[derive(Debug)]
+pub struct Lossy {
+    drop_permille: u32,
+    inner: Box<dyn NetworkModel>,
+}
+
+impl Lossy {
+    /// Wraps `inner`, dropping each message with probability
+    /// `drop_permille / 1000`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drop_permille` exceeds 1000.
+    pub fn new(drop_permille: u32, inner: Box<dyn NetworkModel>) -> Self {
+        assert!(drop_permille <= 1000, "drop probability is per-mille");
+        Lossy {
+            drop_permille,
+            inner,
+        }
+    }
+}
+
+impl NetworkModel for Lossy {
+    fn on_send(
+        &mut self,
+        id: TransferId,
+        link: (NodeId, NodeId),
+        size_bytes: u64,
+        latency: SimDuration,
+        now: SimTime,
+        rng: &mut StdRng,
+    ) -> SendOutcome {
+        // One draw per send, taken *before* delegating, so the RNG stream
+        // does not depend on the inner model's decisions.
+        let roll = rng.gen_range(0..1000);
+        if roll < self.drop_permille {
+            return SendOutcome {
+                verdict: SendVerdict::Drop,
+                reschedules: Vec::new(),
+            };
+        }
+        self.inner.on_send(id, link, size_bytes, latency, now, rng)
+    }
+
+    fn on_serialized(&mut self, id: TransferId, now: SimTime) -> Serialized {
+        self.inner.on_serialized(id, now)
+    }
+}
+
+/// A plain-data network model: the closed enum over the models above.
+///
+/// Like [`Latency`](crate::latency::Latency), scenario configuration
+/// wants the network model as a *value* (clonable, comparable, buildable
+/// from config); unlike latency models, some network models are stateful,
+/// so this enum is a **configuration** that [`NetModel::instantiate`]s a
+/// fresh runtime model per run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetModel {
+    /// Latency-only delivery (see [`Ideal`]) — the default.
+    Ideal,
+    /// Per-link constant bandwidth (see [`ConstantThroughput`]).
+    Constant {
+        /// Link bandwidth in bytes per (virtual) second.
+        bytes_per_sec: u64,
+    },
+    /// Fair-shared per-link bandwidth (see [`SharedThroughput`]).
+    Shared {
+        /// Link bandwidth in bytes per (virtual) second.
+        bytes_per_sec: u64,
+    },
+    /// Seeded loss wrapping any inner model (see [`Lossy`]).
+    Lossy {
+        /// Drop probability in per-mille (`10` = 1%).
+        drop_permille: u32,
+        /// The wrapped model.
+        inner: Box<NetModel>,
+    },
+}
+
+impl NetModel {
+    /// The default model: [`NetModel::Ideal`].
+    pub const DEFAULT: NetModel = NetModel::Ideal;
+
+    /// A megabyte per second — a preset bandwidth at which the FPSS
+    /// construction flood (tens of bytes per message, 10 µs links)
+    /// visibly contends: one byte per microsecond.
+    pub const PRESET_CONGESTED_BPS: u64 = 1_000_000;
+
+    /// Per-link constant bandwidth of `bytes_per_sec`.
+    pub fn constant(bytes_per_sec: u64) -> Self {
+        NetModel::Constant { bytes_per_sec }
+    }
+
+    /// Fair-shared per-link bandwidth of `bytes_per_sec`.
+    pub fn shared(bytes_per_sec: u64) -> Self {
+        NetModel::Shared { bytes_per_sec }
+    }
+
+    /// The congested preset: fair-shared links at
+    /// [`NetModel::PRESET_CONGESTED_BPS`].
+    pub fn congested() -> Self {
+        NetModel::shared(NetModel::PRESET_CONGESTED_BPS)
+    }
+
+    /// This model wrapped in `drop_permille / 1000` seeded loss
+    /// (`NetModel::congested().with_loss(10)` = congestion plus 1% loss).
+    #[must_use]
+    pub fn with_loss(self, drop_permille: u32) -> Self {
+        NetModel::Lossy {
+            drop_permille,
+            inner: Box::new(self),
+        }
+    }
+
+    /// Builds a fresh runtime model from this configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration (zero bandwidth, loss beyond
+    /// 1000 ‰).
+    pub fn instantiate(&self) -> Box<dyn NetworkModel> {
+        match self {
+            NetModel::Ideal => Box::new(Ideal),
+            NetModel::Constant { bytes_per_sec } => {
+                Box::new(ConstantThroughput::new(*bytes_per_sec))
+            }
+            NetModel::Shared { bytes_per_sec } => Box::new(SharedThroughput::new(*bytes_per_sec)),
+            NetModel::Lossy {
+                drop_permille,
+                inner,
+            } => Box::new(Lossy::new(*drop_permille, inner.instantiate())),
+        }
+    }
+}
+
+impl Default for NetModel {
+    fn default() -> Self {
+        NetModel::DEFAULT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    const LAT: SimDuration = SimDuration::from_micros(10);
+
+    #[test]
+    fn ideal_is_latency_only() {
+        let mut model = Ideal;
+        let out = model.on_send(
+            TransferId(0),
+            (n(0), n(1)),
+            1_000_000,
+            LAT,
+            SimTime::from_micros(5),
+            &mut rng(),
+        );
+        assert_eq!(
+            out.verdict,
+            SendVerdict::Deliver {
+                at: SimTime::from_micros(15)
+            }
+        );
+        assert!(out.reschedules.is_empty());
+    }
+
+    #[test]
+    fn constant_throughput_adds_size_dependent_serialization() {
+        // 1 MB/s = 1 byte/µs: 100 bytes serialize in 100 µs.
+        let mut model = ConstantThroughput::new(1_000_000);
+        let out = model.on_send(
+            TransferId(0),
+            (n(0), n(1)),
+            100,
+            LAT,
+            SimTime::ZERO,
+            &mut rng(),
+        );
+        assert_eq!(
+            out.verdict,
+            SendVerdict::Deliver {
+                at: SimTime::from_micros(110)
+            }
+        );
+        // Rounding is up: 1 byte at 1 MB/s is a full microsecond.
+        let out = model.on_send(
+            TransferId(1),
+            (n(0), n(1)),
+            1,
+            LAT,
+            SimTime::ZERO,
+            &mut rng(),
+        );
+        assert_eq!(
+            out.verdict,
+            SendVerdict::Deliver {
+                at: SimTime::from_micros(11)
+            }
+        );
+        // Load-independent: a third concurrent send sees the same delay.
+        let out = model.on_send(
+            TransferId(2),
+            (n(0), n(1)),
+            100,
+            LAT,
+            SimTime::ZERO,
+            &mut rng(),
+        );
+        assert_eq!(
+            out.verdict,
+            SendVerdict::Deliver {
+                at: SimTime::from_micros(110)
+            }
+        );
+    }
+
+    #[test]
+    fn shared_throughput_halves_rate_under_contention() {
+        // The tentpole's required unit test: adding a concurrent transfer
+        // delays an in-flight delivery.
+        let mut model = SharedThroughput::new(1_000_000); // 1 byte/µs
+        let a = TransferId(0);
+        let b = TransferId(1);
+        // A alone: 100 bytes at full rate → completes at t=100.
+        let out = model.on_send(a, (n(0), n(1)), 100, LAT, SimTime::ZERO, &mut rng());
+        assert_eq!(
+            out.verdict,
+            SendVerdict::Transfer {
+                completes_at: SimTime::from_micros(100)
+            }
+        );
+        assert!(out.reschedules.is_empty());
+        // B arrives on the same link at t=50: A has 50 bytes left, now at
+        // half rate → 100 more µs → A's completion moves from 100 to 150.
+        let out = model.on_send(
+            b,
+            (n(0), n(1)),
+            100,
+            LAT,
+            SimTime::from_micros(50),
+            &mut rng(),
+        );
+        assert_eq!(
+            out.verdict,
+            SendVerdict::Transfer {
+                completes_at: SimTime::from_micros(250)
+            },
+            "B: 100 bytes at half rate"
+        );
+        assert_eq!(
+            out.reschedules,
+            vec![(a, SimTime::from_micros(150))],
+            "A's in-flight delivery is delayed by B's arrival"
+        );
+        // A completes at 150: delivery adds latency; B — 50 bytes left
+        // after 100 µs at half rate — speeds back up to the full rate and
+        // its completion moves from 250 up to 200.
+        let done = model.on_serialized(a, SimTime::from_micros(150));
+        assert_eq!(done.deliver_at, SimTime::from_micros(160));
+        assert_eq!(
+            done.reschedules,
+            vec![(b, SimTime::from_micros(200))],
+            "B speeds up when A's transfer completes"
+        );
+        assert_eq!(model.in_flight(), 1);
+        let done = model.on_serialized(b, SimTime::from_micros(200));
+        assert_eq!(done.deliver_at, SimTime::from_micros(210));
+        assert_eq!(model.in_flight(), 0);
+    }
+
+    #[test]
+    fn shared_throughput_completion_frees_bandwidth_early() {
+        let mut model = SharedThroughput::new(1_000_000);
+        let a = TransferId(0);
+        let b = TransferId(1);
+        // A (20 bytes) and B (200 bytes) start together: half rate each.
+        let out = model.on_send(a, (n(0), n(1)), 20, LAT, SimTime::ZERO, &mut rng());
+        assert_eq!(
+            out.verdict,
+            SendVerdict::Transfer {
+                completes_at: SimTime::from_micros(20)
+            }
+        );
+        let out = model.on_send(b, (n(0), n(1)), 200, LAT, SimTime::ZERO, &mut rng());
+        assert_eq!(
+            out.verdict,
+            SendVerdict::Transfer {
+                completes_at: SimTime::from_micros(400)
+            }
+        );
+        assert_eq!(out.reschedules, vec![(a, SimTime::from_micros(40))]);
+        // A (10 bytes left at half rate) completes at t=40; B then has
+        // 180 bytes left and the full rate → completes at 220, not 400.
+        let done = model.on_serialized(a, SimTime::from_micros(40));
+        assert_eq!(
+            done.reschedules,
+            vec![(b, SimTime::from_micros(220))],
+            "a completed transfer speeds up the survivors"
+        );
+    }
+
+    #[test]
+    fn shared_throughput_links_are_independent() {
+        let mut model = SharedThroughput::new(1_000_000);
+        let out = model.on_send(
+            TransferId(0),
+            (n(0), n(1)),
+            100,
+            LAT,
+            SimTime::ZERO,
+            &mut rng(),
+        );
+        assert_eq!(
+            out.verdict,
+            SendVerdict::Transfer {
+                completes_at: SimTime::from_micros(100)
+            }
+        );
+        // A transfer on a *different* directed link contends with nothing.
+        let out = model.on_send(
+            TransferId(1),
+            (n(1), n(0)),
+            100,
+            LAT,
+            SimTime::ZERO,
+            &mut rng(),
+        );
+        assert_eq!(
+            out.verdict,
+            SendVerdict::Transfer {
+                completes_at: SimTime::from_micros(100)
+            }
+        );
+        assert!(out.reschedules.is_empty());
+    }
+
+    #[test]
+    fn lossy_drops_are_seeded_and_reproducible() {
+        let drops = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut model = Lossy::new(500, Box::new(Ideal));
+            (0..100)
+                .map(|i| {
+                    let out =
+                        model.on_send(TransferId(i), (n(0), n(1)), 8, LAT, SimTime::ZERO, &mut rng);
+                    out.verdict == SendVerdict::Drop
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = drops(7);
+        assert_eq!(a, drops(7), "loss pattern is a pure function of the seed");
+        let dropped = a.iter().filter(|&&d| d).count();
+        assert!(
+            (30..70).contains(&dropped),
+            "500‰ loss drops about half ({dropped}/100)"
+        );
+        assert_ne!(a, drops(8), "different seeds draw different patterns");
+    }
+
+    #[test]
+    fn lossy_zero_and_full_are_degenerate() {
+        let mut rng = rng();
+        let mut none = Lossy::new(0, Box::new(Ideal));
+        let mut all = Lossy::new(1000, Box::new(Ideal));
+        for i in 0..50 {
+            let out = none.on_send(TransferId(i), (n(0), n(1)), 8, LAT, SimTime::ZERO, &mut rng);
+            assert_ne!(out.verdict, SendVerdict::Drop);
+            let out = all.on_send(TransferId(i), (n(0), n(1)), 8, LAT, SimTime::ZERO, &mut rng);
+            assert_eq!(out.verdict, SendVerdict::Drop);
+        }
+    }
+
+    #[test]
+    fn net_model_instantiates_every_variant() {
+        let mut rng = rng();
+        let configs = [
+            NetModel::Ideal,
+            NetModel::constant(1_000_000),
+            NetModel::shared(1_000_000),
+            NetModel::congested().with_loss(10),
+        ];
+        for config in &configs {
+            let mut model = config.instantiate();
+            // Every model answers on_send without panicking.
+            let _ = model.on_send(
+                TransferId(0),
+                (n(0), n(1)),
+                64,
+                LAT,
+                SimTime::ZERO,
+                &mut rng,
+            );
+        }
+        assert_eq!(NetModel::default(), NetModel::Ideal);
+        assert_eq!(
+            NetModel::congested(),
+            NetModel::Shared {
+                bytes_per_sec: NetModel::PRESET_CONGESTED_BPS
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = SharedThroughput::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-mille")]
+    fn overfull_loss_rejected() {
+        let _ = Lossy::new(1001, Box::new(Ideal));
+    }
+}

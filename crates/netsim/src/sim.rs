@@ -1,14 +1,16 @@
 //! The discrete-event engine: actors, contexts, and the network.
 
 use crate::connect::Connectivity;
+use crate::dynamics::{Dynamics, DynamicsState};
 use crate::latency::LatencyModel;
+use crate::model::{NetModel, NetworkModel, SendVerdict, TransferId};
 use crate::payload::Payload;
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use specfaith_core::id::NodeId;
 use std::cmp::{Ordering, Reverse};
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 
 /// A protocol node.
@@ -81,8 +83,56 @@ impl<M> Ctx<'_, M> {
 }
 
 enum EventKind<M> {
-    Deliver { from: NodeId, to: NodeId, msg: M },
-    Timer { node: NodeId, tag: u64 },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
+    Timer {
+        node: NodeId,
+        tag: u64,
+    },
+    /// Serialization of transfer `id` tentatively completes (see
+    /// [`crate::model::SendVerdict::Transfer`]). Completion events are
+    /// lazy: a popped event whose transfer has since been re-scheduled to
+    /// a later time re-pushes itself at the new target instead of firing.
+    /// Re-schedules that *delay* a transfer — the overwhelmingly common
+    /// case under fair sharing, where every arrival slows the whole link —
+    /// therefore cost no heap traffic at all.
+    Complete {
+        id: u64,
+    },
+}
+
+/// A message held by the engine while its serialization is in flight under
+/// a throughput model; delivered when a `Complete` fires on its
+/// [`TransferTimes`] target.
+struct PendingTransfer<M> {
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+}
+
+/// The re-schedule-hot state of one transfer, kept in a flat slab indexed
+/// by transfer id (ids are dense and sequential) — fair sharing
+/// re-schedules every flight on a link per arrival/completion, so this is
+/// touched orders of magnitude more often than the transfer's message.
+#[derive(Clone, Copy, Default)]
+struct TransferTimes {
+    /// Authoritative serialization-completion time (moved by re-schedules).
+    target: SimTime,
+    /// Sequence number the completion fires with. Every re-schedule draws
+    /// a fresh sequence number (whether or not it pushes an event), so
+    /// same-timestamp tie-breaking is identical to an engine that pushed a
+    /// fresh event per re-schedule — traces are independent of how many
+    /// events were actually queued.
+    tie_seq: u64,
+    /// A lower bound on the earliest queued `Complete` for this transfer.
+    /// Invariant: while the transfer is pending, an event is queued at or
+    /// before `min(scheduled, target)`, so a pop happens no later than the
+    /// target; pops that don't match `(target, tie_seq)` re-push the real
+    /// completion and are skipped.
+    scheduled: SimTime,
 }
 
 struct Event<M> {
@@ -123,6 +173,16 @@ pub struct NetStats {
     pub msgs_delivered: u64,
     /// Total timer callbacks fired.
     pub timers_fired: u64,
+    /// Messages lost to the network model or topology dynamics (loss,
+    /// downed nodes, partitions). Dropped messages still count in
+    /// `msgs_sent`/`bytes_sent` — the sender paid for them.
+    pub msgs_dropped: u64,
+    /// In-flight deliveries re-scheduled by a throughput model reacting to
+    /// load changes (zero under `Ideal`/`ConstantThroughput`).
+    pub deliveries_rescheduled: u64,
+    /// High-water mark of the event queue — a gauge of simultaneous
+    /// in-flight work (messages, transfers, timers).
+    pub max_queue_depth: u64,
 }
 
 impl NetStats {
@@ -130,8 +190,7 @@ impl NetStats {
         NetStats {
             msgs_sent: vec![0; n],
             bytes_sent: vec![0; n],
-            msgs_delivered: 0,
-            timers_fired: 0,
+            ..NetStats::default()
         }
     }
 
@@ -168,8 +227,19 @@ pub struct Network<A: Actor, L> {
     connectivity: Connectivity,
     actors: Vec<A>,
     latency: L,
+    model: Box<dyn NetworkModel>,
+    dynamics: DynamicsState,
+    /// False ⇒ no dynamics were configured; skips all per-event dynamics
+    /// bookkeeping (the default path is exactly the pre-dynamics engine).
+    dynamics_active: bool,
     rng: StdRng,
     queue: BinaryHeap<Reverse<Event<A::Msg>>>,
+    /// Transfers whose serialization is in flight, keyed by transfer id.
+    pending: BTreeMap<u64, PendingTransfer<A::Msg>>,
+    /// Hot per-transfer scheduling state, indexed by transfer id. Grows
+    /// only when a model answers `Transfer` (never under `Ideal`).
+    times: Vec<TransferTimes>,
+    next_transfer: u64,
     now: SimTime,
     seq: u64,
     stats: NetStats,
@@ -208,8 +278,14 @@ impl<A: Actor, L: LatencyModel> Network<A, L> {
             connectivity,
             actors,
             latency,
+            model: NetModel::Ideal.instantiate(),
+            dynamics: DynamicsState::new(&Dynamics::default(), n),
+            dynamics_active: false,
             rng: StdRng::seed_from_u64(seed),
             queue: BinaryHeap::new(),
+            pending: BTreeMap::new(),
+            times: Vec::new(),
+            next_transfer: 0,
             now: SimTime::ZERO,
             seq: 0,
             stats: NetStats::new(n),
@@ -217,6 +293,22 @@ impl<A: Actor, L: LatencyModel> Network<A, L> {
             max_events: 10_000_000,
             max_quiescence_rounds: 10_000,
         }
+    }
+
+    /// Replaces the network model (default: [`NetModel::Ideal`], which
+    /// reproduces the latency-only engine byte-for-byte).
+    #[must_use]
+    pub fn with_network(mut self, model: &NetModel) -> Self {
+        self.model = model.instantiate();
+        self
+    }
+
+    /// Installs a topology-dynamics schedule (default: none).
+    #[must_use]
+    pub fn with_dynamics(mut self, dynamics: &Dynamics) -> Self {
+        self.dynamics_active = !dynamics.is_empty();
+        self.dynamics = DynamicsState::new(dynamics, self.actors.len());
+        self
     }
 
     /// Caps total processed events (protection against livelocked
@@ -286,14 +378,63 @@ impl<A: Actor, L: LatencyModel> Network<A, L> {
                 "protocol bug: {from} attempted to send to non-neighbor {to}"
             );
             self.stats.msgs_sent[from.index()] += 1;
-            self.stats.bytes_sent[from.index()] += msg.size_bytes() as u64;
-            let delay = self.latency.delay(from, to, &mut self.rng);
-            self.seq += 1;
-            self.queue.push(Reverse(Event {
-                at: self.now + delay,
-                seq: self.seq,
-                kind: EventKind::Deliver { from, to, msg },
-            }));
+            let size = msg.size_bytes() as u64;
+            self.stats.bytes_sent[from.index()] += size;
+            if self.dynamics_active && self.dynamics.blocked(from, to) {
+                self.stats.msgs_dropped += 1;
+                continue;
+            }
+            // A link-cost override replaces the model's draw — and skips
+            // it, so overrides perturb jittered RNG streams (documented in
+            // `dynamics`); the default path draws exactly as before.
+            let delay = if self.dynamics_active {
+                self.dynamics
+                    .latency_override(from, to)
+                    .unwrap_or_else(|| self.latency.delay(from, to, &mut self.rng))
+            } else {
+                self.latency.delay(from, to, &mut self.rng)
+            };
+            let id = self.next_transfer;
+            self.next_transfer += 1;
+            let outcome = self.model.on_send(
+                TransferId(id),
+                (from, to),
+                size,
+                delay,
+                self.now,
+                &mut self.rng,
+            );
+            match outcome.verdict {
+                SendVerdict::Deliver { at } => {
+                    self.seq += 1;
+                    self.queue.push(Reverse(Event {
+                        at,
+                        seq: self.seq,
+                        kind: EventKind::Deliver { from, to, msg },
+                    }));
+                }
+                SendVerdict::Transfer { completes_at } => {
+                    self.seq += 1;
+                    self.pending.insert(id, PendingTransfer { from, to, msg });
+                    if self.times.len() <= id as usize {
+                        self.times.resize(id as usize + 1, TransferTimes::default());
+                    }
+                    self.times[id as usize] = TransferTimes {
+                        target: completes_at,
+                        tie_seq: self.seq,
+                        scheduled: completes_at,
+                    };
+                    self.queue.push(Reverse(Event {
+                        at: completes_at,
+                        seq: self.seq,
+                        kind: EventKind::Complete { id },
+                    }));
+                }
+                SendVerdict::Drop => {
+                    self.stats.msgs_dropped += 1;
+                }
+            }
+            self.apply_reschedules(outcome.reschedules);
         }
         for (delay, tag) in timers {
             self.seq += 1;
@@ -302,6 +443,35 @@ impl<A: Actor, L: LatencyModel> Network<A, L> {
                 seq: self.seq,
                 kind: EventKind::Timer { node: from, tag },
             }));
+        }
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len() as u64);
+    }
+
+    /// Moves in-flight transfers to new completion times. Delays are free —
+    /// an already-queued event discovers the later target when it pops and
+    /// re-pushes itself; only a completion moving *earlier* than everything
+    /// queued for its transfer needs a fresh event. Every re-schedule
+    /// draws a sequence number either way, so traces are exactly those of
+    /// an engine that pushed one event per re-schedule.
+    fn apply_reschedules(&mut self, reschedules: Vec<(TransferId, SimTime)>) {
+        self.stats.deliveries_rescheduled += reschedules.len() as u64;
+        for (TransferId(id), at) in reschedules {
+            debug_assert!(
+                self.pending.contains_key(&id),
+                "models only reschedule in-flight transfers"
+            );
+            self.seq += 1;
+            let times = &mut self.times[id as usize];
+            times.target = at;
+            times.tie_seq = self.seq;
+            if at < times.scheduled {
+                times.scheduled = at;
+                self.queue.push(Reverse(Event {
+                    at,
+                    seq: self.seq,
+                    kind: EventKind::Complete { id },
+                }));
+            }
         }
     }
 
@@ -325,6 +495,11 @@ impl<A: Actor, L: LatencyModel> Network<A, L> {
     /// the event queue, invokes quiescence observers, and repeats until no
     /// observer generates further work.
     pub fn run(&mut self) -> RunOutcome {
+        if self.dynamics_active {
+            // Events scheduled at or before the current time (e.g. a
+            // partition at t=0) take effect before anything is sent.
+            self.dynamics.apply_until(self.now);
+        }
         if !self.started {
             self.started = true;
             for node in self.node_ids().collect::<Vec<_>>() {
@@ -340,11 +515,45 @@ impl<A: Actor, L: LatencyModel> Network<A, L> {
                     truncated = true;
                     break 'outer;
                 }
-                processed += 1;
                 debug_assert!(event.at >= self.now, "time must be monotone");
+                // Lazy completions: an event whose transfer already fired
+                // is heap garbage, and one that doesn't match the
+                // transfer's `(target, tie_seq)` — it was queued before a
+                // re-schedule — re-pushes the real completion and is
+                // skipped. Neither advances time nor spends event budget.
+                if let EventKind::Complete { id } = event.kind {
+                    if !self.pending.contains_key(&id) {
+                        continue;
+                    }
+                    let times = &mut self.times[id as usize];
+                    if event.at != times.target || event.seq != times.tie_seq {
+                        debug_assert!(
+                            event.at <= times.target,
+                            "an event queued at `scheduled ≤ target` pops by the target"
+                        );
+                        let (at, seq) = (times.target, times.tie_seq);
+                        times.scheduled = at;
+                        self.queue.push(Reverse(Event {
+                            at,
+                            seq,
+                            kind: EventKind::Complete { id },
+                        }));
+                        continue;
+                    }
+                }
+                processed += 1;
                 self.now = event.at;
+                if self.dynamics_active {
+                    self.dynamics.apply_until(self.now);
+                }
                 match event.kind {
                     EventKind::Deliver { from, to, msg } => {
+                        // Checked at delivery as well as send: a message in
+                        // flight when its link goes down is lost.
+                        if self.dynamics_active && self.dynamics.blocked(from, to) {
+                            self.stats.msgs_dropped += 1;
+                            continue;
+                        }
                         self.stats.msgs_delivered += 1;
                         self.invoke(to, |actor, ctx| actor.on_message(ctx, from, msg));
                     }
@@ -352,8 +561,29 @@ impl<A: Actor, L: LatencyModel> Network<A, L> {
                         self.stats.timers_fired += 1;
                         self.invoke(node, |actor, ctx| actor.on_timer(ctx, tag));
                     }
+                    EventKind::Complete { id } => {
+                        let done = self.model.on_serialized(TransferId(id), self.now);
+                        let transfer = self.pending.remove(&id).expect("checked live above");
+                        self.seq += 1;
+                        self.queue.push(Reverse(Event {
+                            at: done.deliver_at,
+                            seq: self.seq,
+                            kind: EventKind::Deliver {
+                                from: transfer.from,
+                                to: transfer.to,
+                                msg: transfer.msg,
+                            },
+                        }));
+                        self.apply_reschedules(done.reschedules);
+                        self.stats.max_queue_depth =
+                            self.stats.max_queue_depth.max(self.queue.len() as u64);
+                    }
                 }
             }
+            debug_assert!(
+                self.pending.is_empty(),
+                "a drained queue leaves no transfer in flight"
+            );
             // Queue drained: give quiescence observers a chance.
             if quiescence_rounds >= self.max_quiescence_rounds {
                 truncated = true;
@@ -387,6 +617,7 @@ impl<A: Actor, L: LatencyModel> Network<A, L> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dynamics::TopologyEvent;
     use crate::latency::{FixedLatency, JitteredLatency};
 
     fn n(i: u32) -> NodeId {
@@ -705,6 +936,180 @@ mod tests {
             second.final_time - first.final_time,
             SimDuration::from_micros(100)
         );
+    }
+
+    #[test]
+    fn explicit_ideal_model_is_the_default_engine() {
+        let mut plain = ring_network(5, 20, 7);
+        let mut ideal = ring_network(5, 20, 7);
+        ideal = ideal
+            .with_network(&NetModel::Ideal)
+            .with_dynamics(&Dynamics::new());
+        let a = plain.run();
+        let b = ideal.run();
+        assert_eq!(a.final_time, b.final_time);
+        assert_eq!(a.messages_delivered, b.messages_delivered);
+        for i in 0..5 {
+            assert_eq!(plain.node(n(i)).seen, ideal.node(n(i)).seen);
+        }
+        assert_eq!(plain.stats().msgs_sent, ideal.stats().msgs_sent);
+        assert_eq!(ideal.stats().msgs_dropped, 0);
+        assert_eq!(ideal.stats().deliveries_rescheduled, 0);
+    }
+
+    #[test]
+    fn constant_throughput_stretches_the_ring() {
+        // 8-byte tokens at 1 MB/s add 8 µs serialization per hop on top of
+        // the 10 µs latency: 8 hops × 18 µs.
+        let mut net = ring_network(4, 8, 1).with_network(&NetModel::constant(1_000_000));
+        let outcome = net.run();
+        assert_eq!(outcome.messages_delivered, 8);
+        assert_eq!(outcome.final_time, SimTime::from_micros(8 * 18));
+    }
+
+    #[test]
+    fn shared_throughput_reschedules_under_engine_contention() {
+        /// Node 0 sends two 40-byte messages back-to-back to node 1 on the
+        /// same link; fair sharing must reschedule the first in flight.
+        #[derive(Clone, Debug)]
+        struct Wide;
+        impl Payload for Wide {
+            fn size_bytes(&self) -> usize {
+                40
+            }
+        }
+        struct Burst;
+        struct Gather(Vec<SimTime>);
+        enum Side {
+            Burst(Burst),
+            Gather(Gather),
+        }
+        impl Actor for Side {
+            type Msg = Wide;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Wide>) {
+                if matches!(self, Side::Burst(_)) {
+                    ctx.send(NodeId::new(1), Wide);
+                    ctx.send(NodeId::new(1), Wide);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, Wide>, _: NodeId, _: Wide) {
+                if let Side::Gather(g) = self {
+                    g.0.push(ctx.now());
+                }
+            }
+        }
+        let mut net = Network::new(
+            Connectivity::fully_connected(2),
+            vec![Side::Burst(Burst), Side::Gather(Gather(Vec::new()))],
+            FixedLatency::new(10),
+            0,
+        )
+        .with_network(&NetModel::shared(1_000_000));
+        let outcome = net.run();
+        assert_eq!(outcome.messages_delivered, 2);
+        // Both transfers share the link from t=0 at half rate (40 bytes
+        // each → both complete at 80), then latency: delivered at 90.
+        match net.node(n(1)) {
+            Side::Gather(g) => {
+                assert_eq!(
+                    g.0,
+                    vec![SimTime::from_micros(90), SimTime::from_micros(90)]
+                );
+            }
+            Side::Burst(_) => panic!("node 1 gathers"),
+        }
+        assert_eq!(net.stats().deliveries_rescheduled, 1, "first send moved");
+        assert_eq!(net.stats().msgs_delivered, 2);
+    }
+
+    #[test]
+    fn lossy_engine_counts_drops_deterministically() {
+        let run = |seed| {
+            let mut net = ring_network(4, 200, seed).with_network(&NetModel::Ideal.with_loss(200));
+            net.run();
+            (net.stats().msgs_dropped, net.stats().msgs_delivered)
+        };
+        let (dropped, delivered) = run(3);
+        // The ring halts at the first drop: the token is never forwarded.
+        assert_eq!(dropped, 1);
+        assert!(delivered < 200);
+        assert_eq!(run(3), (dropped, delivered), "loss is seed-deterministic");
+    }
+
+    #[test]
+    fn node_down_drops_in_flight_and_future_messages() {
+        // Token ring with node 2 crashing at t=15: the token sent 0→1 at
+        // t=0 arrives (t=10), 1→2 is in flight when 2 dies → lost.
+        let dynamics = Dynamics::new().at(15, TopologyEvent::NodeDown(n(2)));
+        let mut net = ring_network(4, 8, 1).with_dynamics(&dynamics);
+        let outcome = net.run();
+        assert_eq!(outcome.messages_delivered, 1);
+        assert_eq!(net.stats().msgs_dropped, 1);
+        assert_eq!(net.node(n(1)).seen, vec![0]);
+        assert!(net.node(n(2)).seen.is_empty());
+    }
+
+    #[test]
+    fn partition_and_heal_gate_the_ring() {
+        // Partition {0,1} away at t=5 (token 0→1 at t=0 is in-island and
+        // survives; 1→2 crosses and is lost); heal at t=50 — but the ring
+        // has no retransmission, so traffic never resumes: the documented
+        // liveness failure mode.
+        let dynamics = Dynamics::new()
+            .at(
+                5,
+                TopologyEvent::Partition {
+                    island: vec![n(0), n(1)],
+                },
+            )
+            .at(50, TopologyEvent::Heal);
+        let mut net = ring_network(4, 8, 1).with_dynamics(&dynamics);
+        let outcome = net.run();
+        assert_eq!(outcome.messages_delivered, 1);
+        assert_eq!(net.stats().msgs_dropped, 1);
+        assert!(!outcome.truncated, "loss is not livelock");
+    }
+
+    #[test]
+    fn downed_node_timers_still_fire() {
+        let dynamics = Dynamics::new().at(0, TopologyEvent::NodeDown(n(0)));
+        let mut net = Network::new(
+            Connectivity::disconnected(1),
+            vec![TimerActor { fired: Vec::new() }],
+            FixedLatency::new(1),
+            0,
+        )
+        .with_dynamics(&dynamics);
+        let outcome = net.run();
+        assert_eq!(
+            outcome.timers_fired, 3,
+            "crash loses the network, not the clock"
+        );
+    }
+
+    #[test]
+    fn link_cost_override_changes_delay_without_rng() {
+        let dynamics = Dynamics::new().at(
+            0,
+            TopologyEvent::LinkCost {
+                a: n(0),
+                b: n(1),
+                micros: 100,
+            },
+        );
+        let mut net = ring_network(2, 2, 1).with_dynamics(&dynamics);
+        let outcome = net.run();
+        // Hop 0→1 takes the overridden 100 µs, hop 1→0 the same link back.
+        assert_eq!(outcome.final_time, SimTime::from_micros(200));
+    }
+
+    #[test]
+    fn max_queue_depth_tracks_in_flight_work() {
+        let mut net = ring_network(4, 8, 1);
+        net.run();
+        // The ring holds one token: one in-flight event at a time (plus
+        // nothing else), so the gauge reads 1.
+        assert_eq!(net.stats().max_queue_depth, 1);
     }
 
     #[test]

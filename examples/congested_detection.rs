@@ -1,0 +1,76 @@
+//! Detection latency under congestion: how long the faithful mechanism
+//! takes to settle — and what it concludes — when the network itself
+//! misbehaves.
+//!
+//! Runs a 5-ring faithful scenario three ways: ideal network,
+//! fair-shared 1 MB/s links ([`NetModel::congested`]), and the same
+//! congested links dropping 1% of messages. One row per profile, honest
+//! and with node 1 tampering with re-flooded cost declarations (an
+//! *observable* protocol deviation — on a ring the tampered copy is the
+//! victim's only source, so checkers must catch it).
+//!
+//! ```sh
+//! cargo run --example congested_detection
+//! ```
+
+use specfaith::fpss::deviation::TamperCostFlood;
+use specfaith::prelude::*;
+use specfaith::scenario::NetModel;
+use specfaith_core::id::NodeId;
+
+fn row(label: &str, run: &RunReport) {
+    println!(
+        "{label:<31} {:>9} {:>8} {:>7} {:>8} {:>8} {:>6}",
+        run.final_time.micros(),
+        run.detected,
+        run.restarts(),
+        run.dropped(),
+        run.rescheduled(),
+        if run.green_lighted() { "yes" } else { "no" },
+    );
+}
+
+fn main() {
+    let build = |model: NetModel| {
+        Scenario::builder()
+            .topology(TopologySource::Ring(5))
+            .costs(CostModel::Explicit(CostVector::from_values(&[
+                2, 1, 1, 1, 1,
+            ])))
+            .traffic(TrafficModel::single_by_index(2, 4, 4))
+            .mechanism(Mechanism::faithful())
+            .network(model)
+            .build()
+    };
+
+    let profiles = [
+        ("ideal", NetModel::Ideal),
+        ("congested", NetModel::congested()),
+        ("congested + 1% loss", NetModel::congested().with_loss(10)),
+    ];
+
+    println!(
+        "{:<31} {:>9} {:>8} {:>7} {:>8} {:>8} {:>6}",
+        "profile", "settle_us", "detected", "restart", "dropped", "resched", "green"
+    );
+    for (name, model) in profiles {
+        let scenario = build(model);
+        row(&format!("{name}, honest"), &scenario.run(1));
+        let deviant = scenario.run_with_deviant(
+            NodeId::new(1),
+            Box::new(TamperCostFlood { multiplier: 100 }),
+            1,
+        );
+        row(&format!("{name}, 1 tampers"), &deviant);
+    }
+
+    println!(
+        "\nCongestion stretches settle time (fair-shared links re-schedule\n\
+         hundreds of in-flight deliveries) but never changes a verdict:\n\
+         the tamperer is caught in every profile. Loss is different — on\n\
+         a ring there is no flood redundancy, so even the honest run\n\
+         false-flags once a construction message drops, and its restarts\n\
+         dominate the tamper signal (the paper's \u{a7}5 caveat about\n\
+         non-rational failures, reproduced under 1% loss)."
+    );
+}

@@ -13,7 +13,7 @@ use specfaith_graph::cache::CacheScope;
 use specfaith_graph::costs::CostVector;
 use specfaith_graph::generators;
 use specfaith_graph::topology::Topology;
-use specfaith_netsim::Latency;
+use specfaith_netsim::{Dynamics, Latency, NetModel};
 use std::fmt;
 
 /// Where the scenario's topology comes from.
@@ -239,6 +239,8 @@ pub struct ScenarioBuilder {
     costs: CostModel,
     traffic: TrafficModel,
     latency: Latency,
+    network: NetModel,
+    dynamics: Dynamics,
     mechanism: Mechanism,
     settlement: SettlementConfig,
     max_events: Option<u64>,
@@ -255,6 +257,8 @@ impl Default for ScenarioBuilder {
             // Figure 1's X (index 5) → Z (index 4), the paper's flow.
             traffic: TrafficModel::single_by_index(5, 4, 5),
             latency: Latency::DEFAULT,
+            network: NetModel::DEFAULT,
+            dynamics: Dynamics::new(),
             mechanism: Mechanism::Plain,
             settlement: SettlementConfig::default(),
             max_events: None,
@@ -331,6 +335,27 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn latency(mut self, latency: Latency) -> Self {
         self.latency = latency;
+        self
+    }
+
+    /// Sets the network model — how message size and link load decide
+    /// delivery times. Defaults to [`NetModel::Ideal`] (latency-only,
+    /// byte-identical to scenarios built before the model existed).
+    /// Presets: [`NetModel::constant`], [`NetModel::shared`],
+    /// [`NetModel::congested`], and [`NetModel::with_loss`] for seeded
+    /// drops.
+    #[must_use]
+    pub fn network(mut self, network: NetModel) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Schedules topology dynamics (partitions, node churn, link-cost
+    /// changes) applied at sim times during every run of the scenario.
+    /// Defaults to none.
+    #[must_use]
+    pub fn dynamics(mut self, dynamics: Dynamics) -> Self {
+        self.dynamics = dynamics;
         self
     }
 
@@ -436,6 +461,8 @@ impl ScenarioBuilder {
             Mechanism::Plain => {
                 let mut config = PlainConfig::new(topo, costs, traffic);
                 config.latency = self.latency;
+                config.network = self.network.clone();
+                config.dynamics = self.dynamics.clone();
                 config.settlement = self.settlement;
                 config.routes = routes;
                 config.reference_check = self.reference_check;
@@ -452,6 +479,8 @@ impl ScenarioBuilder {
             } => {
                 let mut config = FaithfulConfig::new(topo, costs, traffic);
                 config.latency = self.latency;
+                config.network = self.network.clone();
+                config.dynamics = self.dynamics.clone();
                 config.epsilon = *epsilon;
                 config.max_restarts = *max_restarts;
                 config.progress_value = *progress_value;

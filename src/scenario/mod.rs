@@ -54,6 +54,7 @@ pub use builder::{CostModel, ScenarioBuilder, ScenarioError, TopologySource, Tra
 pub use report::{MechanismOutcome, RunReport, SweepReport};
 pub use specfaith_fpss::runner::ReferenceCheck;
 pub use specfaith_graph::cache::CacheScope;
+pub use specfaith_netsim::{Dynamics, NetModel, TopologyEvent};
 pub use sweep::{cell_seed, Catalog};
 
 use specfaith_core::equilibrium::EquilibriumReport;
@@ -266,16 +267,18 @@ impl Scenario {
     /// be evicted by concurrent workloads, and all cache memory is
     /// released when the sweep returns.
     ///
-    /// The default scope is unbounded, so peak cache memory is
-    /// proportional to the *distinct declared-cost vectors* the sweep
-    /// produces — one single-use cache per misreport cell (roughly
-    /// 2 MB/cell at `n = 64`; ~1.5 GB peak for the full-catalog
-    /// standard sweep). Memory-constrained callers can cap it by passing
-    /// a [`CacheScope::bounded`] scope to [`Scenario::sweep_scoped`]
-    /// (results are unaffected; an evicted-then-needed cache just
-    /// recomputes).
+    /// The default scope is **eager** ([`CacheScope::eager`]): a
+    /// misreport cell's single-use cache is dropped as soon as the cell's
+    /// reference check completes, so peak cache memory tracks the
+    /// *concurrent* cells (roughly 2 MB/cell at `n = 64` times the thread
+    /// count) instead of every distinct declared-cost vector of the sweep
+    /// (~1.5 GB for the full-catalog standard sweep before eager
+    /// release). The honest-declaration cache all non-misreporting cells
+    /// share is pinned for the sweep's lifetime. Results are byte-
+    /// identical to any other scope choice. Callers who want different
+    /// retention pass a scope to [`Scenario::sweep_scoped`].
     pub fn sweep(&self, seeds: &[u64], catalog: &Catalog) -> SweepReport {
-        self.sweep_scoped(seeds, catalog, &CacheScope::unbounded())
+        self.sweep_scoped(seeds, catalog, &CacheScope::eager())
     }
 
     /// [`Scenario::sweep`] drawing route caches from a caller-provided
@@ -296,7 +299,7 @@ impl Scenario {
     /// tests and a fallback for single-core environments.
     pub fn sweep_serial(&self, seeds: &[u64], catalog: &Catalog) -> SweepReport {
         sweep::sweep(
-            &self.with_route_scope(CacheScope::unbounded()),
+            &self.with_route_scope(CacheScope::eager()),
             seeds,
             catalog,
             false,
@@ -325,7 +328,7 @@ impl Scenario {
             "sampled agents must be distinct"
         );
         sweep::sweep_agents(
-            &self.with_route_scope(CacheScope::unbounded()),
+            &self.with_route_scope(CacheScope::eager()),
             seeds,
             catalog,
             agents,

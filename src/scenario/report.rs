@@ -4,7 +4,7 @@ use specfaith_core::equilibrium::{DeviationOutcome, EquilibriumReport, Equilibri
 use specfaith_core::money::Money;
 use specfaith_faithful::harness::FaithfulRunResult;
 use specfaith_fpss::runner::PlainRunResult;
-use specfaith_netsim::NetStats;
+use specfaith_netsim::{NetStats, SimTime};
 use std::fmt;
 
 /// Mechanism-specific outcome detail inside a [`RunReport`].
@@ -52,6 +52,9 @@ pub struct RunReport {
     pub detected: bool,
     /// Simulator traffic statistics for the whole lifecycle.
     pub stats: NetStats,
+    /// Virtual time at which the run settled — the basis for detection-
+    /// latency comparisons across network models.
+    pub final_time: SimTime,
     /// Whether the event budget truncated the run.
     pub truncated: bool,
     /// Mechanism-specific detail.
@@ -64,6 +67,7 @@ impl RunReport {
             utilities: run.utilities,
             detected: !run.tables_match_centralized,
             stats: run.stats,
+            final_time: run.final_time,
             truncated: run.truncated,
             outcome: MechanismOutcome::Plain {
                 tables_match_centralized: run.tables_match_centralized,
@@ -76,6 +80,7 @@ impl RunReport {
             utilities: run.utilities,
             detected: run.detected,
             stats: run.stats,
+            final_time: run.final_time,
             truncated: run.truncated,
             outcome: MechanismOutcome::Faithful {
                 green_lighted: run.green_lighted,
@@ -119,6 +124,31 @@ impl RunReport {
             MechanismOutcome::Plain { .. } => &[],
             MechanismOutcome::Faithful { penalties, .. } => penalties,
         }
+    }
+
+    /// Total messages delivered.
+    pub fn delivered(&self) -> u64 {
+        self.stats.msgs_delivered
+    }
+
+    /// Messages lost to the network model or dynamics (loss, downed
+    /// nodes, partitions). Zero under
+    /// [`NetModel::Ideal`](specfaith_netsim::NetModel::Ideal) with no
+    /// dynamics.
+    pub fn dropped(&self) -> u64 {
+        self.stats.msgs_dropped
+    }
+
+    /// In-flight deliveries re-scheduled by a throughput model reacting
+    /// to load changes (`SharedThroughput` only).
+    pub fn rescheduled(&self) -> u64 {
+        self.stats.deliveries_rescheduled
+    }
+
+    /// High-water mark of simultaneous in-flight work in the simulator's
+    /// event queue.
+    pub fn max_queue_depth(&self) -> u64 {
+        self.stats.max_queue_depth
     }
 
     /// Whether converged tables matched the centralized reference:

@@ -253,6 +253,15 @@ pub(super) fn sweep_agents(
     parallel: bool,
 ) -> SweepReport {
     let specs = catalog.specs();
+    // On an eager scope, pin the honest-declaration cache — shared by the
+    // baselines and every non-misreporting cell — so per-cell release
+    // (which drops each misreport cell's single-use cache as the cell
+    // completes) can never thrash it.
+    if scenario.route_scope().is_eager() {
+        let _ = scenario
+            .route_scope()
+            .pin(scenario.topology(), scenario.costs());
+    }
     // Phase 1: one honest baseline per seed, shared immutably with every
     // cell of that seed's row (and warming the scenario's route-cache
     // scope for plain scenarios before the fan-out).
@@ -290,7 +299,7 @@ pub(super) fn equilibrium_report_serial(
     seed: u64,
     catalog: &Catalog,
 ) -> EquilibriumReport {
-    let scoped = scenario.with_route_scope(specfaith_graph::cache::CacheScope::unbounded());
+    let scoped = scenario.with_route_scope(specfaith_graph::cache::CacheScope::eager());
     let mut report = sweep(&scoped, &[seed], catalog, false);
     report
         .per_seed
@@ -408,6 +417,63 @@ mod tests {
             "declaration-preserving cells must share the baseline's cache"
         );
         assert_eq!(scope.len(), distinct_vectors);
+    }
+
+    #[test]
+    fn eager_scope_releases_per_cell_caches_without_changing_results() {
+        // The eager-eviction satellite: the same sweep on an eager scope
+        // must (a) produce byte-identical reports, (b) end with only the
+        // pinned honest cache registered, having released every misreport
+        // cell's single-use cache as its cell completed, and (c) keep the
+        // peak registration strictly below the retain-everything total.
+        use specfaith_fpss::deviation::{DropTransitPackets, MisreportCost};
+        let scenario = Scenario::builder()
+            .topology(crate::scenario::TopologySource::RandomBiconnected {
+                n: 12,
+                extra_edges: 4,
+            })
+            .costs(crate::scenario::CostModel::Random { lo: 1, hi: 9 })
+            .traffic(TrafficModel::single_by_index(0, 7, 2))
+            .instance_seed(5)
+            .build();
+        let n = scenario.num_nodes();
+        let catalog = Catalog::from_factory(|_| {
+            vec![
+                Box::new(MisreportCost { delta: 1 }),
+                Box::new(MisreportCost { delta: 2 }),
+                Box::new(DropTransitPackets),
+            ]
+        });
+        let lingering = crate::scenario::CacheScope::unbounded();
+        let reference = scenario.sweep_scoped(&[3], &catalog, &lingering);
+        let eager = crate::scenario::CacheScope::eager();
+        let released = scenario.sweep_scoped(&[3], &catalog, &eager);
+        assert_eq!(released, reference, "eager release changes no result");
+        let distinct_vectors = 1 + 2 * n;
+        assert_eq!(
+            eager.misses(),
+            distinct_vectors,
+            "eager release never forces a recompute in this sweep"
+        );
+        assert_eq!(
+            eager.len(),
+            1,
+            "only the pinned honest cache survives the sweep"
+        );
+        assert_eq!(
+            eager.released(),
+            2 * n,
+            "every misreport cell's cache released at cell completion"
+        );
+        // Parallel peak is nondeterministic but bounded by concurrency;
+        // retaining everything would show distinct_vectors.
+        assert!(
+            eager.peak_len() < distinct_vectors,
+            "peak {} must undercut the retain-everything total {}",
+            eager.peak_len(),
+            distinct_vectors
+        );
+        assert_eq!(lingering.len(), distinct_vectors, "non-eager retains all");
     }
 
     #[test]

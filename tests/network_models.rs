@@ -1,0 +1,338 @@
+//! Network-model integration tests: the Ideal-model compatibility pin,
+//! throughput/contention behavior, and faithful-mechanism detection under
+//! loss, partitions, and churn.
+//!
+//! Two kinds of guarantee live here:
+//!
+//! 1. **Byte-identical compat** — [`NetModel::Ideal`] with no dynamics is
+//!    the default and must reproduce the pre-network-subsystem engine
+//!    exactly, for both engines, down to message and byte totals. The
+//!    goldens were captured on the commit *before* the network subsystem
+//!    landed and must never drift.
+//! 2. **Documented failure modes** — the paper (§5, Discussion) warns
+//!    that failures outside the rational-manipulation model (loss,
+//!    partitions, churn) can be indistinguishable from manipulation.
+//!    These tests pin exactly how the faithful mechanism reacts: when it
+//!    recovers via restarts, when it falsely flags honest networks, and
+//!    when it silently loses liveness.
+
+use specfaith::fpss::deviation::MisreportCost;
+use specfaith::prelude::*;
+use specfaith_core::id::NodeId;
+
+/// The n=64 preset shared by both golden pins.
+fn preset_n64() -> ScenarioBuilder {
+    Scenario::builder()
+        .topology(TopologySource::RandomBiconnected {
+            n: 64,
+            extra_edges: 32,
+        })
+        .costs(CostModel::Random { lo: 1, hi: 20 })
+        .traffic(TrafficModel::Random {
+            flows: 8,
+            max_packets: 3,
+        })
+        .instance_seed(2004)
+}
+
+/// The Figure-1 faithful scenario used by the failure-mode probes.
+fn figure1_faithful() -> ScenarioBuilder {
+    let net = specfaith::graph::generators::figure1();
+    Scenario::builder()
+        .topology(TopologySource::Figure1)
+        .traffic(TrafficModel::Flows(vec![
+            Flow {
+                src: net.x,
+                dst: net.z,
+                packets: 4,
+            },
+            Flow {
+                src: net.d,
+                dst: net.z,
+                packets: 4,
+            },
+        ]))
+        .mechanism(Mechanism::faithful())
+}
+
+fn util_checksum(run: &RunReport) -> i64 {
+    run.utilities.iter().map(|u| u.value()).sum()
+}
+
+// ---------------------------------------------------------------------
+// 1. Byte-identical Ideal pin
+// ---------------------------------------------------------------------
+
+/// Plain engine, n=64 preset, default (Ideal, no dynamics) network:
+/// byte-identical to the pre-network-subsystem engine.
+#[test]
+fn ideal_plain_run_is_byte_identical_to_pre_network_goldens() {
+    let run = preset_n64().build().run(7);
+    assert_eq!(util_checksum(&run), 1_399_779);
+    assert_eq!(run.stats.total_msgs(), 159_200);
+    assert_eq!(run.stats.total_bytes(), 7_587_288);
+    assert_eq!(run.delivered(), 159_200);
+    assert_eq!(run.stats.timers_fired, 8);
+    assert_eq!(run.tables_match_centralized(), Some(true));
+    assert!(!run.detected);
+    // The ideal default also touches none of the new machinery.
+    assert_eq!(run.dropped(), 0);
+    assert_eq!(run.rescheduled(), 0);
+}
+
+/// Faithful engine, n=64 preset, default network: byte-identical to the
+/// pre-network-subsystem engine.
+#[test]
+fn ideal_faithful_run_is_byte_identical_to_pre_network_goldens() {
+    let run = preset_n64()
+        .mechanism(Mechanism::faithful())
+        .reference_check(ReferenceCheck::Sampled { sources: 8 })
+        .build()
+        .run(7);
+    assert_eq!(util_checksum(&run), 65_399_779);
+    assert_eq!(run.stats.total_msgs(), 499_907);
+    assert_eq!(run.stats.total_bytes(), 26_532_768);
+    assert_eq!(run.delivered(), 499_907);
+    assert_eq!(run.stats.timers_fired, 0);
+    assert!(run.green_lighted());
+    assert_eq!(run.restarts(), 0);
+    assert_eq!(run.tables_match_centralized(), Some(true));
+    assert!(!run.detected);
+    assert_eq!(run.dropped(), 0);
+    assert_eq!(run.rescheduled(), 0);
+}
+
+/// `.network(NetModel::Ideal)` is the default spelled out: both engines
+/// produce identical reports with and without it.
+#[test]
+fn explicit_ideal_equals_the_default() {
+    for mechanism in [Mechanism::Plain, Mechanism::faithful()] {
+        let implicit = figure1_faithful().mechanism(mechanism.clone()).build();
+        let explicit = figure1_faithful()
+            .mechanism(mechanism)
+            .network(NetModel::Ideal)
+            .dynamics(Dynamics::new())
+            .build();
+        let a = implicit.run(1);
+        let b = explicit.run(1);
+        assert_eq!(a.utilities, b.utilities);
+        assert_eq!(a.stats.total_msgs(), b.stats.total_msgs());
+        assert_eq!(a.stats.total_bytes(), b.stats.total_bytes());
+        assert_eq!(a.final_time, b.final_time);
+        assert_eq!(a.detected, b.detected);
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. Throughput models
+// ---------------------------------------------------------------------
+
+/// Finite dedicated throughput delays the run but loses nothing and
+/// changes no outcome: construction certifies, tables match, utilities
+/// are the ideal run's.
+#[test]
+fn constant_throughput_delays_without_changing_outcomes() {
+    let ideal = figure1_faithful().build().run(1);
+    let constant = figure1_faithful()
+        .network(NetModel::constant(1_000_000))
+        .build()
+        .run(1);
+    assert!(constant.final_time > ideal.final_time);
+    assert_eq!(constant.dropped(), 0);
+    assert_eq!(constant.rescheduled(), 0, "dedicated links never contend");
+    assert!(constant.green_lighted());
+    assert!(!constant.detected);
+    assert_eq!(constant.tables_match_centralized(), Some(true));
+    assert_eq!(constant.utilities, ideal.utilities);
+}
+
+/// Fair-shared links under the construction flood actually contend: the
+/// congested preset re-schedules thousands of in-flight deliveries, and
+/// the protocol still converges to the certified outcome.
+#[test]
+fn shared_throughput_contends_and_still_certifies() {
+    let ideal = figure1_faithful().build().run(1);
+    let congested = figure1_faithful()
+        .network(NetModel::congested())
+        .build()
+        .run(1);
+    assert!(congested.rescheduled() > 0, "contention must re-schedule");
+    assert_eq!(congested.dropped(), 0);
+    assert!(congested.final_time > ideal.final_time);
+    assert!(congested.green_lighted());
+    assert!(!congested.detected);
+    assert_eq!(congested.tables_match_centralized(), Some(true));
+    assert_eq!(congested.utilities, ideal.utilities);
+}
+
+// ---------------------------------------------------------------------
+// 3. Loss
+// ---------------------------------------------------------------------
+
+/// Plain FPSS under visible loss: dropped construction messages leave
+/// converged tables diverging from the centralized reference. The
+/// divergence is *observable* (`detected`), but plain FPSS has no
+/// enforcement — the run still green-lights and executes (the paper's
+/// point about specifying only the protocol, not the incentives).
+#[test]
+fn plain_fpss_under_loss_diverges_observably_but_unenforced() {
+    let net = specfaith::graph::generators::figure1();
+    let run = Scenario::builder()
+        .topology(TopologySource::Figure1)
+        .traffic(TrafficModel::Flows(vec![Flow {
+            src: net.x,
+            dst: net.z,
+            packets: 4,
+        }]))
+        .network(NetModel::Ideal.with_loss(50))
+        .build()
+        .run(1);
+    assert!(run.dropped() > 0);
+    assert_eq!(run.tables_match_centralized(), Some(false));
+    assert!(run.detected);
+    assert!(run.green_lighted(), "plain FPSS has no gate to fail");
+}
+
+/// The faithful mechanism under congestion plus 1% loss, honest profile:
+/// this seed's drops happen to spare the construction-critical messages,
+/// so the run certifies cleanly — loss does not *always* false-flag.
+#[test]
+fn faithful_mechanism_can_survive_light_loss() {
+    let run = figure1_faithful()
+        .network(NetModel::congested().with_loss(10))
+        .build()
+        .run(1);
+    assert!(run.dropped() > 0);
+    assert!(run.green_lighted());
+    assert!(!run.detected);
+    assert_eq!(run.tables_match_centralized(), Some(true));
+}
+
+/// §5's warning, executable: the same 1% loss under a *misreporting*
+/// deviant drops construction-critical messages, the bank's checkpoints
+/// flag the mismatch, and the restart budget burns out into a halt.
+/// Note the control: under Ideal the misreport alone is NOT detected
+/// (cost declarations are private information — VCG makes honesty
+/// rational, checkers cannot observe the lie). The halt here is
+/// loss-induced: message loss is indistinguishable from manipulation.
+#[test]
+fn loss_not_misreporting_is_what_the_mechanism_flags() {
+    let net = specfaith::graph::generators::figure1();
+    let deviation = || Box::new(MisreportCost { delta: 3 });
+    let ideal = figure1_faithful()
+        .build()
+        .run_with_deviant(net.c, deviation(), 1);
+    assert!(!ideal.detected, "a private-information lie is unobservable");
+    assert!(ideal.green_lighted());
+
+    let lossy = figure1_faithful()
+        .network(NetModel::congested().with_loss(10))
+        .build()
+        .run_with_deviant(net.c, deviation(), 1);
+    assert!(lossy.detected);
+    assert!(lossy.halted(), "restart budget exhausted under loss");
+    assert!(lossy.restarts() > 0);
+    assert_eq!(lossy.tables_match_centralized(), None);
+    assert!(
+        lossy.utilities.iter().all(|u| u.value() == 0),
+        "the halt collectively punishes the honest majority too"
+    );
+}
+
+// ---------------------------------------------------------------------
+// 4. Partitions and churn
+// ---------------------------------------------------------------------
+
+/// A transient partition during construction is repaired by the bank's
+/// restart machinery: checkpoints flag the inconsistent mirrors
+/// (`detected` — a false alarm against an honest network), but once the
+/// partition heals a restart converges and certifies, and nobody loses
+/// utility.
+#[test]
+fn healed_partition_recovers_via_restarts() {
+    let run = figure1_faithful()
+        .dynamics(
+            Dynamics::new()
+                .at(
+                    40,
+                    TopologyEvent::Partition {
+                        island: vec![NodeId::new(0), NodeId::new(5)],
+                    },
+                )
+                .at(90, TopologyEvent::Heal),
+        )
+        .build()
+        .run(1);
+    assert!(run.dropped() > 0, "the partition must actually bite");
+    assert!(run.detected, "honest nodes false-flagged while split");
+    assert!(run.restarts() > 0);
+    assert!(run.green_lighted(), "post-heal restart certifies");
+    assert_eq!(run.tables_match_centralized(), Some(true));
+    assert!(run.utilities.iter().any(|u| u.is_positive()));
+}
+
+/// A permanent partition exhausts the restart budget: the mechanism
+/// halts and zeroes every node's utility — correct refusal to certify,
+/// at the price of collectively punishing the honest mainland.
+#[test]
+fn permanent_partition_halts_the_mechanism() {
+    let run = figure1_faithful()
+        .dynamics(Dynamics::new().at(
+            40,
+            TopologyEvent::Partition {
+                island: vec![NodeId::new(0), NodeId::new(5)],
+            },
+        ))
+        .build()
+        .run(1);
+    assert!(run.detected);
+    assert!(run.halted());
+    assert_eq!(run.tables_match_centralized(), None);
+    assert!(run.utilities.iter().all(|u| u.value() == 0));
+}
+
+/// The documented liveness hole: islanding the bank's overlay node
+/// (id `n` — 6 on Figure 1) severs the checkpoint channel itself. The
+/// bank's requests are the messages being dropped, so nothing ever
+/// reports a mismatch: no restarts, no halt, no detection — the run
+/// silently drains without certifying and all surplus is lost. The
+/// mechanism's enforcement assumes the enforcer stays reachable.
+#[test]
+fn islanding_the_bank_silently_stalls_certification() {
+    let run = figure1_faithful()
+        .dynamics(Dynamics::new().at(
+            40,
+            TopologyEvent::Partition {
+                island: vec![NodeId::new(6)],
+            },
+        ))
+        .build()
+        .run(1);
+    assert!(!run.green_lighted(), "nothing certifies");
+    assert!(!run.halted(), "...but nothing halts either");
+    assert!(!run.detected, "and nothing is flagged");
+    assert_eq!(run.restarts(), 0);
+    assert_eq!(run.tables_match_centralized(), None);
+    assert!(run.utilities.iter().all(|u| u.value() == 0));
+}
+
+/// Node churn mid-construction behaves like a short partition of one:
+/// the down node's silence false-flags it, and once it returns a restart
+/// re-converges and certifies with full utility.
+#[test]
+fn node_churn_recovers_like_a_healed_partition() {
+    let run = figure1_faithful()
+        .dynamics(
+            Dynamics::new()
+                .at(40, TopologyEvent::NodeDown(NodeId::new(2)))
+                .at(90, TopologyEvent::NodeUp(NodeId::new(2))),
+        )
+        .build()
+        .run(1);
+    assert!(run.dropped() > 0);
+    assert!(run.detected);
+    assert!(run.restarts() > 0);
+    assert!(run.green_lighted());
+    assert_eq!(run.tables_match_centralized(), Some(true));
+    assert!(run.utilities.iter().any(|u| u.is_positive()));
+}
