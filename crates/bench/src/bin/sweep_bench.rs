@@ -21,6 +21,9 @@
 //! ```sh
 //! sweep_bench [--quick | --large] [--net ideal|shared] [--n N] \
 //!             [--out BENCH_sweep.json] [--check baseline.json]
+//! sweep_bench [--quick] --shard i/N [--emit-shard-report fragment.json]
+//! sweep_bench --merge f0.json f1.json ... [--out merged.json] \
+//!             [--expect-fingerprint committed.json]
 //! ```
 //!
 //! `--quick` trims the swept catalog (CI-sized run, same instance and
@@ -30,6 +33,44 @@
 //! ratio over sampled sources (the uncached arm at full `n` would take
 //! hours). `--check` exits nonzero when the measured speedup falls more
 //! than 20% below the committed baseline's.
+//!
+//! # Distributed (sharded) sweeps
+//!
+//! `--shard i/N` runs shard `i` of an `N`-way partition of the standard
+//! `n = 64` sweep grid (the same grid the `--quick`/full optimized arm
+//! sweeps, ideal network only) and writes a
+//! [`SweepFragment`] JSON document —
+//! the shard manifest plus evaluated cells and a per-shard timing
+//! summary — to `--emit-shard-report` (default
+//! `BENCH_sweep_shard_<i>of<N>.json`). Shard mode measures nothing
+//! against a reference arm and is never gated; it exists to fan the grid
+//! out across processes or machines. See the `specfaith-bench` crate
+//! docs for the fragment format.
+//!
+//! `--merge` reads fragment files (in any order), recombines them with
+//! [`SweepFragment::merge`](specfaith::scenario::SweepFragment::merge) —
+//! refusing incomplete, overlapping, or cross-instance fragment sets —
+//! prints the per-shard skew table, and writes the merged report (with
+//! its `fnv1a64` content fingerprint) to `--out` (default
+//! `SWEEP_merged.json`). With `--expect-fingerprint`, the merged
+//! report's fingerprint is compared against the committed one
+//! (`crates/bench/baselines/SWEEP_fingerprint_quick.json` in CI): any
+//! divergence — a nondeterministic cell, a stale baseline, a changed
+//! grid — fails the run. The merged report is byte-identical to the
+//! single-process sweep, so the fingerprint gate proves the sharding
+//! contract end to end on every PR.
+//!
+//! # Exit codes
+//!
+//! * `0` — success.
+//! * `1` — gate failure: measured speedup fell below the committed
+//!   floor, or the merged fingerprint diverged from the committed one.
+//! * `2` — usage, I/O, or malformed-input errors (bad flags, unreadable
+//!   or mismatched `--check` baselines, unparsable fragments). Distinct
+//!   from `1` so CI can tell "the gate tripped" from "the gate never
+//!   ran".
+//! * `3` — fragment merge conflict (missing/duplicate shards or cells,
+//!   cross-instance mixes, baseline disagreements).
 //!
 //! `--net shared` runs both arms under the congested fair-sharing
 //! network preset ([`NetModel::congested`]) instead of the ideal model —
@@ -51,7 +92,7 @@
 
 use specfaith::scenario::{
     cell_seed, CacheScope, Catalog, CostModel, Mechanism, NetModel, ReferenceCheck, Scenario,
-    ScenarioBuilder, TopologySource, TrafficModel,
+    ScenarioBuilder, ShardSpec, SweepFragment, TopologySource, TrafficModel,
 };
 use specfaith_bench::instance;
 use specfaith_core::id::NodeId;
@@ -96,8 +137,12 @@ struct Args {
     large: bool,
     net: String,
     n: Option<usize>,
-    out: String,
+    out: Option<String>,
     check: Option<String>,
+    shard: Option<ShardSpec>,
+    emit_shard_report: Option<String>,
+    merge: Vec<String>,
+    expect_fingerprint: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -106,10 +151,14 @@ fn parse_args() -> Result<Args, String> {
         large: false,
         net: "ideal".to_string(),
         n: None,
-        out: "BENCH_sweep.json".to_string(),
+        out: None,
         check: None,
+        shard: None,
+        emit_shard_report: None,
+        merge: Vec::new(),
+        expect_fingerprint: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => args.quick = true,
@@ -123,8 +172,31 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--n: {e}"))?,
                 )
             }
-            "--out" => args.out = it.next().ok_or("--out needs a path")?,
+            "--out" => args.out = Some(it.next().ok_or("--out needs a path")?),
             "--check" => args.check = Some(it.next().ok_or("--check needs a path")?),
+            "--shard" => {
+                args.shard = Some(ShardSpec::parse(
+                    &it.next().ok_or("--shard needs an i/N spec")?,
+                )?)
+            }
+            "--emit-shard-report" => {
+                args.emit_shard_report = Some(it.next().ok_or("--emit-shard-report needs a path")?)
+            }
+            "--merge" => {
+                while let Some(path) = it.peek() {
+                    if path.starts_with("--") {
+                        break;
+                    }
+                    args.merge.push(it.next().expect("peeked"));
+                }
+                if args.merge.is_empty() {
+                    return Err("--merge needs one or more fragment paths".into());
+                }
+            }
+            "--expect-fingerprint" => {
+                args.expect_fingerprint =
+                    Some(it.next().ok_or("--expect-fingerprint needs a path")?)
+            }
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -136,6 +208,28 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.large && args.net != "ideal" {
         return Err("--large only supports --net ideal".into());
+    }
+    if !args.merge.is_empty()
+        && (args.quick || args.large || args.shard.is_some() || args.check.is_some())
+    {
+        return Err("--merge takes only --out and --expect-fingerprint".into());
+    }
+    if args.expect_fingerprint.is_some() && args.merge.is_empty() {
+        return Err("--expect-fingerprint only applies to --merge".into());
+    }
+    if args.shard.is_some() {
+        if args.large {
+            return Err("--shard applies to the n=64 grid; it excludes --large".into());
+        }
+        if args.net != "ideal" {
+            return Err("--shard only supports --net ideal".into());
+        }
+        if args.check.is_some() {
+            return Err("--shard runs are never gated; drop --check".into());
+        }
+    }
+    if args.emit_shard_report.is_some() && args.shard.is_none() {
+        return Err("--emit-shard-report only applies to --shard".into());
     }
     Ok(args)
 }
@@ -270,6 +364,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if !args.merge.is_empty() {
+        return run_merge(&args);
+    }
     let mode = if args.large {
         "large"
     } else if args.quick {
@@ -280,11 +377,12 @@ fn main() -> ExitCode {
     if args.large {
         let n = args.n.unwrap_or(LARGE_N);
         let (speedup, json) = run_large(n);
-        if let Err(error) = std::fs::write(&args.out, &json) {
-            eprintln!("sweep_bench: cannot write {}: {error}", args.out);
+        let out = args.out.as_deref().unwrap_or("BENCH_sweep_large.json");
+        if let Err(error) = std::fs::write(out, &json) {
+            eprintln!("sweep_bench: cannot write {out}: {error}");
             return ExitCode::from(2);
         }
-        println!("sweep_bench[large]: wrote {}", args.out);
+        println!("sweep_bench[large]: wrote {out}");
         return match args.check {
             Some(baseline_path) => check_gate(&baseline_path, mode, n, speedup),
             None => ExitCode::SUCCESS,
@@ -315,6 +413,10 @@ fn main() -> ExitCode {
             .take(deviations)
             .collect()
     });
+
+    if let Some(shard) = args.shard {
+        return run_shard(&scenario, &catalog, shard, mode, args.emit_shard_report);
+    }
 
     // Optimized arm: the real serial sweep (serial so the gated ratio does
     // not conflate caching with core count). The ungated shared-net
@@ -397,14 +499,14 @@ fn main() -> ExitCode {
          \"reference_cells_per_sec\": {uncached_cps:.4},\n  \"speedup\": {speedup:.2}\n}}\n",
         net = args.net,
     );
-    if let Err(error) = std::fs::write(&args.out, &json) {
-        eprintln!("sweep_bench: cannot write {}: {error}", args.out);
+    let out = args.out.as_deref().unwrap_or("BENCH_sweep.json");
+    if let Err(error) = std::fs::write(out, &json) {
+        eprintln!("sweep_bench: cannot write {out}: {error}");
         return ExitCode::from(2);
     }
     println!(
         "sweep_bench[{mode}/{net}]: optimized {cached_cps:.2} cells/s, reference {uncached_cps:.2} \
-         cells/s, speedup {speedup:.1}x -> {}",
-        args.out,
+         cells/s, speedup {speedup:.1}x -> {out}",
         net = args.net,
     );
 
@@ -423,34 +525,209 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// The >20% speedup-ratio regression gate shared by every mode. Refuses
-/// baselines whose mode or instance size differ from the run's (a ratio
-/// measured at one `n` says nothing about another).
-fn check_gate(baseline_path: &str, mode: &str, n: usize, speedup: f64) -> ExitCode {
-    let baseline_json = match std::fs::read_to_string(baseline_path) {
-        Ok(json) => json,
+/// The `--shard` mode: evaluates one shard of the standard `n = 64` grid
+/// (the same grid the corresponding bench mode's optimized arm sweeps)
+/// and emits its [`SweepFragment`] JSON. Never gated — the fingerprint
+/// check happens at merge time.
+fn run_shard(
+    scenario: &Scenario,
+    catalog: &Catalog,
+    shard: ShardSpec,
+    mode: &str,
+    emit: Option<String>,
+) -> ExitCode {
+    // The label pins the grid identity at the bench level (instance size
+    // and seeds, catalog mode, network); the library's instance
+    // fingerprint covers the materialized topology/costs/traffic below it.
+    let instance = format!("sweep-n{N}-i{INSTANCE_SEED}-s{SWEEP_SEED}-{mode}-ideal");
+    let total = scenario.num_nodes() * catalog.len();
+    let owned = shard.cell_indices(total).len();
+    eprintln!(
+        "sweep_bench[{mode}/shard {shard}]: {owned} of {total} grid cells at n={N} \
+         (+1 honest baseline)..."
+    );
+    let fragment = scenario.sweep_shard(&[SWEEP_SEED], catalog, shard, &instance);
+    let path = emit.unwrap_or_else(|| {
+        format!(
+            "BENCH_sweep_shard_{}of{}.json",
+            shard.index(),
+            shard.count()
+        )
+    });
+    if let Err(error) = std::fs::write(&path, fragment.to_json()) {
+        eprintln!("sweep_bench: cannot write {path}: {error}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "sweep_bench[{mode}/shard {shard}]: {} cells in {:.1}s ({}), baseline {:.1}s -> {path}",
+        fragment.cells.len(),
+        fragment.timing.cells_secs,
+        match fragment.cells_per_sec() {
+            Some(rate) => format!("{rate:.2} cells/s"),
+            None => "idle".to_string(),
+        },
+        fragment.timing.baseline_secs,
+    );
+    ExitCode::SUCCESS
+}
+
+/// The `--merge` mode: recombine shard fragments, report skew, write the
+/// merged report + fingerprint, and optionally gate the fingerprint
+/// against a committed baseline.
+fn run_merge(args: &Args) -> ExitCode {
+    let mut fragments = Vec::with_capacity(args.merge.len());
+    for path in &args.merge {
+        let json = match std::fs::read_to_string(path) {
+            Ok(json) => json,
+            Err(error) => {
+                eprintln!("sweep_bench: cannot read fragment {path}: {error}");
+                return ExitCode::from(2);
+            }
+        };
+        match SweepFragment::from_json(&json) {
+            Ok(fragment) => fragments.push(fragment),
+            Err(error) => {
+                eprintln!("sweep_bench: fragment {path} is malformed: {error}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = match SweepFragment::merge(&fragments) {
+        Ok(report) => report,
         Err(error) => {
-            eprintln!("sweep_bench: cannot read baseline {baseline_path}: {error}");
-            return ExitCode::from(2);
+            eprintln!("sweep_bench: merge refused: {error}");
+            return ExitCode::from(3);
         }
     };
+    let fingerprint = report.fingerprint();
+    println!(
+        "sweep_bench[merge]: {} fragment(s) over instance {:?} -> {} seeds, {} cells, \
+         fingerprint {fingerprint}",
+        fragments.len(),
+        fragments[0].instance,
+        report.per_seed.len(),
+        report.total_deviations(),
+    );
+    print!("{}", SweepFragment::skew_summary(&fragments));
+
+    let mut ordered: Vec<&SweepFragment> = fragments.iter().collect();
+    ordered.sort_by_key(|fragment| fragment.shard.index());
+    let shards_json = ordered
+        .iter()
+        .map(|fragment| {
+            format!(
+                "{{\"shard\": \"{}\", \"cells\": {}, \"cells_secs\": {:.3}, \
+                 \"baseline_secs\": {:.3}}}",
+                fragment.shard,
+                fragment.cells.len(),
+                fragment.timing.cells_secs,
+                fragment.timing.baseline_secs
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let merged_json = format!(
+        "{{\n  \"format\": \"specfaith-sweep-merged-v1\",\n  \"instance\": \"{}\",\n  \
+         \"fingerprint\": \"{fingerprint}\",\n  \"cells\": {},\n  \"shards\": [\n    \
+         {shards_json}\n  ],\n  \"report\": {}\n}}\n",
+        fragments[0].instance,
+        report.total_deviations(),
+        report.to_canonical_json(),
+    );
+    let out = args.out.as_deref().unwrap_or("SWEEP_merged.json");
+    if let Err(error) = std::fs::write(out, &merged_json) {
+        eprintln!("sweep_bench: cannot write {out}: {error}");
+        return ExitCode::from(2);
+    }
+    println!("sweep_bench[merge]: wrote {out}");
+
+    if let Some(expected_path) = &args.expect_fingerprint {
+        let expected_json = match std::fs::read_to_string(expected_path) {
+            Ok(json) => json,
+            Err(error) => {
+                eprintln!(
+                    "sweep_bench: cannot read fingerprint baseline {expected_path}: {error}\n\
+                     sweep_bench: expected a committed fingerprint file at that path; run the \
+                     full shard set through --merge once and commit its \"fingerprint\" value"
+                );
+                return ExitCode::from(2);
+            }
+        };
+        if let Some(expected_instance) = json_string(&expected_json, "instance") {
+            if expected_instance != fragments[0].instance {
+                eprintln!(
+                    "sweep_bench: fingerprint baseline {expected_path} pins instance \
+                     {expected_instance:?}, but the fragments are {:?}",
+                    fragments[0].instance
+                );
+                return ExitCode::from(2);
+            }
+        }
+        let Some(expected) = json_string(&expected_json, "fingerprint") else {
+            eprintln!(
+                "sweep_bench: fingerprint baseline {expected_path} has no \"fingerprint\" field"
+            );
+            return ExitCode::from(2);
+        };
+        if expected != fingerprint {
+            eprintln!(
+                "sweep_bench: FINGERPRINT MISMATCH — merged report is {fingerprint}, committed \
+                 baseline {expected_path} pins {expected}; the sharded sweep no longer \
+                 reproduces the single-process report"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("sweep_bench[merge]: fingerprint matches the committed baseline ({expected})");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Loads a committed gate baseline and returns its speedup, validating
+/// that it matches the run's mode and instance size (a ratio measured at
+/// one `n` says nothing about another).
+///
+/// A missing, unreadable, or mismatched baseline is a **setup defect**,
+/// not a performance regression: the caller exits `2`, distinct from the
+/// gate-failure exit `1`, and the message names the expected path and how
+/// to regenerate it.
+fn load_baseline_speedup(baseline_path: &str, mode: &str, n: usize) -> Result<f64, String> {
+    let baseline_json = std::fs::read_to_string(baseline_path).map_err(|error| {
+        let flag = match mode {
+            "full" => String::new(),
+            other => format!("--{other} "),
+        };
+        format!(
+            "cannot read gate baseline {baseline_path}: {error}\n\
+             sweep_bench: expected a committed baseline at that path; generate one on a quiet \
+             machine with `sweep_bench {flag}--out {baseline_path}` and commit it"
+        )
+    })?;
     let baseline_mode = json_string(&baseline_json, "mode").unwrap_or_default();
     if baseline_mode != mode {
-        eprintln!("sweep_bench: baseline mode {baseline_mode:?} does not match run mode {mode:?}");
-        return ExitCode::from(2);
+        return Err(format!(
+            "baseline {baseline_path} is mode {baseline_mode:?}, run is mode {mode:?}"
+        ));
     }
     if let Some(baseline_n) = json_number(&baseline_json, "n") {
         if baseline_n as usize != n {
-            eprintln!(
-                "sweep_bench: baseline n={} does not match run n={n}",
+            return Err(format!(
+                "baseline {baseline_path} is n={}, run is n={n}",
                 baseline_n as usize
-            );
-            return ExitCode::from(2);
+            ));
         }
     }
-    let Some(baseline_speedup) = json_number(&baseline_json, "speedup") else {
-        eprintln!("sweep_bench: baseline {baseline_path} has no \"speedup\" field");
-        return ExitCode::from(2);
+    json_number(&baseline_json, "speedup")
+        .ok_or_else(|| format!("baseline {baseline_path} has no \"speedup\" field"))
+}
+
+/// The >20% speedup-ratio regression gate shared by every measured mode.
+fn check_gate(baseline_path: &str, mode: &str, n: usize, speedup: f64) -> ExitCode {
+    let baseline_speedup = match load_baseline_speedup(baseline_path, mode, n) {
+        Ok(speedup) => speedup,
+        Err(message) => {
+            eprintln!("sweep_bench: {message}");
+            return ExitCode::from(2);
+        }
     };
     let floor = baseline_speedup * 0.8;
     if speedup < floor {
@@ -465,4 +742,60 @@ fn check_gate(baseline_path: &str, mode: &str, n: usize, speedup: f64) -> ExitCo
          (80% of baseline {baseline_speedup:.1}x)"
     );
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_baseline(name: &str, contents: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "sweep_bench_gate_{name}_{}.json",
+            std::process::id()
+        ));
+        std::fs::write(&path, contents).expect("write temp baseline");
+        path
+    }
+
+    #[test]
+    fn missing_baseline_is_a_setup_error_naming_the_path() {
+        let error =
+            load_baseline_speedup("/nonexistent/dir/BENCH_missing.json", "quick", 64).unwrap_err();
+        assert!(error.contains("/nonexistent/dir/BENCH_missing.json"));
+        assert!(
+            error.contains("--quick --out"),
+            "error must say how to regenerate: {error}"
+        );
+        let full_error = load_baseline_speedup("/nonexistent/x.json", "full", 64).unwrap_err();
+        assert!(
+            full_error.contains("`sweep_bench --out"),
+            "full mode has no flag: {full_error}"
+        );
+    }
+
+    #[test]
+    fn mismatched_mode_or_n_is_rejected() {
+        let path = temp_baseline("mode", r#"{"mode": "full", "n": 64, "speedup": 8.0}"#);
+        let error = load_baseline_speedup(path.to_str().unwrap(), "quick", 64).unwrap_err();
+        assert!(error.contains("mode"), "{error}");
+        let error = load_baseline_speedup(path.to_str().unwrap(), "full", 1024).unwrap_err();
+        assert!(error.contains("n=64"), "{error}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn valid_baseline_yields_its_speedup() {
+        let path = temp_baseline("ok", r#"{"mode": "quick", "n": 64, "speedup": 35.58}"#);
+        let speedup = load_baseline_speedup(path.to_str().unwrap(), "quick", 64).expect("loads");
+        assert!((speedup - 35.58).abs() < 1e-9);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn baseline_without_speedup_is_rejected() {
+        let path = temp_baseline("nospeedup", r#"{"mode": "quick", "n": 64}"#);
+        let error = load_baseline_speedup(path.to_str().unwrap(), "quick", 64).unwrap_err();
+        assert!(error.contains("speedup"), "{error}");
+        let _ = std::fs::remove_file(path);
+    }
 }

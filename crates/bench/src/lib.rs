@@ -3,6 +3,45 @@
 //! Shared helpers for the Criterion benchmarks and the experiment runner
 //! (`run_experiments`), which regenerates every experiment table in
 //! EXPERIMENTS.md.
+//!
+//! # Shard fragment format
+//!
+//! `sweep_bench --shard i/N --emit-shard-report <path>` writes one
+//! `specfaith-sweep-fragment-v1` JSON document per shard (the
+//! serialization of `specfaith::scenario::SweepFragment`), and
+//! `sweep_bench --merge` consumes a complete set of them. The layout:
+//!
+//! ```json
+//! {
+//!   "format": "specfaith-sweep-fragment-v1",
+//!   "shard": {"index": 2, "count": 4},
+//!   "instance": "sweep-n64-i2004-s7-quick-ideal",
+//!   "instance_fingerprint": "fnv1a64:…",
+//!   "seeds": [7],
+//!   "agents": [0, 1, …],
+//!   "deviations": [{"name": "…", "surface": ["…"], "phase": …}, …],
+//!   "baselines": [{"seed": 7, "faithful_utilities": [-12, …]}],
+//!   "cells": [
+//!     {"index": 5, "seed": 7, "agent": 2, "deviation": 1,
+//!      "deviant_utility": -9, "detected": true}, …
+//!   ],
+//!   "timing": {"baseline_secs": 1.2, "cells_secs": 20.9}
+//! }
+//! ```
+//!
+//! The **manifest** — `shard`, `instance`, `instance_fingerprint`,
+//! `seeds`, `agents`, `deviations` — declares which grid the fragment
+//! is a slice of; merge refuses fragments whose manifests disagree.
+//! Each cell's `index` is its row-major position in the
+//! `seeds × agents × deviations` grid (shard `i` of `N` owns the
+//! indices ≡ `i` mod `N`); the redundant `seed`/`agent`/`deviation`
+//! coordinates are re-derived and cross-checked at merge time. Every
+//! shard re-runs the cheap per-seed honest `baselines`, so merge also
+//! verifies bit-identical baseline utilities across shards — a free
+//! cross-machine determinism check. `timing` feeds the merge-time skew
+//! table. Money values are exact integers; all floats are timings.
+//! Unknown keys are ignored, so the format can grow fields without
+//! breaking old readers.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -58,9 +58,9 @@ pub mod scenario;
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
     pub use crate::scenario::{
-        CacheScope, Catalog, CostModel, Dynamics, Mechanism, MechanismOutcome, NetModel,
-        ReferenceCheck, RunReport, Scenario, ScenarioBuilder, ScenarioError, SweepReport,
-        TopologyEvent, TopologySource, TrafficModel,
+        CacheScope, Catalog, CostModel, Dynamics, Mechanism, MechanismOutcome, MergeError,
+        NetModel, ReferenceCheck, RunReport, Scenario, ScenarioBuilder, ScenarioError, ShardSpec,
+        SweepFragment, SweepReport, TopologyEvent, TopologySource, TrafficModel,
     };
     pub use specfaith_core::actions::{CompatibilityKind, DeviationSurface, ExternalActionKind};
     pub use specfaith_core::equilibrium::{DeviationSpec, EquilibriumReport, EquilibriumSuite};

@@ -48,10 +48,12 @@
 
 mod builder;
 mod report;
+mod shard;
 mod sweep;
 
 pub use builder::{CostModel, ScenarioBuilder, ScenarioError, TopologySource, TrafficModel};
 pub use report::{MechanismOutcome, RunReport, SweepReport};
+pub use shard::{FragmentCell, MergeError, ShardSpec, ShardTiming, SweepFragment, FRAGMENT_FORMAT};
 pub use specfaith_fpss::runner::ReferenceCheck;
 pub use specfaith_graph::cache::CacheScope;
 pub use specfaith_netsim::{Dynamics, NetModel, TopologyEvent};
@@ -333,6 +335,73 @@ impl Scenario {
             catalog,
             agents,
             true,
+        )
+    }
+
+    /// One shard of the full-agent sweep grid: evaluates every seed's
+    /// honest baseline plus exactly the `(seed × agent × deviation)`
+    /// cells `shard` owns (strided assignment — see
+    /// [`ShardSpec::cell_indices`]), and returns them as a serializable
+    /// [`SweepFragment`].
+    ///
+    /// Running every shard of the partition (in any order, on any
+    /// machines) and recombining with [`SweepFragment::merge`] yields a
+    /// [`SweepReport`] **byte-identical** to [`Scenario::sweep`] over the
+    /// same seeds and catalog — per-cell seeds depend only on
+    /// `(seed, agent, deviation)`, never on the partition.
+    ///
+    /// `instance` is a caller-chosen grid label carried in the fragment
+    /// manifest; the merge refuses fragments whose labels (or instance
+    /// fingerprints, seeds, agents, or catalogs) disagree.
+    pub fn sweep_shard(
+        &self,
+        seeds: &[u64],
+        catalog: &Catalog,
+        shard: ShardSpec,
+        instance: &str,
+    ) -> SweepFragment {
+        let agents: Vec<usize> = (0..self.num_nodes()).collect();
+        shard::run_shard(
+            &self.with_route_scope(CacheScope::eager()),
+            seeds,
+            catalog,
+            &agents,
+            shard,
+            instance,
+        )
+    }
+
+    /// [`Scenario::sweep_shard`] restricted to deviations by `agents` —
+    /// the sharded counterpart of [`Scenario::sweep_sampled`], with the
+    /// same cell-identity guarantee.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an agent index is out of range or listed twice.
+    pub fn sweep_shard_sampled(
+        &self,
+        seeds: &[u64],
+        catalog: &Catalog,
+        agents: &[usize],
+        shard: ShardSpec,
+        instance: &str,
+    ) -> SweepFragment {
+        let n = self.num_nodes();
+        assert!(
+            agents.iter().all(|&agent| agent < n),
+            "sampled agents must be topology indices"
+        );
+        assert!(
+            (1..agents.len()).all(|i| !agents[..i].contains(&agents[i])),
+            "sampled agents must be distinct"
+        );
+        shard::run_shard(
+            &self.with_route_scope(CacheScope::eager()),
+            seeds,
+            catalog,
+            agents,
+            shard,
+            instance,
         )
     }
 }

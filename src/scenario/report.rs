@@ -234,6 +234,61 @@ impl SweepReport {
         Some(detected as f64 / total as f64)
     }
 
+    /// The canonical JSON rendering of this report: compact (no
+    /// whitespace), fields in a fixed order, integer money values — the
+    /// byte string [`SweepReport::fingerprint`] hashes. Two reports
+    /// render identically iff they are `==`, so "merged fragments are
+    /// byte-identical to the single-process sweep" is checkable either
+    /// in-process (`assert_eq!`) or across machines (fingerprint
+    /// comparison, as the CI `sweep-merge` job does).
+    pub fn to_canonical_json(&self) -> String {
+        use super::shard::spec_to_json;
+        let mut out = String::from("{\"format\":\"specfaith-sweep-report-v1\",\"per_seed\":[");
+        for (i, (seed, report)) in self.per_seed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"seed\":{seed},\"faithful_utilities\":[{}],\"outcomes\":[",
+                report
+                    .faithful_utilities
+                    .iter()
+                    .map(|m| m.value().to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ));
+            for (j, outcome) in report.outcomes.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"agent\":{},\"deviation\":{},\"faithful_utility\":{},\
+                     \"deviant_utility\":{},\"detected\":{}}}",
+                    outcome.agent,
+                    spec_to_json(&outcome.deviation),
+                    outcome.faithful_utility.value(),
+                    outcome.deviant_utility.value(),
+                    outcome.detected
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// A deterministic content fingerprint (`fnv1a64:` + 16 hex digits)
+    /// over [`SweepReport::to_canonical_json`]. Equal reports — e.g. a
+    /// merged shard set and the single-process sweep — always share it;
+    /// CI pins the sharded quick sweep's merged fingerprint against a
+    /// committed baseline on every PR.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "fnv1a64:{:016x}",
+            super::shard::fnv1a64(self.to_canonical_json().as_bytes())
+        )
+    }
+
     /// Converts into the labeled [`EquilibriumSuite`] the certificate
     /// assembly expects, labeling each report `seed-<seed>`.
     pub fn to_suite(&self) -> EquilibriumSuite {

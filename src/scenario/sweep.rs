@@ -132,29 +132,29 @@ pub fn cell_seed(base_seed: u64, agent: u64, deviation: u64) -> u64 {
 /// deviation)` — never on which *other* cells the grid holds — so an
 /// agent-sampled grid evaluates exactly the cells the full grid would.
 #[derive(Clone, Copy, Debug)]
-struct Cell {
+pub(crate) struct Cell {
     /// Index into the caller's seed list.
-    seed_index: usize,
+    pub(crate) seed_index: usize,
     /// The caller's base seed for this cell's row.
-    base_seed: u64,
+    pub(crate) base_seed: u64,
     /// The deviating agent (topology index).
-    agent: usize,
+    pub(crate) agent: usize,
     /// Index into the catalog's deviation list.
-    deviation: usize,
+    pub(crate) deviation: usize,
 }
 
 /// An evaluated run's deviant-relevant utility data — one per deviation
 /// cell, and (behind an `Arc`, shared across the seed's whole row) one
 /// per honest baseline.
 #[derive(Clone, Debug)]
-struct CellResult {
-    utilities: Vec<Money>,
-    detected: bool,
+pub(crate) struct CellResult {
+    pub(crate) utilities: Vec<Money>,
+    pub(crate) detected: bool,
 }
 
 /// Phase 1 evaluator: the honest baseline of one seed, reproducible via
 /// `scenario.run(base_seed)`.
-fn evaluate_baseline(scenario: &Scenario, base_seed: u64) -> CellResult {
+pub(crate) fn evaluate_baseline(scenario: &Scenario, base_seed: u64) -> CellResult {
     let run = scenario.run(base_seed);
     CellResult {
         utilities: run.utilities,
@@ -164,7 +164,7 @@ fn evaluate_baseline(scenario: &Scenario, base_seed: u64) -> CellResult {
 
 /// Phase 2 evaluator: one `(agent, deviation)` cell, reproducible via
 /// `scenario.run_with_deviant(agent, strategy, cell_seed(..))`.
-fn evaluate(scenario: &Scenario, catalog: &Catalog, cell: &Cell) -> CellResult {
+pub(crate) fn evaluate(scenario: &Scenario, catalog: &Catalog, cell: &Cell) -> CellResult {
     let agent_id = NodeId::from_index(cell.agent);
     let strategy = catalog.strategy(agent_id, cell.deviation);
     let seed = cell_seed(cell.base_seed, cell.agent as u64, cell.deviation as u64);
@@ -176,8 +176,11 @@ fn evaluate(scenario: &Scenario, catalog: &Catalog, cell: &Cell) -> CellResult {
 }
 
 /// Builds the deviation-cell grid for `seeds`: per seed, agents ×
-/// deviations in row-major order.
-fn deviation_grid(seeds: &[u64], agents: &[usize], deviations: usize) -> Vec<Cell> {
+/// deviations in row-major order. This enumeration order is the shard
+/// partition's coordinate system: a cell's position here is the "global
+/// grid index" sharded by [`ShardSpec`](super::shard::ShardSpec) and
+/// recorded in [`SweepFragment`](super::shard::SweepFragment) cells.
+pub(crate) fn deviation_grid(seeds: &[u64], agents: &[usize], deviations: usize) -> Vec<Cell> {
     let mut cells = Vec::with_capacity(seeds.len() * agents.len() * deviations);
     for (seed_index, &base_seed) in seeds.iter().enumerate() {
         for &agent in agents {
