@@ -23,7 +23,8 @@
 //!             [--out BENCH_sweep.json] [--check baseline.json]
 //! sweep_bench [--quick] --shard i/N [--emit-shard-report fragment.json]
 //! sweep_bench --merge f0.json f1.json ... [--out merged.json] \
-//!             [--expect-fingerprint committed.json]
+//!             [--expect-fingerprint committed.json] \
+//!             [--timing-out timing.json]
 //! ```
 //!
 //! `--quick` trims the swept catalog (CI-sized run, same instance and
@@ -58,7 +59,11 @@
 //! divergence — a nondeterministic cell, a stale baseline, a changed
 //! grid — fails the run. The merged report is byte-identical to the
 //! single-process sweep, so the fingerprint gate proves the sharding
-//! contract end to end on every PR.
+//! contract end to end on every PR. `--timing-out` additionally writes
+//! the per-shard timing summary (cells, wall seconds, cells/s, baseline
+//! seconds per shard) as its own small JSON document — CI uploads it as
+//! an artifact so shard skew is inspectable without downloading the full
+//! merged report.
 //!
 //! # Exit codes
 //!
@@ -143,6 +148,7 @@ struct Args {
     emit_shard_report: Option<String>,
     merge: Vec<String>,
     expect_fingerprint: Option<String>,
+    timing_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -157,6 +163,7 @@ fn parse_args() -> Result<Args, String> {
         emit_shard_report: None,
         merge: Vec::new(),
         expect_fingerprint: None,
+        timing_out: None,
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(arg) = it.next() {
@@ -197,6 +204,7 @@ fn parse_args() -> Result<Args, String> {
                 args.expect_fingerprint =
                     Some(it.next().ok_or("--expect-fingerprint needs a path")?)
             }
+            "--timing-out" => args.timing_out = Some(it.next().ok_or("--timing-out needs a path")?),
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -212,10 +220,13 @@ fn parse_args() -> Result<Args, String> {
     if !args.merge.is_empty()
         && (args.quick || args.large || args.shard.is_some() || args.check.is_some())
     {
-        return Err("--merge takes only --out and --expect-fingerprint".into());
+        return Err("--merge takes only --out, --expect-fingerprint, and --timing-out".into());
     }
     if args.expect_fingerprint.is_some() && args.merge.is_empty() {
         return Err("--expect-fingerprint only applies to --merge".into());
+    }
+    if args.timing_out.is_some() && args.merge.is_empty() {
+        return Err("--timing-out only applies to --merge".into());
     }
     if args.shard.is_some() {
         if args.large {
@@ -640,6 +651,40 @@ fn run_merge(args: &Args) -> ExitCode {
         return ExitCode::from(2);
     }
     println!("sweep_bench[merge]: wrote {out}");
+
+    if let Some(timing_path) = &args.timing_out {
+        // Standalone per-shard timing summary — written before the
+        // fingerprint gate so the artifact survives a gate failure (the
+        // skew data is most interesting exactly when something broke).
+        let timing_json = ordered
+            .iter()
+            .map(|fragment| {
+                format!(
+                    "    {{\"shard\": \"{}\", \"cells\": {}, \"cells_secs\": {:.3}, \
+                     \"cells_per_sec\": {}, \"baseline_secs\": {:.3}}}",
+                    fragment.shard,
+                    fragment.cells.len(),
+                    fragment.timing.cells_secs,
+                    match fragment.cells_per_sec() {
+                        Some(rate) => format!("{rate:.4}"),
+                        None => "null".to_string(),
+                    },
+                    fragment.timing.baseline_secs
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let timing_doc = format!(
+            "{{\n  \"format\": \"specfaith-sweep-shard-timing-v1\",\n  \
+             \"instance\": \"{}\",\n  \"shards\": [\n{timing_json}\n  ]\n}}\n",
+            fragments[0].instance,
+        );
+        if let Err(error) = std::fs::write(timing_path, &timing_doc) {
+            eprintln!("sweep_bench: cannot write {timing_path}: {error}");
+            return ExitCode::from(2);
+        }
+        println!("sweep_bench[merge]: wrote per-shard timing to {timing_path}");
+    }
 
     if let Some(expected_path) = &args.expect_fingerprint {
         let expected_json = match std::fs::read_to_string(expected_path) {

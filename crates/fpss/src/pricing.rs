@@ -24,7 +24,11 @@ use specfaith_graph::topology::Topology;
 ///
 /// This is the primary implementation: both the `src` tree and the
 /// `(src, k)` avoid tree are computed at most once per [`RouteCache`],
-/// shared across every destination and every caller of the cache.
+/// shared across every destination and every caller of the cache. The
+/// avoid tree itself is no longer a fresh `d_{G−k}` Dijkstra: the cache
+/// repairs it from its own `src` tree (re-relaxing only the subtree
+/// detached by removing `k` — see [`specfaith_graph::repair`]), which is
+/// exactly equivalent and pinned so by the repair-equivalence suite.
 ///
 /// # Panics
 ///
@@ -166,7 +170,9 @@ pub fn expected_tables(
 /// all `n` uncached sources would take hours, a sampled handful minutes).
 ///
 /// Retained **only** for benchmark reference arms; never call this from
-/// product code.
+/// product code. Unlike the cached path, every avoid tree here is a
+/// fresh `d_{G−k}` Dijkstra via [`lcp_tree_avoiding`] — this arm is the
+/// independent oracle the repaired trees are measured against.
 #[doc(hidden)]
 pub fn expected_tables_uncached_for(
     topo: &Topology,

@@ -55,8 +55,9 @@
 //! ```
 
 use crate::costs::CostVector;
-use crate::lcp::{lcp_tree, lcp_tree_avoiding};
+use crate::lcp::lcp_tree;
 use crate::path::PathMetric;
+use crate::repair::{repair_avoiding, repair_cost_change};
 use crate::topology::Topology;
 use specfaith_core::id::NodeId;
 use std::collections::{HashMap, VecDeque};
@@ -165,9 +166,21 @@ pub struct RouteCache {
     trees: Vec<OnceLock<Box<[Option<PathMetric>]>>>,
     /// Sparse `(src, avoid)` index of `d_{G−avoid}` trees.
     avoid_trees: SparseAvoidIndex,
-    /// Number of Dijkstra runs performed so far (diagnostics for benches
-    /// and tests; not part of any result).
+    /// When present, this cache's cost vector differs from `seed.base`'s at
+    /// exactly one node, and plain trees are [`repair`](crate::repair)ed
+    /// from the base cache's instead of built by fresh Dijkstra. Repair is
+    /// exactly equivalent, so seeding is invisible in every answer.
+    seed: Option<CacheSeed>,
+    /// Number of tree materializations (fresh or repaired) performed so
+    /// far (diagnostics for benches and tests; not part of any result).
     computed: AtomicUsize,
+}
+
+/// The donor of a seeded [`RouteCache`]: the base cache whose trees are
+/// repaired against the one-node cost delta at `changed`.
+struct CacheSeed {
+    base: Arc<RouteCache>,
+    changed: NodeId,
 }
 
 impl std::fmt::Debug for RouteCache {
@@ -202,8 +215,51 @@ impl RouteCache {
             fingerprint,
             trees: (0..n).map(|_| OnceLock::new()).collect(),
             avoid_trees: SparseAvoidIndex::new(),
+            seed: None,
             computed: AtomicUsize::new(0),
         }
+    }
+
+    /// A cache for `costs` **seeded** from `base`: the same topology, a
+    /// cost vector differing from the base's at exactly one node, and
+    /// every plain tree obtained by [`repair`](crate::repair)ing the base
+    /// cache's tree against that one-node delta instead of a fresh
+    /// Dijkstra. Sweep engines use this to derive each misreport cell's
+    /// cache from the shared honest baseline (see [`CacheScope::pin`]).
+    ///
+    /// Repair is exactly equivalent to fresh computation, so a seeded
+    /// cache's answers are byte-identical to [`RouteCache::new`]'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs` does not differ from the base's vector at exactly
+    /// one node (an identical vector should share the base cache itself;
+    /// a multi-node delta has no single-node repair).
+    pub fn seeded_from(base: &Arc<RouteCache>, costs: CostVector) -> Self {
+        let changed = base
+            .costs()
+            .one_node_delta(&costs)
+            .expect("a seeded cache differs from its base at exactly one node");
+        let n = base.topo.num_nodes();
+        let fingerprint = fingerprint(&base.topo, &costs);
+        RouteCache {
+            topo: base.topo.clone(),
+            costs,
+            fingerprint,
+            trees: (0..n).map(|_| OnceLock::new()).collect(),
+            avoid_trees: SparseAvoidIndex::new(),
+            seed: Some(CacheSeed {
+                base: Arc::clone(base),
+                changed,
+            }),
+            computed: AtomicUsize::new(0),
+        }
+    }
+
+    /// Whether this cache repairs its trees from a seed base
+    /// ([`RouteCache::seeded_from`]) rather than running fresh Dijkstra.
+    pub fn is_seeded(&self) -> bool {
+        self.seed.is_some()
     }
 
     /// The process-shared cache for `(topo, costs)` — shorthand for
@@ -239,7 +295,21 @@ impl RouteCache {
     pub fn tree(&self, src: NodeId) -> &[Option<PathMetric>] {
         self.trees[src.index()].get_or_init(|| {
             self.computed.fetch_add(1, Ordering::Relaxed);
-            lcp_tree(&self.topo, &self.costs, src).into_boxed_slice()
+            match &self.seed {
+                // Seeded cache: repair the base cache's tree against the
+                // one-node cost delta — exactly equivalent to the fresh
+                // run, at the cost of the affected region only.
+                Some(seed) => repair_cost_change(
+                    &self.topo,
+                    &self.costs,
+                    seed.base.tree(src),
+                    src,
+                    seed.changed,
+                    seed.base.costs().cost(seed.changed),
+                )
+                .into_boxed_slice(),
+                None => lcp_tree(&self.topo, &self.costs, src).into_boxed_slice(),
+            }
         })
     }
 
@@ -249,6 +319,11 @@ impl RouteCache {
     /// tree, so hot paths hold it across a destination loop without
     /// re-hashing per query.
     ///
+    /// Computed by [`repair`](crate::repair)ing this cache's own base tree
+    /// for `src` — re-relaxing only the subtree detached by removing
+    /// `avoid` — which is exactly equivalent to (and much cheaper than)
+    /// the fresh `d_{G−avoid}` Dijkstra it replaced.
+    ///
     /// # Panics
     ///
     /// Panics if `avoid == src`.
@@ -257,8 +332,9 @@ impl RouteCache {
         let key = src.index() as u64 * self.topo.num_nodes() as u64 + avoid.index() as u64;
         let slot = self.avoid_trees.slot(key);
         slot.get_or_init(|| {
+            let base = self.tree(src);
             self.computed.fetch_add(1, Ordering::Relaxed);
-            lcp_tree_avoiding(&self.topo, &self.costs, src, Some(avoid)).into()
+            repair_avoiding(&self.topo, &self.costs, base, src, avoid).into()
         })
         .clone()
     }
@@ -287,8 +363,9 @@ impl RouteCache {
         self.tree_avoiding(src, avoid)[dst.index()].clone()
     }
 
-    /// How many Dijkstra runs this cache has performed. Diagnostic only:
-    /// lets benches and tests verify that repeated queries hit the memo.
+    /// How many trees this cache has materialized (fresh Dijkstra runs
+    /// and repairs alike). Diagnostic only: lets benches and tests verify
+    /// that repeated queries hit the memo.
     pub fn trees_computed(&self) -> usize {
         self.computed.load(Ordering::Relaxed)
     }
@@ -333,6 +410,9 @@ struct ScopeInner {
     hits: AtomicUsize,
     misses: AtomicUsize,
     evictions: AtomicUsize,
+    /// Misses answered with a cache seeded from a pinned base
+    /// ([`RouteCache::seeded_from`]) instead of a cold cache.
+    seeded: AtomicUsize,
     /// Caches dropped early by [`CacheScope::release`].
     released: AtomicUsize,
     /// High-water mark of simultaneously registered caches.
@@ -362,6 +442,7 @@ impl CacheScope {
                 hits: AtomicUsize::new(0),
                 misses: AtomicUsize::new(0),
                 evictions: AtomicUsize::new(0),
+                seeded: AtomicUsize::new(0),
                 released: AtomicUsize::new(0),
                 peak: AtomicUsize::new(0),
             }),
@@ -423,6 +504,14 @@ impl CacheScope {
     /// registered cache when one exists (fingerprint pre-filter, then
     /// full structural equality), otherwise registers a fresh one,
     /// evicting the least-recently-used entry past the scope's capacity.
+    ///
+    /// When a [`CacheScope::pin`]ned cache shares the topology and differs
+    /// from `costs` at exactly one node — the shape of every misreport
+    /// cell relative to a sweep's pinned honest baseline — the fresh cache
+    /// is [seeded](RouteCache::seeded_from) from it, so its trees are
+    /// repaired from the baseline's instead of rebuilt by fresh Dijkstra.
+    /// Seeding never changes an answer (repair is exactly equivalent);
+    /// the [`CacheScope::seeded`] counter records how often it applied.
     pub fn cache(&self, topo: &Topology, costs: &CostVector) -> Arc<RouteCache> {
         let print = fingerprint(topo, costs);
         if let Some(hit) = self.lookup(print, topo, costs) {
@@ -432,7 +521,10 @@ impl CacheScope {
         // Miss: allocate — and deep-clone the topology and cost vector —
         // outside the lock, so rayon sweep threads building caches for
         // *different* cost vectors do not serialize each other.
-        let fresh = Arc::new(RouteCache::new(topo.clone(), costs.clone()));
+        let fresh = match self.seed_base(topo, costs) {
+            Some(base) => Arc::new(RouteCache::seeded_from(&base, costs.clone())),
+            None => Arc::new(RouteCache::new(topo.clone(), costs.clone())),
+        };
         let mut registry = self
             .inner
             .registry
@@ -451,6 +543,9 @@ impl CacheScope {
             return hit;
         }
         self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        if fresh.is_seeded() {
+            self.inner.seeded.fetch_add(1, Ordering::Relaxed);
+        }
         if let Some(capacity) = self.inner.capacity {
             while registry.len() >= capacity {
                 registry.pop_front();
@@ -523,6 +618,22 @@ impl CacheScope {
         }
     }
 
+    /// A pinned cache suitable as a seed base for `(topo, costs)`: same
+    /// topology, cost vectors differing at exactly one node. Pinned
+    /// caches are the long-lived, widely shared ones (a sweep's honest
+    /// baseline), which is exactly the donor a misreport cell wants.
+    fn seed_base(&self, topo: &Topology, costs: &CostVector) -> Option<Arc<RouteCache>> {
+        let pinned = self
+            .inner
+            .pinned
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        pinned
+            .iter()
+            .find(|base| base.topo == *topo && base.costs.one_node_delta(costs).is_some())
+            .map(Arc::clone)
+    }
+
     /// Registry lookup: fingerprint pre-filter, full equality verify,
     /// LRU promotion on hit.
     fn lookup(&self, print: u64, topo: &Topology, costs: &CostVector) -> Option<Arc<RouteCache>> {
@@ -583,6 +694,14 @@ impl CacheScope {
         self.inner.evictions.load(Ordering::Relaxed)
     }
 
+    /// Misses answered with a cache [seeded](RouteCache::seeded_from)
+    /// from a pinned base rather than built cold — in a sweep, the number
+    /// of misreport cells whose caches repaired the honest baseline's
+    /// trees instead of recomputing them.
+    pub fn seeded(&self) -> usize {
+        self.inner.seeded.load(Ordering::Relaxed)
+    }
+
     /// Caches dropped early by [`CacheScope::release`] (eager scopes
     /// only; distinct from capacity `evictions`).
     pub fn released(&self) -> usize {
@@ -601,6 +720,7 @@ impl CacheScope {
 mod tests {
     use super::*;
     use crate::generators::figure1;
+    use crate::lcp::lcp_tree_avoiding;
     use specfaith_core::money::Cost;
 
     #[test]
@@ -655,11 +775,66 @@ mod tests {
         let _ = cache.tree_avoiding(net.x, net.d);
         let _ = cache.tree_avoiding(net.z, net.c);
         assert_eq!(cache.avoid_trees_cached(), 3);
+        // Each avoid tree is a repair of its source's base tree, so the
+        // three distinct (src, avoid) pairs also force the two base trees
+        // (sources x and z) they repair from.
         assert_eq!(
             cache.trees_computed(),
-            3,
-            "each distinct pair computed once"
+            5,
+            "three repaired avoid trees + the two base trees they seed from"
         );
+    }
+
+    #[test]
+    fn seeded_cache_answers_are_identical_to_cold_caches() {
+        let net = figure1();
+        let scope = CacheScope::unbounded();
+        let base = scope.pin(&net.topology, &net.costs);
+        assert!(!base.is_seeded(), "the pinned baseline is built cold");
+        for (node, declared) in [(net.c, 5u64), (net.c, 0), (net.a, 1), (net.d, 40)] {
+            let lied = net.costs.with_cost(node, Cost::new(declared));
+            let seeded = scope.cache(&net.topology, &lied);
+            assert!(seeded.is_seeded(), "one-node delta from the pinned base");
+            let cold = RouteCache::new(net.topology.clone(), lied.clone());
+            for src in net.topology.nodes() {
+                assert_eq!(seeded.tree(src), cold.tree(src), "tree({src})");
+                for avoid in net.topology.nodes() {
+                    if avoid == src {
+                        continue;
+                    }
+                    assert_eq!(
+                        &seeded.tree_avoiding(src, avoid)[..],
+                        &cold.tree_avoiding(src, avoid)[..],
+                        "tree_avoiding({src}, {avoid})"
+                    );
+                }
+            }
+        }
+        assert_eq!(scope.seeded(), 4, "every misreport lookup was seeded");
+    }
+
+    #[test]
+    fn seeding_requires_a_pinned_one_node_delta_base() {
+        let net = figure1();
+        let scope = CacheScope::unbounded();
+        // No pin yet: a one-node-delta vector still builds cold.
+        let lied = net.costs.with_cost(net.c, Cost::new(5));
+        let cold = scope.cache(&net.topology, &lied);
+        assert!(!cold.is_seeded(), "nothing pinned to seed from");
+        let _ = scope.pin(&net.topology, &net.costs);
+        // Two-node deltas never seed.
+        let double = lied.with_cost(net.a, Cost::new(7));
+        let unseeded = scope.cache(&net.topology, &double);
+        assert!(!unseeded.is_seeded(), "multi-node deltas have no repair");
+        assert_eq!(scope.seeded(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one node")]
+    fn seeding_from_an_identical_vector_is_rejected() {
+        let net = figure1();
+        let base = Arc::new(RouteCache::new(net.topology.clone(), net.costs.clone()));
+        let _ = RouteCache::seeded_from(&base, net.costs.clone());
     }
 
     #[test]
@@ -916,6 +1091,7 @@ mod tests {
 mod proptests {
     use super::*;
     use crate::generators::random_biconnected;
+    use crate::lcp::lcp_tree_avoiding;
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -86,6 +86,28 @@ impl CostVector {
         copy
     }
 
+    /// The single node where `self` and `other` disagree, if they differ
+    /// at **exactly one** position (and match in arity) — the shape of a
+    /// misreport profile relative to the honest vector, and the condition
+    /// under which [`repair`](crate::repair)-based cache seeding
+    /// applies. Returns `None` for identical vectors, multi-node
+    /// differences, or arity mismatches.
+    pub fn one_node_delta(&self, other: &CostVector) -> Option<NodeId> {
+        if self.len() != other.len() {
+            return None;
+        }
+        let mut changed = None;
+        for (i, (a, b)) in self.costs.iter().zip(&other.costs).enumerate() {
+            if a != b {
+                if changed.is_some() {
+                    return None;
+                }
+                changed = Some(NodeId::from_index(i));
+            }
+        }
+        changed
+    }
+
     /// Iterates `(node, cost)` pairs in node order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, Cost)> + '_ {
         self.costs
@@ -168,6 +190,19 @@ mod tests {
                 (NodeId::new(1), Cost::new(5))
             ]
         );
+    }
+
+    #[test]
+    fn one_node_delta_finds_exactly_single_differences() {
+        let honest = CostVector::from_values(&[3, 5, 7]);
+        let lied = honest.with_cost(NodeId::new(1), Cost::new(9));
+        assert_eq!(honest.one_node_delta(&lied), Some(NodeId::new(1)));
+        assert_eq!(lied.one_node_delta(&honest), Some(NodeId::new(1)));
+        assert_eq!(honest.one_node_delta(&honest), None, "identical");
+        let two = lied.with_cost(NodeId::new(2), Cost::new(1));
+        assert_eq!(honest.one_node_delta(&two), None, "two differences");
+        let short = CostVector::from_values(&[3, 5]);
+        assert_eq!(honest.one_node_delta(&short), None, "arity mismatch");
     }
 
     #[test]

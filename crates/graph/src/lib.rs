@@ -17,6 +17,9 @@
 //! * [`cache`] — the [`RouteCache`]: memoized all-pairs routes per
 //!   `(topology, cost-vector)` pair, computed once and borrowed everywhere
 //!   (the hot path of the Theorem-1 deviation sweep).
+//! * [`repair`] — incremental tree repair: `d_{G−k}` avoid trees and
+//!   one-node cost changes recomputed from a base tree by re-relaxing only
+//!   the detached subtree, exactly equivalent to a fresh Dijkstra.
 //! * [`generators`] — the paper's Figure 1 network plus synthetic families
 //!   (rings, grids, wheels, random biconnected graphs).
 //!
@@ -38,6 +41,7 @@ pub mod costs;
 pub mod generators;
 pub mod lcp;
 pub mod path;
+pub mod repair;
 pub mod topology;
 
 pub use cache::RouteCache;

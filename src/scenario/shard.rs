@@ -673,11 +673,12 @@ pub(super) fn run_shard(
     instance: &str,
 ) -> SweepFragment {
     let specs = catalog.specs();
-    if scenario.route_scope().is_eager() {
-        let _ = scenario
-            .route_scope()
-            .pin(scenario.topology(), scenario.costs());
-    }
+    // Unconditional pin, exactly as in `sweep_agents`: protects the
+    // honest cache from eager release and marks it as the seed base that
+    // misreport cells repair their caches from.
+    let _ = scenario
+        .route_scope()
+        .pin(scenario.topology(), scenario.costs());
     let started = Instant::now();
     let baselines: Vec<Arc<CellResult>> = seeds
         .par_iter()

@@ -256,15 +256,16 @@ pub(super) fn sweep_agents(
     parallel: bool,
 ) -> SweepReport {
     let specs = catalog.specs();
-    // On an eager scope, pin the honest-declaration cache — shared by the
-    // baselines and every non-misreporting cell — so per-cell release
-    // (which drops each misreport cell's single-use cache as the cell
-    // completes) can never thrash it.
-    if scenario.route_scope().is_eager() {
-        let _ = scenario
-            .route_scope()
-            .pin(scenario.topology(), scenario.costs());
-    }
+    // Pin the honest-declaration cache — shared by the baselines and
+    // every non-misreporting cell — before any cell runs. On eager
+    // scopes this keeps per-cell release (which drops each misreport
+    // cell's single-use cache as the cell completes) from thrashing it;
+    // on every scope it marks the baseline as the seed base, so each
+    // misreport cell's cache repairs the baseline's trees against its
+    // one-node declaration delta instead of rebuilding them from scratch.
+    let _ = scenario
+        .route_scope()
+        .pin(scenario.topology(), scenario.costs());
     // Phase 1: one honest baseline per seed, shared immutably with every
     // cell of that seed's row (and warming the scenario's route-cache
     // scope for plain scenarios before the fan-out).
@@ -416,10 +417,16 @@ mod tests {
         assert_eq!(scope.evictions(), 0, "sweep scopes never evict");
         assert_eq!(
             scope.hits(),
-            n, // the declaration-preserving cells reuse the honest cache
+            n + 1, // the baseline and the declaration-preserving cells
+            // reuse the honest cache the sweep's pre-sweep pin registered
             "declaration-preserving cells must share the baseline's cache"
         );
         assert_eq!(scope.len(), distinct_vectors);
+        assert_eq!(
+            scope.seeded(),
+            2 * n,
+            "every misreport cell's cache was seeded from the pinned baseline"
+        );
     }
 
     #[test]
@@ -467,6 +474,11 @@ mod tests {
             eager.released(),
             2 * n,
             "every misreport cell's cache released at cell completion"
+        );
+        assert_eq!(
+            eager.seeded(),
+            2 * n,
+            "released-and-reseeded cells still repair from the pinned baseline"
         );
         // Parallel peak is nondeterministic but bounded by concurrency;
         // retaining everything would show distinct_vectors.
