@@ -19,7 +19,7 @@
 //! same process, so host speed and load cancel out.
 //!
 //! ```sh
-//! sweep_bench [--quick | --large] [--net ideal|shared] [--n N] \
+//! sweep_bench [--quick | --large | --stream] [--net ideal|shared] [--n N] \
 //!             [--out BENCH_sweep.json] [--check baseline.json]
 //! sweep_bench [--quick] --shard i/N [--emit-shard-report fragment.json]
 //! sweep_bench --merge f0.json f1.json ... [--out merged.json] \
@@ -34,6 +34,22 @@
 //! ratio over sampled sources (the uncached arm at full `n` would take
 //! hours). `--check` exits nonzero when the measured speedup falls more
 //! than 20% below the committed baseline's.
+//!
+//! `--stream` measures the streaming service mode
+//! ([`Scenario::stream_session`]): checkpoint each preset at its
+//! converged fixed point, stream a deterministic sequence of single-node
+//! cost re-declarations, and report **updates/sec** — incremental
+//! re-convergence plus per-event reference re-verification — against a
+//! cold-rebuild arm that reconverges the whole network from scratch at
+//! sampled points of the same sequence (asserting the streamed tables
+//! byte-identical to the cold fixed point at each sample). Two presets,
+//! both under the ideal network: the standard `n = 64` random
+//! biconnected instance (full reference check) and the `n = 1024`
+//! uniform-cost scale-free large preset (sampled reference check, as in
+//! `--large`). The gate compares each preset's incremental-vs-cold
+//! speedup ratio — machine-independent like the sweep gate — against
+//! `crates/bench/baselines/BENCH_sweep_stream.json` with the same >20%
+//! floor and exit-code scheme.
 //!
 //! # Distributed (sharded) sweeps
 //!
@@ -97,7 +113,8 @@
 
 use specfaith::scenario::{
     cell_seed, CacheScope, Catalog, CostModel, Mechanism, NetModel, ReferenceCheck, Scenario,
-    ScenarioBuilder, ShardSpec, SweepFragment, TopologySource, TrafficModel,
+    ScenarioBuilder, ShardSpec, StreamStatus, SweepFragment, TopologyEvent, TopologySource,
+    TrafficModel,
 };
 use specfaith_bench::instance;
 use specfaith_core::id::NodeId;
@@ -136,10 +153,21 @@ const SHARED_AGENTS: [usize; 2] = [0, N - 1];
 /// full = 2 (baseline + one deviation cell).
 const QUICK_REFERENCE_CELLS: usize = 1;
 const FULL_REFERENCE_CELLS: usize = 2;
+/// Cost re-declaration events streamed per `--stream` preset.
+const STREAM_EVENTS_N64: usize = 64;
+const STREAM_EVENTS_N1024: usize = 8;
+/// Cold-rebuild samples per `--stream` preset: each is a full
+/// from-scratch convergence plus reference verification (the work
+/// streaming avoids), so the cold arm samples the event sequence
+/// instead of replaying all of it — at `n = 1024` one cold rebuild
+/// takes minutes.
+const STREAM_COLD_RUNS_N64: usize = 8;
+const STREAM_COLD_RUNS_N1024: usize = 1;
 
 struct Args {
     quick: bool,
     large: bool,
+    stream: bool,
     net: String,
     n: Option<usize>,
     out: Option<String>,
@@ -155,6 +183,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
         large: false,
+        stream: false,
         net: "ideal".to_string(),
         n: None,
         out: None,
@@ -170,6 +199,7 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--quick" => args.quick = true,
             "--large" => args.large = true,
+            "--stream" => args.stream = true,
             "--net" => args.net = it.next().ok_or("--net needs ideal|shared")?,
             "--n" => {
                 args.n = Some(
@@ -208,8 +238,8 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument {other}")),
         }
     }
-    if args.quick && args.large {
-        return Err("--quick and --large are mutually exclusive".into());
+    if (args.quick as u8) + (args.large as u8) + (args.stream as u8) > 1 {
+        return Err("--quick, --large, and --stream are mutually exclusive".into());
     }
     if !matches!(args.net.as_str(), "ideal" | "shared") {
         return Err(format!("--net must be ideal or shared, got {}", args.net));
@@ -217,8 +247,19 @@ fn parse_args() -> Result<Args, String> {
     if args.large && args.net != "ideal" {
         return Err("--large only supports --net ideal".into());
     }
+    if args.stream {
+        if args.net != "ideal" {
+            return Err("--stream only supports --net ideal".into());
+        }
+        if args.n.is_some() {
+            return Err("--stream runs fixed n=64 and n=1024 presets; drop --n".into());
+        }
+        if args.shard.is_some() {
+            return Err("--stream excludes --shard".into());
+        }
+    }
     if !args.merge.is_empty()
-        && (args.quick || args.large || args.shard.is_some() || args.check.is_some())
+        && (args.quick || args.large || args.stream || args.shard.is_some() || args.check.is_some())
     {
         return Err("--merge takes only --out, --expect-fingerprint, and --timing-out".into());
     }
@@ -344,6 +385,227 @@ fn run_large(n: usize) -> (f64, String) {
     (speedup, json)
 }
 
+/// One `--stream` preset's measurement: incremental updates/sec through
+/// a live [`StreamSession`](specfaith::scenario::StreamSession) vs cold
+/// from-scratch reconvergence, with the byte-identity pin asserted at
+/// every cold sample.
+struct StreamArm {
+    events: usize,
+    inc_secs: f64,
+    updates_per_sec: f64,
+    stream_msgs: u64,
+    cold_runs: usize,
+    cold_secs: f64,
+    cold_updates_per_sec: f64,
+    speedup: f64,
+}
+
+fn stream_preset(
+    label: &str,
+    scenario: &Scenario,
+    reference: ReferenceCheck,
+    events: usize,
+    cold_runs: usize,
+) -> StreamArm {
+    use specfaith_fpss::deviation::Faithful;
+    use specfaith_fpss::runner::PlainRunState;
+    let n = scenario.num_nodes();
+    eprintln!("sweep_bench[stream/{label}]: checkpointing at the converged fixed point...");
+    let mut session = scenario.stream_session(SWEEP_SEED);
+    // Cold samples spread evenly across the sequence (always including
+    // the last event, so the final fixed point is pinned).
+    let stride = events.div_ceil(cold_runs);
+    let mut inc_secs = 0.0;
+    let mut cold_secs = 0.0;
+    let mut cold_done = 0usize;
+    let mut stream_msgs = 0u64;
+    eprintln!(
+        "sweep_bench[stream/{label}]: streaming {events} cost re-declarations \
+         ({cold_runs} cold-rebuild samples)..."
+    );
+    for i in 0..events {
+        // A deterministic walk over (node, cost): no two consecutive
+        // events touch the same node, costs cycle through 1..=20.
+        let event = TopologyEvent::NodeCost {
+            node: NodeId::from_index((i * 37 + 11) % n),
+            cost: 1 + ((i * 13) % 20) as u64,
+        };
+        let started = Instant::now();
+        let outcome = session.apply_event(&event);
+        inc_secs += started.elapsed().as_secs_f64();
+        assert_eq!(outcome.status, StreamStatus::Applied, "event {i}");
+        assert_eq!(
+            outcome.verified,
+            Some(true),
+            "event {i}: streamed fixed point must re-verify against the reference"
+        );
+        stream_msgs += outcome.messages;
+        if (i + 1) % stride == 0 || i + 1 == events {
+            // The cold arm: a from-scratch checkpoint on the updated
+            // declarations — construction flood plus reference
+            // verification with a cold cache, exactly what one event
+            // costs without the streaming engine. Byte-identity is
+            // pinned at every sample.
+            let mut cold_cfg = PlainConfig::new(
+                scenario.topology().clone(),
+                session.declared().clone(),
+                scenario.traffic().clone(),
+            );
+            cold_cfg.max_events = 1_000_000_000;
+            cold_cfg.reference_check = reference.clone();
+            cold_cfg.routes = CacheScope::eager();
+            let started = Instant::now();
+            let cold = PlainRunState::checkpoint(
+                &cold_cfg,
+                |_| Box::new(Faithful),
+                SWEEP_SEED + 1 + i as u64,
+            );
+            cold_secs += started.elapsed().as_secs_f64();
+            cold_done += 1;
+            assert!(
+                cold.tables_match_centralized(),
+                "event {i}: cold rebuild must verify"
+            );
+            assert_eq!(
+                session.table_digests(),
+                cold.table_digests(),
+                "event {i}: streamed tables must be byte-identical to the cold fixed point"
+            );
+        }
+    }
+    let updates_per_sec = events as f64 / inc_secs;
+    let cold_updates_per_sec = cold_done as f64 / cold_secs;
+    let speedup = updates_per_sec / cold_updates_per_sec;
+    println!(
+        "sweep_bench[stream/{label}]: {updates_per_sec:.1} updates/s incremental vs \
+         {cold_updates_per_sec:.2} updates/s cold, speedup {speedup:.1}x \
+         ({events} events, {stream_msgs} msgs, {cold_done} cold samples)"
+    );
+    StreamArm {
+        events,
+        inc_secs,
+        updates_per_sec,
+        stream_msgs,
+        cold_runs: cold_done,
+        cold_secs,
+        cold_updates_per_sec,
+        speedup,
+    }
+}
+
+/// The `--stream` mode: both presets, their JSON record, and the pair of
+/// gated speedups.
+fn run_stream() -> ((f64, f64), String) {
+    let inst = instance(N, INSTANCE_SEED);
+    let small = Scenario::builder()
+        .topology(TopologySource::Explicit(inst.topo))
+        .costs(CostModel::Explicit(inst.costs))
+        .traffic(TrafficModel::Flows(inst.traffic.flows().to_vec()))
+        .mechanism(Mechanism::Plain)
+        .max_events(MAX_EVENTS)
+        .build();
+    let n64 = stream_preset(
+        "n64",
+        &small,
+        ReferenceCheck::Full,
+        STREAM_EVENTS_N64,
+        STREAM_COLD_RUNS_N64,
+    );
+
+    // The same instance as the --large smoke: uniform-cost scale-free,
+    // sampled reference check.
+    let large = ScenarioBuilder::large_scale_free(LARGE_N)
+        .costs(CostModel::Uniform(1))
+        .instance_seed(LARGE_INSTANCE_SEED)
+        .build();
+    let n1024 = stream_preset(
+        "n1024",
+        &large,
+        ReferenceCheck::Sampled { sources: 64 },
+        STREAM_EVENTS_N1024,
+        STREAM_COLD_RUNS_N1024,
+    );
+
+    let arm_json = |n: usize, arm: &StreamArm| {
+        format!(
+            "\"n{n}_events\": {},\n  \"n{n}_inc_secs\": {:.3},\n  \
+             \"n{n}_updates_per_sec\": {:.2},\n  \"n{n}_stream_msgs\": {},\n  \
+             \"n{n}_cold_runs\": {},\n  \"n{n}_cold_secs\": {:.3},\n  \
+             \"n{n}_cold_updates_per_sec\": {:.4},\n  \"n{n}_speedup\": {:.2}",
+            arm.events,
+            arm.inc_secs,
+            arm.updates_per_sec,
+            arm.stream_msgs,
+            arm.cold_runs,
+            arm.cold_secs,
+            arm.cold_updates_per_sec,
+            arm.speedup,
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"sweep\",\n  \"mode\": \"stream\",\n  \"net\": \"ideal\",\n  \
+         \"instance_seed\": {INSTANCE_SEED},\n  \
+         \"large_instance_seed\": {LARGE_INSTANCE_SEED},\n  \"sweep_seed\": {SWEEP_SEED},\n  \
+         {},\n  {}\n}}\n",
+        arm_json(N, &n64),
+        arm_json(LARGE_N, &n1024),
+    );
+    ((n64.speedup, n1024.speedup), json)
+}
+
+/// The `--stream` gate: each preset's incremental-vs-cold speedup must
+/// stay within 20% of its committed baseline (same floor and exit codes
+/// as [`check_gate`], applied per preset).
+fn check_stream_gate(baseline_path: &str, speedups: (f64, f64)) -> ExitCode {
+    let baseline_json = match std::fs::read_to_string(baseline_path) {
+        Ok(json) => json,
+        Err(error) => {
+            eprintln!(
+                "sweep_bench: cannot read gate baseline {baseline_path}: {error}\n\
+                 sweep_bench: expected a committed baseline at that path; generate one on a \
+                 quiet machine with `sweep_bench --stream --out {baseline_path}` and commit it"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_mode = json_string(&baseline_json, "mode").unwrap_or_default();
+    if baseline_mode != "stream" {
+        eprintln!(
+            "sweep_bench: baseline {baseline_path} is mode {baseline_mode:?}, run is mode \
+             \"stream\""
+        );
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for (key, measured) in [
+        (format!("n{N}_speedup"), speedups.0),
+        (format!("n{LARGE_N}_speedup"), speedups.1),
+    ] {
+        let Some(baseline) = json_number(&baseline_json, &key) else {
+            eprintln!("sweep_bench: baseline {baseline_path} has no \"{key}\" field");
+            return ExitCode::from(2);
+        };
+        let floor = baseline * 0.8;
+        if measured < floor {
+            eprintln!(
+                "sweep_bench: REGRESSION — {key} {measured:.1}x fell below {floor:.1}x \
+                 (80% of the committed baseline {baseline:.1}x)"
+            );
+            failed = true;
+        } else {
+            println!(
+                "sweep_bench: gate passed — {key} {measured:.1}x >= {floor:.1}x \
+                 (80% of baseline {baseline:.1}x)"
+            );
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// Pulls a numeric field out of a flat JSON object (the only JSON this
 /// workspace reads; no serde in the offline dependency set).
 fn json_number(json: &str, key: &str) -> Option<f64> {
@@ -380,11 +642,26 @@ fn main() -> ExitCode {
     }
     let mode = if args.large {
         "large"
+    } else if args.stream {
+        "stream"
     } else if args.quick {
         "quick"
     } else {
         "full"
     };
+    if args.stream {
+        let (speedups, json) = run_stream();
+        let out = args.out.as_deref().unwrap_or("BENCH_sweep_stream.json");
+        if let Err(error) = std::fs::write(out, &json) {
+            eprintln!("sweep_bench: cannot write {out}: {error}");
+            return ExitCode::from(2);
+        }
+        println!("sweep_bench[stream]: wrote {out}");
+        return match args.check {
+            Some(baseline_path) => check_stream_gate(&baseline_path, speedups),
+            None => ExitCode::SUCCESS,
+        };
+    }
     if args.large {
         let n = args.n.unwrap_or(LARGE_N);
         let (speedup, json) = run_large(n);
@@ -842,5 +1119,68 @@ mod tests {
         let error = load_baseline_speedup(path.to_str().unwrap(), "quick", 64).unwrap_err();
         assert!(error.contains("speedup"), "{error}");
         let _ = std::fs::remove_file(path);
+    }
+
+    const STREAM_BASELINE: &str =
+        r#"{"mode": "stream", "n64_speedup": 5.44, "n1024_speedup": 32.86}"#;
+
+    #[test]
+    fn stream_gate_passes_at_and_above_the_floor() {
+        let path = temp_baseline("stream_ok", STREAM_BASELINE);
+        // Exactly at the 80% floor on both presets.
+        let exit = check_stream_gate(path.to_str().unwrap(), (5.44 * 0.8, 32.86 * 0.8));
+        assert_eq!(exit, ExitCode::SUCCESS);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn stream_gate_fails_when_either_preset_regresses() {
+        let path = temp_baseline("stream_regress", STREAM_BASELINE);
+        let n64_regressed = check_stream_gate(path.to_str().unwrap(), (4.0, 32.86));
+        assert_eq!(n64_regressed, ExitCode::FAILURE);
+        let n1024_regressed = check_stream_gate(path.to_str().unwrap(), (5.44, 20.0));
+        assert_eq!(n1024_regressed, ExitCode::FAILURE);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn stream_gate_rejects_wrong_mode_missing_key_and_missing_file() {
+        let wrong_mode = temp_baseline("stream_mode", r#"{"mode": "quick", "n64_speedup": 5.0}"#);
+        assert_eq!(
+            check_stream_gate(wrong_mode.to_str().unwrap(), (9.0, 9.0)),
+            ExitCode::from(2)
+        );
+        let _ = std::fs::remove_file(wrong_mode);
+
+        let no_key = temp_baseline("stream_nokey", r#"{"mode": "stream", "n64_speedup": 5.0}"#);
+        assert_eq!(
+            check_stream_gate(no_key.to_str().unwrap(), (9.0, 9.0)),
+            ExitCode::from(2)
+        );
+        let _ = std::fs::remove_file(no_key);
+
+        assert_eq!(
+            check_stream_gate("/nonexistent/BENCH_sweep_stream.json", (9.0, 9.0)),
+            ExitCode::from(2)
+        );
+    }
+
+    #[test]
+    fn committed_stream_baseline_parses_and_clears_the_issue_floor() {
+        // The committed baseline must be mode "stream", carry both preset
+        // keys, and show incremental beating cold by >= 5x on each.
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/baselines/BENCH_sweep_stream.json"
+        );
+        let json = std::fs::read_to_string(path).expect("committed stream baseline exists");
+        assert_eq!(json_string(&json, "mode").as_deref(), Some("stream"));
+        let n64 = json_number(&json, "n64_speedup").expect("n64_speedup present");
+        let n1024 = json_number(&json, "n1024_speedup").expect("n1024_speedup present");
+        assert!(n64 >= 5.0, "n64 incremental-vs-cold speedup {n64} < 5x");
+        assert!(
+            n1024 >= 5.0,
+            "n1024 incremental-vs-cold speedup {n1024} < 5x"
+        );
     }
 }

@@ -51,6 +51,19 @@ impl NodeOrBank {
             NodeOrBank::Node(_) => panic!("expected the bank, found a protocol node"),
         }
     }
+
+    /// Mutable access to the bank (streaming engines flip its
+    /// certification/hold state between simulator runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a protocol node.
+    pub fn bank_mut(&mut self) -> &mut BankNode {
+        match self {
+            NodeOrBank::Bank(b) => b,
+            NodeOrBank::Node(_) => panic!("expected the bank, found a protocol node"),
+        }
+    }
 }
 
 impl Actor for NodeOrBank {

@@ -36,6 +36,11 @@ enum BankState {
     AwaitConstruction,
     /// Hash requests sent; waiting for reports.
     AwaitHashes,
+    /// Hashes agreed under an execution hold: construction is certified
+    /// but the green light is withheld until the streaming engine calls
+    /// [`BankNode::request_execution`] (or re-enters certification via
+    /// [`BankNode::begin_recertification`]).
+    Certified,
     /// Execution green-lighted; waiting for traffic to finish.
     Executing,
     /// Report requests sent; waiting for payment/observation reports.
@@ -83,6 +88,12 @@ pub struct BankNode {
     auth_failures: u64,
     mismatched: Vec<NodeId>,
     outcome: Option<Settlement>,
+    /// Streaming mode: park in `BankState::Certified` after a successful
+    /// hash comparison instead of broadcasting the green light.
+    hold_execution: bool,
+    /// Set by [`BankNode::request_execution`]; the next quiescence in
+    /// `BankState::Certified` broadcasts the green light.
+    resume_requested: bool,
 }
 
 impl std::fmt::Debug for BankNode {
@@ -119,7 +130,42 @@ impl BankNode {
             auth_failures: 0,
             mismatched: Vec::new(),
             outcome: None,
+            hold_execution: false,
+            resume_requested: false,
         }
+    }
+
+    /// Puts the bank in streaming mode: a successful hash comparison parks
+    /// it in `BankState::Certified` (green-lighted, but no green-light
+    /// broadcast) so the engine can stream topology events against the
+    /// certified fixed point before releasing execution.
+    #[must_use]
+    pub fn with_execution_hold(mut self) -> Self {
+        self.hold_execution = true;
+        self
+    }
+
+    /// Re-enters certification after a streamed event: clears collected
+    /// hash reports and the green light, and re-arms the checkpoint state
+    /// machine. The next quiescence re-requests hashes from every node;
+    /// agreement re-certifies (parking in `BankState::Certified` again),
+    /// disagreement follows the ordinary restart-then-halt path.
+    ///
+    /// Only meaningful from `BankState::Certified`; a no-op otherwise
+    /// (in particular after a halt).
+    pub fn begin_recertification(&mut self) {
+        if self.state != BankState::Certified {
+            return;
+        }
+        self.hash_reports.clear();
+        self.green_lighted = false;
+        self.state = BankState::AwaitConstruction;
+    }
+
+    /// Asks a certified, held bank to broadcast the green light at the next
+    /// quiescence, releasing the execution phase.
+    pub fn request_execution(&mut self) {
+        self.resume_requested = true;
     }
 
     /// Times the construction phase was restarted.
@@ -394,8 +440,14 @@ impl Actor for BankNode {
                 self.mismatched = self.evaluate_hashes();
                 if self.mismatched.is_empty() {
                     self.green_lighted = true;
-                    self.broadcast(ctx, &BankPayload::GreenLight);
-                    self.state = BankState::Executing;
+                    if self.hold_execution {
+                        // Streaming: certified, but execution stays parked
+                        // until the engine asks for it.
+                        self.state = BankState::Certified;
+                    } else {
+                        self.broadcast(ctx, &BankPayload::GreenLight);
+                        self.state = BankState::Executing;
+                    }
                 } else if self.restarts < self.max_restarts {
                     self.restarts += 1;
                     self.hash_reports.clear();
@@ -404,6 +456,13 @@ impl Actor for BankNode {
                 } else {
                     self.halted = true;
                     self.state = BankState::Done;
+                }
+            }
+            BankState::Certified => {
+                if self.resume_requested {
+                    self.resume_requested = false;
+                    self.broadcast(ctx, &BankPayload::GreenLight);
+                    self.state = BankState::Executing;
                 }
             }
             BankState::Executing => {

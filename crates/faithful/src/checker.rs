@@ -69,6 +69,15 @@ impl Mirror {
         self.core.learn_cost(origin, declared);
     }
 
+    /// Overwrites a transit-cost entry from a streamed
+    /// [`FpssMsg::CostUpdate`] flood. Construction's first-write-wins
+    /// [`Mirror::learn_cost`] would silently drop the new value; the
+    /// checker must track the re-declaration or every post-event hash
+    /// comparison against its principal would fail.
+    pub fn update_cost(&mut self, origin: NodeId, declared: Cost) {
+        self.core.update_cost(origin, declared);
+    }
+
     /// Feeds a message this checker itself sent to the principal.
     pub fn record_own_send(&mut self, msg: &FpssMsg) {
         match msg {
@@ -88,7 +97,10 @@ impl Mirror {
             FpssMsg::Data(pkt) => {
                 *self.sent_to.entry((pkt.src, pkt.dst)).or_insert(0) += 1;
             }
-            FpssMsg::CostAnnounce { .. } => {}
+            // Cost floods reach this mirror through the holder's own
+            // learn_cost/update_cost calls, not through sends to the
+            // principal.
+            FpssMsg::CostAnnounce { .. } | FpssMsg::CostUpdate { .. } => {}
         }
     }
 

@@ -24,8 +24,10 @@ use crate::bank::BankNode;
 use crate::node::FaithfulNode;
 use specfaith_core::equilibrium::{test_deviations, DeviationSpec, EquilibriumReport};
 use specfaith_core::id::NodeId;
-use specfaith_core::money::Money;
+use specfaith_core::money::{Cost, Money};
+use specfaith_crypto::sha256::Digest;
 use specfaith_fpss::deviation::{standard_catalog, Faithful, RationalStrategy};
+use specfaith_fpss::node::{StreamCommand, TAG_STREAM};
 use specfaith_fpss::pricing::{expected_tables_for, tables_agree};
 use specfaith_fpss::runner::ReferenceCheck;
 use specfaith_fpss::settle::SettlementConfig;
@@ -33,7 +35,10 @@ use specfaith_fpss::traffic::TrafficMatrix;
 use specfaith_graph::cache::CacheScope;
 use specfaith_graph::costs::CostVector;
 use specfaith_graph::topology::Topology;
-use specfaith_netsim::{Connectivity, Dynamics, Latency, NetModel, NetStats, Network, SimTime};
+use specfaith_netsim::{
+    Connectivity, Dynamics, Latency, NetModel, NetStats, Network, SimDuration, SimTime,
+    TopologyEvent,
+};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -169,9 +174,26 @@ pub fn run_faithful_with_deviant(
 /// settlement) in one simulator run.
 pub fn run_faithful(
     config: &FaithfulConfig,
-    mut strategies: impl FnMut(NodeId) -> Box<dyn RationalStrategy>,
+    strategies: impl FnMut(NodeId) -> Box<dyn RationalStrategy>,
     seed: u64,
 ) -> FaithfulRunResult {
+    let mut net = assemble(config, strategies, seed, true, false);
+    let outcome = net.run();
+    harvest(config, &net, outcome.final_time, outcome.truncated)
+}
+
+/// Builds the actor set (nodes + bank) and the simulated network for one
+/// faithful instance. `queue_traffic` loads the execution flows up front
+/// (the one-shot engine); the streaming engine holds them back until
+/// [`FaithfulRunState::finish`]. `hold_execution` puts the bank in
+/// streaming mode (certify, then park instead of green-lighting).
+fn assemble(
+    config: &FaithfulConfig,
+    mut strategies: impl FnMut(NodeId) -> Box<dyn RationalStrategy>,
+    seed: u64,
+    queue_traffic: bool,
+    hold_execution: bool,
+) -> Network<NodeOrBank, Latency> {
     let n = config.topo.num_nodes();
     let bank_id = NodeId::from_index(n);
     let max_hops = (4 * n) as u32;
@@ -197,21 +219,27 @@ pub fn run_faithful(
             )))
         })
         .collect();
-    actors.push(NodeOrBank::Bank(Box::new(BankNode::new(
+    let mut bank = BankNode::new(
         config.topo.clone(),
         &config.bank_secret,
         config.max_restarts,
         config.epsilon,
-    ))));
+    );
+    if hold_execution {
+        bank = bank.with_execution_hold();
+    }
+    actors.push(NodeOrBank::Bank(Box::new(bank)));
 
-    // Queue execution traffic up front; nodes send it on green light.
-    for flow in config.traffic.flows() {
-        actors[flow.src.index()]
-            .node_mut()
-            .add_traffic(flow.dst, flow.packets);
+    if queue_traffic {
+        // Queue execution traffic up front; nodes send it on green light.
+        for flow in config.traffic.flows() {
+            actors[flow.src.index()]
+                .node_mut()
+                .add_traffic(flow.dst, flow.packets);
+        }
     }
 
-    let mut net = Network::new(
+    Network::new(
         Connectivity::from_topology_with_overlay(&config.topo, 1),
         actors,
         config.latency,
@@ -219,10 +247,20 @@ pub fn run_faithful(
     )
     .with_network(&config.network)
     .with_dynamics(&config.dynamics)
-    .with_max_events(config.max_events);
+    .with_max_events(config.max_events)
+}
 
-    let outcome = net.run();
-
+/// Converts a settled network into a [`FaithfulRunResult`]: utilities from
+/// the bank's settlement plus ground-truth node state, detection flags, and
+/// the post-green-light centralized reference comparison.
+fn harvest(
+    config: &FaithfulConfig,
+    net: &Network<NodeOrBank, Latency>,
+    final_time: SimTime,
+    truncated: bool,
+) -> FaithfulRunResult {
+    let n = config.topo.num_nodes();
+    let bank_id = NodeId::from_index(n);
     let bank = net.node(bank_id).bank();
     let green_lighted = bank.green_lighted();
     let halted = bank.halted();
@@ -294,8 +332,220 @@ pub fn run_faithful(
         penalties,
         tables_match_centralized,
         stats: net.stats().clone(),
-        final_time: outcome.final_time,
-        truncated: outcome.truncated,
+        final_time,
+        truncated,
+    }
+}
+
+/// How a streamed [`TopologyEvent`] was handled by
+/// [`FaithfulRunState::apply_event`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaithfulEventStatus {
+    /// The cost re-declaration was absorbed and a recertification round ran.
+    Applied,
+    /// A transport latency override only; nothing to re-converge or
+    /// recertify.
+    LatencyOnly,
+    /// Rejected: the node is unknown, or the bank has already halted.
+    Rejected,
+    /// Churn and partition events hit the faithful mechanism's documented
+    /// liveness hole and are refused (reported, never streamed): the bank's
+    /// checkpointing requires every node to answer signed hash requests, so
+    /// a node leaving — or any partition separating the bank from part of
+    /// the network — stalls certification forever rather than failing it
+    /// (§4.2 assumes a reliable network; the paper has no churn story).
+    /// `tests/network_models.rs` probes the same hole at the transport
+    /// level.
+    LivenessHole,
+}
+
+/// Per-event report from [`FaithfulRunState::apply_event`].
+#[derive(Clone, Copy, Debug)]
+pub struct FaithfulEventOutcome {
+    /// How the event was handled.
+    pub status: FaithfulEventStatus,
+    /// Messages delivered re-converging and recertifying (protocol flood,
+    /// table announcements, and the bank's hash round).
+    pub messages: u64,
+    /// Virtual time the re-convergence plus recertification took.
+    pub micros: u64,
+    /// `micros` in whole message rounds under fixed latency; `None` under
+    /// jitter.
+    pub rounds: Option<u64>,
+    /// Whether the bank re-certified the new fixed point (`Some` exactly
+    /// when the event applied): principal, announced, and recomputed-mirror
+    /// hashes all agree again.
+    pub recertified: Option<bool>,
+    /// Whether the event budget truncated this re-convergence.
+    pub truncated: bool,
+}
+
+/// A faithful-mechanism run suspended at a bank-certified fixed point.
+///
+/// The streaming counterpart of [`run_faithful`], built from the same
+/// `assemble`/`harvest` pieces: [`checkpoint`](FaithfulRunState::checkpoint)
+/// converges construction and stops at certification (the bank is put in
+/// execution hold: it certifies, but parks instead of green-lighting);
+/// [`apply_event`](FaithfulRunState::apply_event) streams a
+/// [`TopologyEvent::NodeCost`] re-declaration through the live network —
+/// CostUpdate flood, destination-scoped recompute at every node *and every
+/// checker mirror*, then a full bank recertification round — and
+/// [`finish`](FaithfulRunState::finish) releases the held execution phase
+/// and settles.
+///
+/// Unlike [`PlainRunState`](specfaith_fpss::runner::PlainRunState), churn is
+/// **not** streamable here: see [`FaithfulEventStatus::LivenessHole`].
+pub struct FaithfulRunState {
+    config: FaithfulConfig,
+    net: Network<NodeOrBank, Latency>,
+    bank_id: NodeId,
+    declared: CostVector,
+    truncated: bool,
+}
+
+impl FaithfulRunState {
+    /// Runs construction to convergence and bank certification, holding
+    /// execution. The returned state is the certified fixed point.
+    pub fn checkpoint(
+        config: &FaithfulConfig,
+        strategies: impl FnMut(NodeId) -> Box<dyn RationalStrategy>,
+        seed: u64,
+    ) -> FaithfulRunState {
+        let mut net = assemble(config, strategies, seed, false, true);
+        let outcome = net.run();
+        let declared: CostVector = config
+            .topo
+            .nodes()
+            .map(|id| net.node(id).node().declared_cost().expect("started"))
+            .collect();
+        FaithfulRunState {
+            config: config.clone(),
+            net,
+            bank_id: NodeId::from_index(config.topo.num_nodes()),
+            declared,
+            truncated: outcome.truncated,
+        }
+    }
+
+    /// Streams one topology event against the certified fixed point.
+    pub fn apply_event(&mut self, event: &TopologyEvent) -> FaithfulEventOutcome {
+        let msgs_before = self.net.stats().msgs_delivered;
+        let t_before = self.net.now();
+        let was_truncated = self.truncated;
+        let mut recertified = None;
+        let status = match *event {
+            TopologyEvent::NodeCost { node, cost } => {
+                if node.index() >= self.config.topo.num_nodes() || self.halted() {
+                    FaithfulEventStatus::Rejected
+                } else {
+                    self.net
+                        .node_mut(self.bank_id)
+                        .bank_mut()
+                        .begin_recertification();
+                    self.net
+                        .node_mut(node)
+                        .node_mut()
+                        .queue_stream_command(StreamCommand::DeclareCost(Cost::new(cost)));
+                    self.net.schedule_timer(node, SimDuration::ZERO, TAG_STREAM);
+                    let outcome = self.net.run();
+                    self.truncated |= outcome.truncated;
+                    let declared = self.net.node(node).node().declared_cost().expect("started");
+                    self.declared = self.declared.with_cost(node, declared);
+                    recertified = Some(self.net.node(self.bank_id).bank().green_lighted());
+                    FaithfulEventStatus::Applied
+                }
+            }
+            TopologyEvent::LinkCost { .. } => {
+                self.net.apply_dynamics_event(event);
+                FaithfulEventStatus::LatencyOnly
+            }
+            TopologyEvent::NodeDown(_)
+            | TopologyEvent::NodeUp(_)
+            | TopologyEvent::Partition { .. }
+            | TopologyEvent::Heal => FaithfulEventStatus::LivenessHole,
+        };
+        let micros = (self.net.now() - t_before).micros();
+        let rounds = match self.config.latency {
+            Latency::Fixed { micros: per_hop } if per_hop > 0 => Some(micros / per_hop),
+            _ => None,
+        };
+        FaithfulEventOutcome {
+            status,
+            messages: self.net.stats().msgs_delivered - msgs_before,
+            micros,
+            rounds,
+            recertified,
+            truncated: self.truncated && !was_truncated,
+        }
+    }
+
+    /// Releases the held execution phase and settles, consuming the state.
+    pub fn finish(mut self) -> FaithfulRunResult {
+        for flow in self.config.traffic.flows() {
+            self.net
+                .node_mut(flow.src)
+                .node_mut()
+                .add_traffic(flow.dst, flow.packets);
+        }
+        self.net
+            .node_mut(self.bank_id)
+            .bank_mut()
+            .request_execution();
+        let outcome = self.net.run();
+        self.truncated |= outcome.truncated;
+        harvest(&self.config, &self.net, outcome.final_time, self.truncated)
+    }
+
+    /// Per-node `(data1, routing, pricing)` digests of the certified
+    /// tables, in node order — directly comparable with the plain engine's
+    /// cold oracle (`specfaith_fpss::runner::converged_table_digests`),
+    /// since both mechanisms converge the same [`FpssCore`] fixed point.
+    ///
+    /// [`FpssCore`]: specfaith_fpss::node::FpssCore
+    pub fn table_digests(&self) -> Vec<(Digest, Digest, Digest)> {
+        self.config
+            .topo
+            .nodes()
+            .map(|id| {
+                let core = self.net.node(id).node().core();
+                (
+                    core.data1().digest(),
+                    core.routes().digest(),
+                    core.prices().digest(),
+                )
+            })
+            .collect()
+    }
+
+    /// The declared cost vector at the certified fixed point.
+    pub fn declared(&self) -> &CostVector {
+        &self.declared
+    }
+
+    /// Whether the bank currently certifies the fixed point.
+    pub fn green_lighted(&self) -> bool {
+        self.net.node(self.bank_id).bank().green_lighted()
+    }
+
+    /// Whether the bank has halted (restart budget exhausted during a
+    /// checkpoint or recertification).
+    pub fn halted(&self) -> bool {
+        self.net.node(self.bank_id).bank().halted()
+    }
+
+    /// Construction restarts the bank has performed so far.
+    pub fn restarts(&self) -> u32 {
+        self.net.node(self.bank_id).bank().restarts()
+    }
+
+    /// Cumulative transport statistics.
+    pub fn stats(&self) -> &NetStats {
+        self.net.stats()
+    }
+
+    /// The configuration this state was checkpointed from.
+    pub fn config(&self) -> &FaithfulConfig {
+        &self.config
     }
 }
 
@@ -682,6 +932,98 @@ mod tests {
         assert!(report.strong_cc_holds());
         assert!(report.strong_ac_holds());
         assert!(report.ic_holds());
+    }
+
+    #[test]
+    fn checkpoint_then_finish_matches_the_one_shot_engine() {
+        // Parking at certification and immediately releasing execution
+        // reproduces the one-shot lifecycle: the held green light is the
+        // same broadcast, just issued from a later quiescence round, and
+        // the pause consumes no virtual time.
+        let (_, config) = figure1_config();
+        let oneshot = run_faithful_honest(&config, 1);
+        let state = FaithfulRunState::checkpoint(&config, |_| Box::new(Faithful), 1);
+        assert!(state.green_lighted(), "honest checkpoint certifies");
+        assert!(!state.halted());
+        assert_eq!(state.restarts(), 0);
+        let staged = state.finish();
+        assert_eq!(oneshot.utilities, staged.utilities);
+        assert_eq!(oneshot.penalties, staged.penalties);
+        assert_eq!(oneshot.green_lighted, staged.green_lighted);
+        assert_eq!(oneshot.restarts, staged.restarts);
+        assert_eq!(oneshot.detected, staged.detected);
+        assert_eq!(
+            oneshot.tables_match_centralized,
+            staged.tables_match_centralized
+        );
+        assert_eq!(oneshot.stats.total_msgs(), staged.stats.total_msgs());
+        assert_eq!(oneshot.final_time, staged.final_time);
+    }
+
+    #[test]
+    fn streamed_cost_events_recertify_and_match_the_plain_fixed_point() {
+        use specfaith_fpss::runner::converged_table_digests;
+        use specfaith_netsim::TopologyEvent;
+        let (net, config) = figure1_config();
+        let mut state = FaithfulRunState::checkpoint(&config, |_| Box::new(Faithful), 1);
+        for (i, (node, cost)) in [(net.c, 9u64), (net.d, 0), (net.c, 9)]
+            .into_iter()
+            .enumerate()
+        {
+            let outcome = state.apply_event(&TopologyEvent::NodeCost { node, cost });
+            assert_eq!(outcome.status, FaithfulEventStatus::Applied, "event {i}");
+            assert_eq!(
+                outcome.recertified,
+                Some(true),
+                "event {i}: principal, announced, and mirror hashes must re-agree"
+            );
+            assert!(outcome.messages > 0, "event {i}");
+            assert!(!outcome.truncated, "event {i}");
+            // The certified faithful tables are the same FpssCore fixed
+            // point a cold plain run converges to.
+            let cold = converged_table_digests(
+                &config.topo,
+                state.declared(),
+                config.latency,
+                23 + i as u64,
+            );
+            assert_eq!(state.table_digests(), cold, "event {i}");
+        }
+        let result = state.finish();
+        assert!(result.green_lighted);
+        assert!(!result.detected);
+        assert_eq!(result.tables_match_centralized, Some(true));
+    }
+
+    #[test]
+    fn streamed_churn_reports_the_liveness_hole_instead_of_hanging() {
+        use specfaith_netsim::TopologyEvent;
+        let (net, config) = figure1_config();
+        let mut state = FaithfulRunState::checkpoint(&config, |_| Box::new(Faithful), 1);
+        let baseline = state.table_digests();
+        for event in [
+            TopologyEvent::NodeDown(net.c),
+            TopologyEvent::NodeUp(net.c),
+            TopologyEvent::Partition {
+                island: vec![net.x],
+            },
+            TopologyEvent::Heal,
+        ] {
+            let outcome = state.apply_event(&event);
+            assert_eq!(
+                outcome.status,
+                FaithfulEventStatus::LivenessHole,
+                "{event:?}: churn stalls the bank's signed hash round; it \
+                 must be refused, not streamed"
+            );
+            assert_eq!(outcome.messages, 0);
+            assert_eq!(outcome.recertified, None);
+        }
+        // The certified fixed point is untouched and still usable.
+        assert_eq!(state.table_digests(), baseline);
+        assert!(state.green_lighted());
+        let result = state.finish();
+        assert!(result.green_lighted);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use specfaith_core::money::{Cost, Money};
 use specfaith_crypto::auth::{Authenticated, ChannelKey};
 use specfaith_fpss::deviation::RationalStrategy;
 use specfaith_fpss::msg::{FpssMsg, Packet, PriceRow, RouteRow};
-use specfaith_fpss::node::FpssCore;
+use specfaith_fpss::node::{FpssCore, StreamCommand, TAG_STREAM};
 use specfaith_fpss::state::PaymentLedger;
 use specfaith_netsim::{Actor, Ctx, Payload};
 use std::collections::{BTreeMap, BTreeSet};
@@ -78,6 +78,11 @@ pub struct FaithfulNode {
     max_hops: u32,
     auth_failures: u64,
     settled: Option<(Money, Money)>,
+    /// Highest [`FpssMsg::CostUpdate`] epoch seen per origin (including
+    /// this node's own streamed re-declarations).
+    cost_epochs: BTreeMap<NodeId, u64>,
+    /// Engine-queued streaming commands, drained on [`TAG_STREAM`].
+    stream_commands: Vec<StreamCommand>,
 }
 
 impl std::fmt::Debug for FaithfulNode {
@@ -137,7 +142,18 @@ impl FaithfulNode {
             max_hops,
             auth_failures: 0,
             settled: None,
+            cost_epochs: BTreeMap::new(),
+            stream_commands: Vec::new(),
         }
+    }
+
+    /// Queues a streaming management command; the engine schedules a
+    /// [`TAG_STREAM`] timer on this node to drain the queue in-simulation.
+    /// The faithful engine only streams [`StreamCommand::DeclareCost`] —
+    /// churn commands are a plain-engine concept (see the liveness-hole
+    /// discussion on `FaithfulRunState`).
+    pub fn queue_stream_command(&mut self, cmd: StreamCommand) {
+        self.stream_commands.push(cmd);
     }
 
     /// The construction core.
@@ -257,6 +273,55 @@ impl FaithfulNode {
             .core
             .recompute_with(|honest| strategy.install_own_pricing(me, honest));
         self.announce(ctx, changed_routes, changed_prices, retractions);
+    }
+
+    /// Destination-scoped recompute after `origin`'s declared cost changed
+    /// (see `FpssCore::dsts_affected_by_cost`), falling back to the full
+    /// recompute for strategies with whole-table hooks.
+    fn recompute_after_cost_change(&mut self, ctx: &mut Ctx<'_, FMsg>, origin: NodeId) {
+        if self.strategy.dst_scoped_recompute_safe() {
+            let changed_dsts = self.core.dsts_affected_by_cost(origin);
+            let (routes, prices, retractions) = self.core.recompute_dsts(&changed_dsts, true);
+            self.announce(ctx, routes, prices, retractions);
+        } else {
+            self.recompute_and_announce(ctx);
+        }
+    }
+
+    fn apply_stream_command(&mut self, ctx: &mut Ctx<'_, FMsg>, cmd: StreamCommand) {
+        let me = self.core.me();
+        match cmd {
+            StreamCommand::DeclareCost(cost) => {
+                self.true_cost = cost;
+                let declared = self.strategy.declare_cost(cost);
+                self.declared = Some(declared);
+                let epoch = self.cost_epochs.get(&me).copied().unwrap_or(0) + 1;
+                self.cost_epochs.insert(me, epoch);
+                let changed = self.core.update_cost(me, declared);
+                for mirror in self.mirrors.values_mut() {
+                    mirror.update_cost(me, declared);
+                }
+                for &b in self.core.neighbors().to_vec().iter() {
+                    ctx.send(
+                        b,
+                        FMsg::Fpss(FpssMsg::CostUpdate {
+                            origin: me,
+                            declared,
+                            epoch,
+                        }),
+                    );
+                }
+                if changed {
+                    self.recompute_after_cost_change(ctx, me);
+                }
+            }
+            // Churn commands never reach faithful nodes: the streaming
+            // engine reports the checkpointing liveness hole instead of
+            // streaming them (see `FaithfulRunState::apply_event`).
+            StreamCommand::PurgeNode(_)
+            | StreamCommand::Rejoin
+            | StreamCommand::ResyncNeighbor(_) => {}
+        }
     }
 
     fn forward_to_checkers(&mut self, ctx: &mut Ctx<'_, FMsg>, from: NodeId, original: &FpssMsg) {
@@ -470,6 +535,15 @@ impl Actor for FaithfulNode {
         self.start_construction(ctx);
     }
 
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, FMsg>, tag: u64) {
+        if tag == TAG_STREAM {
+            let cmds = std::mem::take(&mut self.stream_commands);
+            for cmd in cmds {
+                self.apply_stream_command(ctx, cmd);
+            }
+        }
+    }
+
     fn on_message(&mut self, ctx: &mut Ctx<'_, FMsg>, from: NodeId, msg: FMsg) {
         match msg {
             FMsg::Fpss(FpssMsg::CostAnnounce { origin, declared }) => {
@@ -501,6 +575,40 @@ impl Actor for FaithfulNode {
                     } else {
                         self.recompute_and_announce(ctx);
                     }
+                }
+            }
+            FMsg::Fpss(FpssMsg::CostUpdate {
+                origin,
+                declared,
+                epoch,
+            }) => {
+                let last = self.cost_epochs.get(&origin).copied().unwrap_or(0);
+                if epoch <= last {
+                    return;
+                }
+                self.cost_epochs.insert(origin, epoch);
+                // Re-flood on epoch newness (the epoch check terminates the
+                // flood), exactly as the plain node does. Like CostAnnounce,
+                // CostUpdate is not checker-forwarded: mirrors share the
+                // global DATA1, so the overwrite reaches every checker
+                // through the flood itself.
+                for &b in self.core.neighbors().to_vec().iter() {
+                    if b != from {
+                        ctx.send(
+                            b,
+                            FMsg::Fpss(FpssMsg::CostUpdate {
+                                origin,
+                                declared,
+                                epoch,
+                            }),
+                        );
+                    }
+                }
+                if self.core.update_cost(origin, declared) {
+                    for mirror in self.mirrors.values_mut() {
+                        mirror.update_cost(origin, declared);
+                    }
+                    self.recompute_after_cost_change(ctx, origin);
                 }
             }
             FMsg::Fpss(FpssMsg::RoutingUpdate { rows }) => {

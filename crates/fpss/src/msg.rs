@@ -17,6 +17,7 @@
 //! | `PriceRow` | `4 + 4 + 8 + 4·tags.len()` |
 //! | `Packet` | `12` |
 //! | `CostAnnounce` | `12` |
+//! | `CostUpdate` | `20` |
 //! | `RoutingUpdate` | `8 + Σ rows` |
 //! | `PricingUpdate` | `8 + Σ rows + 8·retractions.len()` |
 //! | `Data` | inner `Packet` |
@@ -97,6 +98,19 @@ pub enum FpssMsg {
         /// The declared (not necessarily true) cost.
         declared: Cost,
     },
+    /// Streaming mode: flooded *re*-declaration of a node's transit cost.
+    /// Unlike [`FpssMsg::CostAnnounce`] (first-write-wins, assumes a static
+    /// network), receivers overwrite on a strictly newer `epoch` and
+    /// re-flood; stale or duplicate epochs are dropped, which terminates
+    /// the flood exactly like the duplicate suppression of phase 1.
+    CostUpdate {
+        /// The node whose cost is re-declared.
+        origin: NodeId,
+        /// The new declared cost.
+        declared: Cost,
+        /// Per-origin monotone epoch (starts at 1 for the first update).
+        epoch: u64,
+    },
     /// Construction phase 2: changed routing rows.
     RoutingUpdate {
         /// The changed rows.
@@ -119,6 +133,7 @@ impl Payload for FpssMsg {
     fn size_bytes(&self) -> usize {
         match self {
             FpssMsg::CostAnnounce { .. } => 12,
+            FpssMsg::CostUpdate { .. } => 20,
             FpssMsg::RoutingUpdate { rows } => {
                 8 + rows.iter().map(Payload::size_bytes).sum::<usize>()
             }
@@ -184,6 +199,15 @@ mod tests {
             }
             .size_bytes(),
             12
+        );
+        assert_eq!(
+            FpssMsg::CostUpdate {
+                origin: n(3),
+                declared: Cost::new(7),
+                epoch: 1,
+            }
+            .size_bytes(),
+            20
         );
         let empty_path = RouteRow {
             dst: n(1),

@@ -22,6 +22,33 @@ use std::collections::{BTreeMap, BTreeSet};
 /// construction has converged).
 pub const TAG_BEGIN_EXECUTION: u64 = 1;
 
+/// Timer tag that makes a node drain its queued [`StreamCommand`]s (set by
+/// the streaming engine when re-entering an equilibrated network).
+pub const TAG_STREAM: u64 = 2;
+
+/// A management-plane command injected by the streaming run engine between
+/// convergence epochs. Commands are queued on the node out-of-band (the
+/// engine owns the actors while the simulation is quiescent) and drained by
+/// a [`TAG_STREAM`] timer, so every protocol-visible effect still flows
+/// through ordinary simulated messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamCommand {
+    /// This node's true transit cost changed: re-declare it (through the
+    /// node's strategy) and flood a [`FpssMsg::CostUpdate`].
+    DeclareCost(Cost),
+    /// The named node went down: drop it from the neighbor list (if
+    /// adjacent), forget its declared cost, and recompute in full so its
+    /// table rows disappear.
+    PurgeNode(NodeId),
+    /// This node returns from downtime with amnesia: fresh construction
+    /// core, re-flood its own cost (every live node forgot it, so the
+    /// first-write-wins flood works again).
+    Rejoin,
+    /// A downed neighbor returned: re-add it and resync it by sending the
+    /// full local state as ordinary (idempotent) protocol messages.
+    ResyncNeighbor(NodeId),
+}
+
 /// The pure FPSS construction-phase state machine of one node.
 #[derive(Clone, Debug)]
 pub struct FpssCore {
@@ -76,6 +103,45 @@ impl FpssCore {
         self.data1.learn(origin, declared)
     }
 
+    /// Overwrites a declared cost (streaming re-declaration; see
+    /// [`TransitCostList::update`]). Returns `true` when the value changed.
+    pub fn update_cost(&mut self, origin: NodeId, declared: Cost) -> bool {
+        self.data1.update(origin, declared)
+    }
+
+    /// Forgets a departed node's declared cost (see
+    /// [`TransitCostList::forget`]). Returns whether one was present.
+    pub fn forget_cost(&mut self, origin: NodeId) -> bool {
+        self.data1.forget(origin)
+    }
+
+    /// Removes `gone` from the neighbor list (node churn). With `gone`
+    /// absent from the list and its cost forgotten, every stored candidate
+    /// through it becomes inert: candidate gathering iterates the neighbor
+    /// list and skips paths with unknown intermediate costs, so no view
+    /// purge is needed. Returns whether `gone` was a neighbor.
+    pub fn remove_neighbor(&mut self, gone: NodeId) -> bool {
+        match self.neighbors.binary_search(&gone) {
+            Ok(pos) => {
+                self.neighbors.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Re-adds a returned neighbor, keeping the list sorted. Returns
+    /// whether the list changed.
+    pub fn add_neighbor(&mut self, back: NodeId) -> bool {
+        match self.neighbors.binary_search(&back) {
+            Err(pos) => {
+                self.neighbors.insert(pos, back);
+                true
+            }
+            Ok(_) => false,
+        }
+    }
+
     /// The destinations a newly learned declared cost for `origin` can
     /// affect — the flood-time counterpart of the destination-scoped
     /// recompute.
@@ -92,6 +158,15 @@ impl FpssCore {
     /// so their rows provably cannot change; pass the set to
     /// [`FpssCore::recompute_dsts`] for byte-identical results at
     /// flood-proportional cost.
+    ///
+    /// The same argument covers streaming *overwrites*
+    /// ([`FpssCore::update_cost`], which can move a cost in either
+    /// direction): every routing or pricing term that reads `origin`'s
+    /// cost — a candidate path crossing it, this node's installed path
+    /// cost `d_me`, a pricing witness `b = origin` (whose advertised path
+    /// starts at `origin` and is therefore indexed), or `origin` as the
+    /// destination itself — places `origin` on a stored advertised path or
+    /// is `origin`, so the affected set is sound for cost changes too.
     pub fn dsts_affected_by_cost(&self, origin: NodeId) -> BTreeSet<NodeId> {
         let mut dsts: BTreeSet<NodeId> = self.view.dsts_through(origin).collect();
         dsts.insert(origin);
@@ -260,6 +335,11 @@ pub struct PlainFpssNode {
     /// take the destination-scoped incremental recompute path.
     incremental: bool,
     pending_traffic: Vec<(NodeId, u64)>,
+    /// Highest [`FpssMsg::CostUpdate`] epoch seen per origin (including
+    /// this node's own updates); stale epochs are dropped unprocessed.
+    cost_epochs: BTreeMap<NodeId, u64>,
+    /// Engine-queued streaming commands, drained on [`TAG_STREAM`].
+    stream_commands: Vec<StreamCommand>,
     originated: BTreeMap<NodeId, u64>,
     delivered_from: BTreeMap<NodeId, u64>,
     carried: u64,
@@ -296,6 +376,8 @@ impl PlainFpssNode {
             strategy,
             incremental,
             pending_traffic: Vec::new(),
+            cost_epochs: BTreeMap::new(),
+            stream_commands: Vec::new(),
             originated: BTreeMap::new(),
             delivered_from: BTreeMap::new(),
             carried: 0,
@@ -323,6 +405,12 @@ impl PlainFpssNode {
     /// Queues traffic to originate when execution begins.
     pub fn add_traffic(&mut self, dst: NodeId, packets: u64) {
         self.pending_traffic.push((dst, packets));
+    }
+
+    /// Queues a streaming management command; the engine schedules a
+    /// [`TAG_STREAM`] timer on this node to drain the queue in-simulation.
+    pub fn queue_stream_command(&mut self, cmd: StreamCommand) {
+        self.stream_commands.push(cmd);
     }
 
     /// Packets transited (true cost incurred on each).
@@ -383,6 +471,98 @@ impl PlainFpssNode {
                         retractions: retractions.clone(),
                     },
                 );
+            }
+        }
+    }
+
+    /// Destination-scoped recompute after `origin`'s declared cost changed
+    /// (see [`FpssCore::dsts_affected_by_cost`]), falling back to the full
+    /// recompute for strategies with whole-table hooks.
+    fn recompute_after_cost_change(&mut self, ctx: &mut Ctx<'_, FpssMsg>, origin: NodeId) {
+        if self.incremental {
+            let changed_dsts = self.core.dsts_affected_by_cost(origin);
+            let (routes, prices, retractions) = self.core.recompute_dsts(&changed_dsts, true);
+            self.announce(ctx, routes, prices, retractions);
+        } else {
+            self.recompute_and_announce(ctx);
+        }
+    }
+
+    fn apply_stream_command(&mut self, ctx: &mut Ctx<'_, FpssMsg>, cmd: StreamCommand) {
+        let me = self.core.me();
+        match cmd {
+            StreamCommand::DeclareCost(cost) => {
+                self.true_cost = cost;
+                let declared = self.strategy.declare_cost(cost);
+                self.declared = Some(declared);
+                let epoch = self.cost_epochs.get(&me).copied().unwrap_or(0) + 1;
+                self.cost_epochs.insert(me, epoch);
+                let changed = self.core.update_cost(me, declared);
+                for &b in self.core.neighbors() {
+                    ctx.send(
+                        b,
+                        FpssMsg::CostUpdate {
+                            origin: me,
+                            declared,
+                            epoch,
+                        },
+                    );
+                }
+                if changed {
+                    self.recompute_after_cost_change(ctx, me);
+                }
+            }
+            StreamCommand::PurgeNode(gone) => {
+                self.core.remove_neighbor(gone);
+                self.core.forget_cost(gone);
+                self.cost_epochs.remove(&gone);
+                // Full recompute: the wholesale table replacement is what
+                // drops the departed node's rows (the destination-scoped
+                // path cannot remove a destination it no longer costs).
+                self.recompute_and_announce(ctx);
+            }
+            StreamCommand::Rejoin => {
+                let neighbors = self.core.neighbors().to_vec();
+                self.core = FpssCore::new(me, neighbors);
+                self.cost_epochs.clear();
+                let declared = self.strategy.declare_cost(self.true_cost);
+                self.declared = Some(declared);
+                self.core.learn_cost(me, declared);
+                for &b in self.core.neighbors() {
+                    ctx.send(
+                        b,
+                        FpssMsg::CostAnnounce {
+                            origin: me,
+                            declared,
+                        },
+                    );
+                }
+                self.recompute_and_announce(ctx);
+            }
+            StreamCommand::ResyncNeighbor(back) => {
+                self.core.add_neighbor(back);
+                // The returned node restarts with amnesia: hand it
+                // everything known here as ordinary protocol messages —
+                // duplicates are idempotent on its side (first-write-wins
+                // costs, change-detected table rows).
+                let costs: Vec<(NodeId, Cost)> = self.core.data1().iter().collect();
+                for (origin, declared) in costs {
+                    ctx.send(back, FpssMsg::CostAnnounce { origin, declared });
+                }
+                let rows = self.core.routes().to_rows();
+                if !rows.is_empty() {
+                    ctx.send(back, FpssMsg::RoutingUpdate { rows });
+                }
+                let rows = self.core.prices().to_rows();
+                if !rows.is_empty() {
+                    ctx.send(
+                        back,
+                        FpssMsg::PricingUpdate {
+                            rows,
+                            retractions: Vec::new(),
+                        },
+                    );
+                }
             }
         }
     }
@@ -507,6 +687,35 @@ impl Actor for PlainFpssNode {
                     }
                 }
             }
+            FpssMsg::CostUpdate {
+                origin,
+                declared,
+                epoch,
+            } => {
+                let last = self.cost_epochs.get(&origin).copied().unwrap_or(0);
+                if epoch <= last {
+                    return;
+                }
+                self.cost_epochs.insert(origin, epoch);
+                // Re-flood on epoch newness (not value change): the flood
+                // must reach nodes that already hold the value through a
+                // different path, and the epoch check terminates it.
+                for &b in self.core.neighbors() {
+                    if b != from {
+                        ctx.send(
+                            b,
+                            FpssMsg::CostUpdate {
+                                origin,
+                                declared,
+                                epoch,
+                            },
+                        );
+                    }
+                }
+                if self.core.update_cost(origin, declared) {
+                    self.recompute_after_cost_change(ctx, origin);
+                }
+            }
             FpssMsg::RoutingUpdate { rows } => {
                 let mut changed_dsts = BTreeSet::new();
                 for row in &rows {
@@ -555,6 +764,11 @@ impl Actor for PlainFpssNode {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, FpssMsg>, tag: u64) {
         if tag == TAG_BEGIN_EXECUTION {
             self.begin_execution(ctx);
+        } else if tag == TAG_STREAM {
+            let cmds = std::mem::take(&mut self.stream_commands);
+            for cmd in cmds {
+                self.apply_stream_command(ctx, cmd);
+            }
         }
     }
 }

@@ -45,6 +45,39 @@ impl TransitCostList {
         true
     }
 
+    /// Overwrites `origin`'s declared cost (the streaming-mode complement
+    /// of [`TransitCostList::learn`]: re-declarations are *changes*, not
+    /// flood duplicates). Returns `true` when the stored value changed.
+    pub fn update(&mut self, origin: NodeId, declared: Cost) -> bool {
+        let at = origin.index();
+        if at >= self.costs.len() {
+            self.costs.resize(at + 1, None);
+        }
+        if self.costs[at] == Some(declared) {
+            return false;
+        }
+        if self.costs[at].is_none() {
+            self.known += 1;
+        }
+        self.costs[at] = Some(declared);
+        true
+    }
+
+    /// Forgets `origin`'s declared cost (node churn: a departed node's
+    /// cost must become unknown again so a later [`TransitCostList::learn`]
+    /// from its re-flood wins). Returns whether a cost was present.
+    pub fn forget(&mut self, origin: NodeId) -> bool {
+        let at = origin.index();
+        match self.costs.get_mut(at) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                self.known -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// The declared cost of `node`, if known.
     pub fn declared(&self, node: NodeId) -> Option<Cost> {
         self.costs.get(node.index()).copied().flatten()
@@ -407,6 +440,27 @@ mod tests {
         assert!(!list.learn(n(1), Cost::new(9)));
         assert_eq!(list.declared(n(1)), Some(Cost::new(5)));
         assert_eq!(list.len(), 1);
+    }
+
+    #[test]
+    fn data1_update_overwrites_and_forget_unlearns() {
+        let mut list = TransitCostList::new();
+        assert!(list.learn(n(1), Cost::new(5)));
+        // Overwrite: changes win, identical values report no change.
+        assert!(list.update(n(1), Cost::new(9)));
+        assert!(!list.update(n(1), Cost::new(9)));
+        assert_eq!(list.declared(n(1)), Some(Cost::new(9)));
+        assert_eq!(list.len(), 1);
+        // Update on an unknown node learns it.
+        assert!(list.update(n(3), Cost::new(2)));
+        assert_eq!(list.len(), 2);
+        // Forget makes the slot unknown and re-opens first-write-wins.
+        assert!(list.forget(n(1)));
+        assert!(!list.forget(n(1)));
+        assert_eq!(list.declared(n(1)), None);
+        assert_eq!(list.len(), 1);
+        assert!(list.learn(n(1), Cost::new(4)));
+        assert_eq!(list.declared(n(1)), Some(Cost::new(4)));
     }
 
     #[test]

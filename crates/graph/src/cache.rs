@@ -169,8 +169,11 @@ pub struct RouteCache {
     /// When present, this cache's cost vector differs from `seed.base`'s at
     /// exactly one node, and plain trees are [`repair`](crate::repair)ed
     /// from the base cache's instead of built by fresh Dijkstra. Repair is
-    /// exactly equivalent, so seeding is invisible in every answer.
-    seed: Option<CacheSeed>,
+    /// exactly equivalent, so seeding is invisible in every answer. Behind
+    /// a mutex so [`RouteCache::detach_seed`] can drop the donor reference
+    /// once the caller is done repairing (locked only at tree
+    /// materialization, never per query).
+    seed: Mutex<Option<CacheSeed>>,
     /// Number of tree materializations (fresh or repaired) performed so
     /// far (diagnostics for benches and tests; not part of any result).
     computed: AtomicUsize,
@@ -215,7 +218,7 @@ impl RouteCache {
             fingerprint,
             trees: (0..n).map(|_| OnceLock::new()).collect(),
             avoid_trees: SparseAvoidIndex::new(),
-            seed: None,
+            seed: Mutex::new(None),
             computed: AtomicUsize::new(0),
         }
     }
@@ -248,10 +251,10 @@ impl RouteCache {
             fingerprint,
             trees: (0..n).map(|_| OnceLock::new()).collect(),
             avoid_trees: SparseAvoidIndex::new(),
-            seed: Some(CacheSeed {
+            seed: Mutex::new(Some(CacheSeed {
                 base: Arc::clone(base),
                 changed,
-            }),
+            })),
             computed: AtomicUsize::new(0),
         }
     }
@@ -259,7 +262,24 @@ impl RouteCache {
     /// Whether this cache repairs its trees from a seed base
     /// ([`RouteCache::seeded_from`]) rather than running fresh Dijkstra.
     pub fn is_seeded(&self) -> bool {
-        self.seed.is_some()
+        self.seed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some()
+    }
+
+    /// Drops the reference to the seed base. Trees already materialized
+    /// keep their (repair-built, exactly equivalent) contents; trees not
+    /// yet materialized fall back to fresh Dijkstra — still exact, just
+    /// not repair-accelerated. Streaming engines detach each fixed point's
+    /// cache from its donor once its reference check has materialized the
+    /// trees it needs, so a long event stream holds one donor generation
+    /// alive instead of an unbounded seeded-from chain.
+    pub fn detach_seed(&self) {
+        self.seed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
     }
 
     /// The process-shared cache for `(topo, costs)` — shorthand for
@@ -295,17 +315,26 @@ impl RouteCache {
     pub fn tree(&self, src: NodeId) -> &[Option<PathMetric>] {
         self.trees[src.index()].get_or_init(|| {
             self.computed.fetch_add(1, Ordering::Relaxed);
-            match &self.seed {
+            // Clone the donor handle out of the lock: `base.tree(src)` may
+            // itself materialize (locking the *base's* seed mutex), and the
+            // chain is acyclic by construction.
+            let seed = self
+                .seed
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .as_ref()
+                .map(|s| (Arc::clone(&s.base), s.changed));
+            match seed {
                 // Seeded cache: repair the base cache's tree against the
                 // one-node cost delta — exactly equivalent to the fresh
                 // run, at the cost of the affected region only.
-                Some(seed) => repair_cost_change(
+                Some((base, changed)) => repair_cost_change(
                     &self.topo,
                     &self.costs,
-                    seed.base.tree(src),
+                    base.tree(src),
                     src,
-                    seed.changed,
-                    seed.base.costs().cost(seed.changed),
+                    changed,
+                    base.costs().cost(changed),
                 )
                 .into_boxed_slice(),
                 None => lcp_tree(&self.topo, &self.costs, src).into_boxed_slice(),
@@ -413,6 +442,12 @@ struct ScopeInner {
     /// Misses answered with a cache seeded from a pinned base
     /// ([`RouteCache::seeded_from`]) instead of a cold cache.
     seeded: AtomicUsize,
+    /// Misses that went cold because no pinned cache shared the topology.
+    seed_no_donor: AtomicUsize,
+    /// Misses that went cold although a same-topology pinned donor existed,
+    /// because no donor's cost vector differed at exactly one node
+    /// ([`CostVector::one_node_delta`] returned `None`).
+    seed_delta_mismatch: AtomicUsize,
     /// Caches dropped early by [`CacheScope::release`].
     released: AtomicUsize,
     /// High-water mark of simultaneously registered caches.
@@ -443,6 +478,8 @@ impl CacheScope {
                 misses: AtomicUsize::new(0),
                 evictions: AtomicUsize::new(0),
                 seeded: AtomicUsize::new(0),
+                seed_no_donor: AtomicUsize::new(0),
+                seed_delta_mismatch: AtomicUsize::new(0),
                 released: AtomicUsize::new(0),
                 peak: AtomicUsize::new(0),
             }),
@@ -580,6 +617,22 @@ impl CacheScope {
         cache
     }
 
+    /// Removes `cache` from the pinned set (a no-op if it was never
+    /// pinned). Streaming engines roll their donor pin forward on every
+    /// event — pin the new fixed point's cache, unpin (and
+    /// [`CacheScope::release`]) the previous one — so a long event stream
+    /// retains one pinned cache, not one per event.
+    pub fn unpin(&self, cache: &Arc<RouteCache>) {
+        let mut pinned = self
+            .inner
+            .pinned
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(at) = pinned.iter().position(|p| Arc::ptr_eq(p, cache)) {
+            pinned.remove(at);
+        }
+    }
+
     /// Declares the caller finished with `cache`. On an **eager** scope,
     /// if no other workload cell shares the cache (and it is not pinned),
     /// it is dropped from the registry immediately — freeing its trees
@@ -628,10 +681,25 @@ impl CacheScope {
             .pinned
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        pinned
+        let found = pinned
             .iter()
             .find(|base| base.topo == *topo && base.costs.one_node_delta(costs).is_some())
-            .map(Arc::clone)
+            .map(Arc::clone);
+        if found.is_none() {
+            // Attribute the cold build: no candidate donor at all, or a
+            // same-topology donor whose cost delta was not one-node
+            // (`one_node_delta` itself reports `None` for both identical
+            // and multi-node diffs, so this is where the distinction is
+            // observable).
+            if pinned.iter().any(|base| base.topo == *topo) {
+                self.inner
+                    .seed_delta_mismatch
+                    .fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.inner.seed_no_donor.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        found
     }
 
     /// Registry lookup: fingerprint pre-filter, full equality verify,
@@ -700,6 +768,23 @@ impl CacheScope {
     /// trees instead of recomputing them.
     pub fn seeded(&self) -> usize {
         self.inner.seeded.load(Ordering::Relaxed)
+    }
+
+    /// Misses built cold because no pinned cache shared the topology —
+    /// "no donor cache" in seed-miss attribution. Scopes that never pin
+    /// (no baseline to seed from) count every miss here.
+    pub fn seed_no_donor(&self) -> usize {
+        self.inner.seed_no_donor.load(Ordering::Relaxed)
+    }
+
+    /// Misses built cold although a same-topology pinned donor existed,
+    /// because every donor's cost vector differed at more than one node
+    /// (or not at all) — "donor found but delta not one-node" in
+    /// seed-miss attribution. In a streaming run, a rising value means
+    /// events have drifted multiple nodes away from the pinned fixed
+    /// point and the donor pin should be rolled forward.
+    pub fn seed_delta_mismatch(&self) -> usize {
+        self.inner.seed_delta_mismatch.load(Ordering::Relaxed)
     }
 
     /// Caches dropped early by [`CacheScope::release`] (eager scopes
@@ -870,6 +955,51 @@ mod tests {
         let again = scope.cache(&net.topology, &net.costs);
         assert!(Arc::ptr_eq(&scoped, &again));
         assert_eq!(scope.hits(), 1);
+    }
+
+    #[test]
+    fn seed_misses_are_attributed_and_pins_roll_forward() {
+        let net = figure1();
+        let scope = CacheScope::eager();
+        // First build: nothing pinned yet → "no donor".
+        let honest = scope.pin(&net.topology, &net.costs);
+        assert_eq!((scope.seed_no_donor(), scope.seed_delta_mismatch()), (1, 0));
+        // One-node delta from the pinned donor seeds (neither counter).
+        let lied = net.costs.with_cost(net.c, Cost::new(9));
+        let seeded = scope.cache(&net.topology, &lied);
+        assert!(seeded.is_seeded());
+        assert_eq!(scope.seeded(), 1);
+        assert_eq!((scope.seed_no_donor(), scope.seed_delta_mismatch()), (1, 0));
+        // Two-node delta: a same-topology donor exists but cannot seed.
+        let double = lied.with_cost(net.a, Cost::new(7));
+        let cold = scope.cache(&net.topology, &double);
+        assert!(!cold.is_seeded());
+        assert_eq!((scope.seed_no_donor(), scope.seed_delta_mismatch()), (1, 1));
+        // Rolling the pin forward re-enables seeding from the new base.
+        scope.unpin(&honest);
+        let rolled = scope.pin(&net.topology, &double);
+        assert!(
+            Arc::ptr_eq(&cold, &rolled),
+            "pin promotes the registered cache"
+        );
+        let next = double.with_cost(net.c, Cost::new(2));
+        drop(scope.cache(&net.topology, &next));
+        assert_eq!(
+            scope.seeded(),
+            2,
+            "one-node delta from the rolled pin seeds"
+        );
+        // Unpinned single-use caches release eagerly again...
+        drop(cold);
+        let len_before = scope.len();
+        scope.release(&seeded);
+        drop(seeded);
+        assert_eq!(scope.len(), len_before - 1, "single-use cache released");
+        // ...but a seed base stays retained while a dependent seeded cache
+        // (here `next`, repaired from `rolled`) still holds it alive.
+        scope.unpin(&rolled);
+        scope.release(&rolled);
+        assert_eq!(scope.len(), len_before - 1, "live seed base is retained");
     }
 
     #[test]

@@ -53,6 +53,16 @@ pub enum TopologyEvent {
     NodeDown(NodeId),
     /// Bring a downed node back online.
     NodeUp(NodeId),
+    /// A node re-declares its transit cost (protocol-level event). The
+    /// transport engine ignores it — links and latencies are unaffected —
+    /// but streaming run engines interpret it as "re-converge from the
+    /// current fixed point with `node`'s declared cost set to `cost`".
+    NodeCost {
+        /// The node whose declared cost changes.
+        node: NodeId,
+        /// The new declared transit cost, in cost units.
+        cost: u64,
+    },
     /// Split the network: messages between `island` and everyone else
     /// (including overlay nodes) are dropped until [`TopologyEvent::Heal`].
     Partition {
@@ -169,6 +179,13 @@ impl DynamicsState {
         }
     }
 
+    /// Applies one event immediately, outside the schedule — the streaming
+    /// engines' entry point: they inject events between quiescent runs
+    /// instead of scheduling them in advance.
+    pub fn apply_now(&mut self, event: &TopologyEvent) {
+        self.apply(event);
+    }
+
     fn apply(&mut self, event: &TopologyEvent) {
         match event {
             TopologyEvent::LinkCost { a, b, micros } => {
@@ -186,6 +203,9 @@ impl DynamicsState {
                     self.down[node.index()] = false;
                 }
             }
+            // Protocol-level event: the transport layer carries it in the
+            // schedule vocabulary but links/latencies are unaffected.
+            TopologyEvent::NodeCost { .. } => {}
             TopologyEvent::Partition { island } => {
                 let mut side = vec![false; self.n];
                 for node in island {
@@ -314,6 +334,22 @@ mod tests {
         assert!(state.blocked(n(0), n(1)));
         assert!(state.down[0]);
         assert!(!state.down[1], "the t=200 event has not arrived");
+    }
+
+    #[test]
+    fn node_cost_is_transport_inert() {
+        let d = Dynamics::new().at(
+            100,
+            TopologyEvent::NodeCost {
+                node: n(1),
+                cost: 9,
+            },
+        );
+        let mut state = DynamicsState::new(&d, 4);
+        state.apply_until(SimTime::from_micros(100));
+        assert!(state.is_inert(), "NodeCost leaves the transport untouched");
+        assert!(!state.blocked(n(0), n(1)));
+        assert_eq!(state.latency_override(n(0), n(1)), None);
     }
 
     #[test]

@@ -311,6 +311,16 @@ impl<A: Actor, L: LatencyModel> Network<A, L> {
         self
     }
 
+    /// Applies one topology event to the live dynamics state immediately —
+    /// the streaming engines' entry point between [`Network::run`] calls
+    /// (a scheduled [`Dynamics`] drives the same state during a run).
+    /// Events applied this way activate dynamics bookkeeping for the rest
+    /// of the network's lifetime.
+    pub fn apply_dynamics_event(&mut self, event: &crate::dynamics::TopologyEvent) {
+        self.dynamics.apply_now(event);
+        self.dynamics_active = true;
+    }
+
     /// Caps total processed events (protection against livelocked
     /// protocols under deviation).
     #[must_use]

@@ -1,0 +1,99 @@
+//! Streaming mode: checkpoint a converged network, walk one cost change
+//! through incremental reconvergence, and compare against a cold rerun.
+//!
+//! A deployed FPSS overlay converges once and then lives with drift —
+//! transit providers re-declare costs, routers die and come back. The
+//! one-shot engines rebuild the world for every change; the streaming
+//! engine re-enters the previous fixed point and converges only what the
+//! change actually touched (the epoch-gated `CostUpdate` flood plus
+//! destination-scoped recomputes), then re-verifies against the
+//! centralized VCG reference using a route cache *seeded* from the
+//! previous fixed point's.
+//!
+//! ```sh
+//! cargo run --example streaming_updates
+//! ```
+
+use specfaith::prelude::*;
+
+fn main() {
+    let names = ["A", "B", "C", "D", "Z", "X"];
+    let name = |id: NodeId| names[id.index()];
+    let net = figure1();
+
+    // 1. Checkpoint: converge Figure 1 once and hold the fixed point.
+    let scenario = Scenario::builder()
+        .topology(TopologySource::Figure1)
+        .traffic(TrafficModel::Single {
+            src: net.x,
+            dst: net.z,
+            packets: 10,
+        })
+        .build();
+    let mut session = scenario.stream_session(42);
+    println!("== Checkpoint: Figure 1 converged ==");
+    println!("  declared costs: {:?}", declared_line(&session, name));
+    println!("  tables: {}", session.tables_fingerprint());
+
+    // 2. One event: C's transit cost jumps from 1 to 9 — enough to move
+    //    the X -> Z lowest-cost path off C and re-price its competitors.
+    println!("\n== Stream event: C re-declares cost 1 -> 9 ==");
+    let outcome = session.apply_event(&TopologyEvent::NodeCost {
+        node: net.c,
+        cost: 9,
+    });
+    println!("  status: {:?}", outcome.status);
+    println!(
+        "  reconverged in {} messages, {} µs{}",
+        outcome.messages,
+        outcome.micros,
+        match outcome.rounds {
+            Some(rounds) => format!(" ({rounds} flood rounds)"),
+            None => String::new(),
+        }
+    );
+    println!(
+        "  re-verified against the centralized reference: {:?}",
+        outcome.verified
+    );
+    println!("  tables: {}", session.tables_fingerprint());
+
+    // 3. The correctness pin, by hand: a cold scenario built with C's new
+    //    cost converges to byte-identical tables.
+    let cold = Scenario::builder()
+        .topology(TopologySource::Figure1)
+        .costs(CostModel::Explicit(
+            net.costs.with_cost(net.c, Cost::new(9)),
+        ))
+        .traffic(TrafficModel::Single {
+            src: net.x,
+            dst: net.z,
+            packets: 10,
+        })
+        .build();
+    let cold_session = cold.stream_session(7);
+    println!("\n== Cold rerun with C = 9 ==");
+    println!("  tables: {}", cold_session.tables_fingerprint());
+    assert_eq!(
+        session.tables_fingerprint(),
+        cold_session.tables_fingerprint(),
+        "streamed tables must be byte-identical to the cold fixed point"
+    );
+    println!("  byte-identical to the streamed fixed point ✓");
+
+    // 4. Release execution against the updated tables and settle.
+    let report = session.finish();
+    println!("\n== Execution on the updated tables ==");
+    println!("  utilities:");
+    for id in scenario.topology().nodes() {
+        println!("    {}: {}", name(id), report.utilities[id.index()]);
+    }
+}
+
+fn declared_line(session: &StreamSession, name: impl Fn(NodeId) -> &'static str) -> Vec<String> {
+    session
+        .declared()
+        .iter()
+        .map(|(id, c)| format!("{}={}", name(id), c))
+        .collect()
+}

@@ -60,7 +60,8 @@ pub mod prelude {
     pub use crate::scenario::{
         CacheScope, Catalog, CostModel, Dynamics, Mechanism, MechanismOutcome, MergeError,
         NetModel, ReferenceCheck, RunReport, Scenario, ScenarioBuilder, ScenarioError, ShardSpec,
-        SweepFragment, SweepReport, TopologyEvent, TopologySource, TrafficModel,
+        StreamEvent, StreamReport, StreamSession, StreamStatus, SweepFragment, SweepReport,
+        TopologyEvent, TopologySource, TrafficModel,
     };
     pub use specfaith_core::actions::{CompatibilityKind, DeviationSurface, ExternalActionKind};
     pub use specfaith_core::equilibrium::{DeviationSpec, EquilibriumReport, EquilibriumSuite};

@@ -49,6 +49,7 @@
 mod builder;
 mod report;
 mod shard;
+mod stream;
 mod sweep;
 
 pub use builder::{CostModel, ScenarioBuilder, ScenarioError, TopologySource, TrafficModel};
@@ -57,6 +58,7 @@ pub use shard::{FragmentCell, MergeError, ShardSpec, ShardTiming, SweepFragment,
 pub use specfaith_fpss::runner::ReferenceCheck;
 pub use specfaith_graph::cache::CacheScope;
 pub use specfaith_netsim::{Dynamics, NetModel, TopologyEvent};
+pub use stream::{StreamEvent, StreamReport, StreamSession, StreamStatus};
 pub use sweep::{cell_seed, Catalog};
 
 use specfaith_core::equilibrium::EquilibriumReport;
