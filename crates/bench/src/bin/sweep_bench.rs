@@ -25,6 +25,10 @@
 //! sweep_bench --merge f0.json f1.json ... [--out merged.json] \
 //!             [--expect-fingerprint committed.json] \
 //!             [--timing-out timing.json]
+//! sweep_bench [--quick] --coordinate N --listen ADDR [--lease-cells K] \
+//!             [--lease-timeout-ms MS] [--max-attempts K] [--out merged.json] \
+//!             [--expect-fingerprint committed.json] [--expect-reissued N]
+//! sweep_bench [--quick] --worker ADDR [--worker-name NAME] [--fault CLAUSE]...
 //! ```
 //!
 //! `--quick` trims the swept catalog (CI-sized run, same instance and
@@ -81,17 +85,43 @@
 //! an artifact so shard skew is inspectable without downloading the full
 //! merged report.
 //!
+//! # Live coordination (work stealing)
+//!
+//! Where `--shard`/`--merge` partition the grid *statically* up front,
+//! `--coordinate N --listen ADDR` serves the same grid *dynamically*:
+//! the coordinator splits the cells into small contiguous leases and
+//! `--worker ADDR` processes pull them as fast as they finish, so a slow
+//! or killed worker's share flows to the others (see the coordinator
+//! subsection of the `specfaith-bench` crate docs and the README for the
+//! `specfaith-coord-v1` frame protocol and lease/retry semantics).
+//! `ADDR` is `unix:<path>` or `tcp:<host>:<port>`. The coordinator
+//! merges through the same [`SweepFragment::merge`] semantics as
+//! `--merge`, so the final report and its fingerprint are byte-identical
+//! to the monolithic sweep regardless of worker count, scheduling, or
+//! mid-run failures; `--expect-fingerprint` gates exactly as in
+//! `--merge`, and `--expect-reissued N` additionally asserts that at
+//! least `N` leases were observably re-issued (CI's scripted
+//! worker-kill check). `--fault` clauses inject deterministic worker
+//! failures — `kill-after-cells=K`, `hang-after-cells=K`,
+//! `delay-per-cell-ms=MS`, `delay-result=N:MS`, `duplicate-result=N`,
+//! `corrupt-result=N` — for drills and tests; a fault-plan ending is a
+//! scripted outcome, so the worker still exits `0`.
+//!
 //! # Exit codes
 //!
 //! * `0` — success.
 //! * `1` — gate failure: measured speedup fell below the committed
-//!   floor, or the merged fingerprint diverged from the committed one.
+//!   floor, the merged fingerprint diverged from the committed one, or
+//!   `--expect-reissued` saw fewer re-issued leases than promised.
 //! * `2` — usage, I/O, or malformed-input errors (bad flags, unreadable
-//!   or mismatched `--check` baselines, unparsable fragments). Distinct
-//!   from `1` so CI can tell "the gate tripped" from "the gate never
-//!   ran".
+//!   or mismatched `--check` baselines, unparsable fragments, bind or
+//!   connect failures, a worker rejected at `hello`, a coordinator with
+//!   no workers). Distinct from `1` so CI can tell "the gate tripped"
+//!   from "the gate never ran".
 //! * `3` — fragment merge conflict (missing/duplicate shards or cells,
-//!   cross-instance mixes, baseline disagreements).
+//!   cross-instance mixes, baseline disagreements), a lease exhausting
+//!   its retry budget, or a worker told `abort` by a failing
+//!   coordinator.
 //!
 //! `--net shared` runs both arms under the congested fair-sharing
 //! network preset ([`NetModel::congested`]) instead of the ideal model —
@@ -112,9 +142,10 @@
 //! traffic shape, not just caching.
 
 use specfaith::scenario::{
-    cell_seed, CacheScope, Catalog, CostModel, Mechanism, NetModel, ReferenceCheck, Scenario,
+    cell_seed, run_worker, CacheScope, Catalog, CoordAddr, CoordConfig, CoordError, CoordListener,
+    Coordinator, CostModel, FaultPlan, Mechanism, NetModel, ReferenceCheck, Scenario,
     ScenarioBuilder, ShardSpec, StreamStatus, SweepFragment, TopologyEvent, TopologySource,
-    TrafficModel,
+    TrafficModel, WorkerConfig, WorkerError,
 };
 use specfaith_bench::instance;
 use specfaith_core::id::NodeId;
@@ -122,7 +153,7 @@ use specfaith_fpss::deviation::{standard_catalog, FullRecomputeFaithful, Misrepo
 use specfaith_fpss::pricing::{expected_tables_for, expected_tables_uncached_for};
 use specfaith_fpss::runner::{run_plain_uncached, PlainConfig};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const N: usize = 64;
 const INSTANCE_SEED: u64 = 2004;
@@ -164,6 +195,23 @@ const STREAM_EVENTS_N1024: usize = 8;
 const STREAM_COLD_RUNS_N64: usize = 8;
 const STREAM_COLD_RUNS_N1024: usize = 1;
 
+/// The one-screen usage summary printed (to stderr) with every argument
+/// error, so a bad invocation in CI is self-explaining.
+const USAGE: &str = "\
+usage: sweep_bench [--quick | --large | --stream] [--net ideal|shared] [--n N]
+                   [--out PATH] [--check baseline.json]
+       sweep_bench [--quick] --shard i/N [--emit-shard-report fragment.json]
+       sweep_bench --merge f0.json f1.json ... [--out merged.json]
+                   [--expect-fingerprint committed.json] [--timing-out timing.json]
+       sweep_bench [--quick] --coordinate N --listen ADDR [--lease-cells K]
+                   [--lease-timeout-ms MS] [--max-attempts K] [--out merged.json]
+                   [--expect-fingerprint committed.json] [--expect-reissued N]
+       sweep_bench [--quick] --worker ADDR [--worker-name NAME] [--fault CLAUSE]...
+ADDR is unix:<path> or tcp:<host>:<port>. Fault clauses: kill-after-cells=K,
+hang-after-cells=K, delay-per-cell-ms=MS, delay-result=N:MS, duplicate-result=N,
+corrupt-result=N.";
+
+#[derive(Debug)]
 struct Args {
     quick: bool,
     large: bool,
@@ -177,9 +225,24 @@ struct Args {
     merge: Vec<String>,
     expect_fingerprint: Option<String>,
     timing_out: Option<String>,
+    coordinate: Option<usize>,
+    listen: Option<String>,
+    worker: Option<String>,
+    worker_name: Option<String>,
+    faults: Vec<String>,
+    lease_cells: Option<usize>,
+    lease_timeout_ms: Option<u64>,
+    max_attempts: Option<u32>,
+    expect_reissued: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
+    parse_args_from(std::env::args().skip(1))
+}
+
+/// The whole argument grammar, fed an explicit iterator so the
+/// validation paths are unit-testable without spawning processes.
+fn parse_args_from(raw: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         quick: false,
         large: false,
@@ -193,8 +256,17 @@ fn parse_args() -> Result<Args, String> {
         merge: Vec::new(),
         expect_fingerprint: None,
         timing_out: None,
+        coordinate: None,
+        listen: None,
+        worker: None,
+        worker_name: None,
+        faults: Vec::new(),
+        lease_cells: None,
+        lease_timeout_ms: None,
+        max_attempts: None,
+        expect_reissued: None,
     };
-    let mut it = std::env::args().skip(1).peekable();
+    let mut it = raw.peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => args.quick = true,
@@ -235,6 +307,66 @@ fn parse_args() -> Result<Args, String> {
                     Some(it.next().ok_or("--expect-fingerprint needs a path")?)
             }
             "--timing-out" => args.timing_out = Some(it.next().ok_or("--timing-out needs a path")?),
+            "--coordinate" => {
+                let count: usize = it
+                    .next()
+                    .ok_or("--coordinate needs a worker count")?
+                    .parse()
+                    .map_err(|e| format!("--coordinate: {e}"))?;
+                if count == 0 {
+                    return Err("--coordinate needs at least one worker".into());
+                }
+                args.coordinate = Some(count);
+            }
+            "--listen" => args.listen = Some(it.next().ok_or("--listen needs an address")?),
+            "--worker" => args.worker = Some(it.next().ok_or("--worker needs an address")?),
+            "--worker-name" => {
+                args.worker_name = Some(it.next().ok_or("--worker-name needs a name")?)
+            }
+            "--fault" => {
+                let clause = it.next().ok_or("--fault needs a key=value clause")?;
+                // Validate now so a typo fails before any work starts.
+                FaultPlan::none().apply(&clause)?;
+                args.faults.push(clause);
+            }
+            "--lease-cells" => {
+                let cells: usize = it
+                    .next()
+                    .ok_or("--lease-cells needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--lease-cells: {e}"))?;
+                if cells == 0 {
+                    return Err("--lease-cells must be at least 1".into());
+                }
+                args.lease_cells = Some(cells);
+            }
+            "--lease-timeout-ms" => {
+                args.lease_timeout_ms = Some(
+                    it.next()
+                        .ok_or("--lease-timeout-ms needs milliseconds")?
+                        .parse()
+                        .map_err(|e| format!("--lease-timeout-ms: {e}"))?,
+                )
+            }
+            "--max-attempts" => {
+                let attempts: u32 = it
+                    .next()
+                    .ok_or("--max-attempts needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--max-attempts: {e}"))?;
+                if attempts == 0 {
+                    return Err("--max-attempts must be at least 1".into());
+                }
+                args.max_attempts = Some(attempts);
+            }
+            "--expect-reissued" => {
+                args.expect_reissued = Some(
+                    it.next()
+                        .ok_or("--expect-reissued needs a count")?
+                        .parse()
+                        .map_err(|e| format!("--expect-reissued: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -263,8 +395,8 @@ fn parse_args() -> Result<Args, String> {
     {
         return Err("--merge takes only --out, --expect-fingerprint, and --timing-out".into());
     }
-    if args.expect_fingerprint.is_some() && args.merge.is_empty() {
-        return Err("--expect-fingerprint only applies to --merge".into());
+    if args.expect_fingerprint.is_some() && args.merge.is_empty() && args.coordinate.is_none() {
+        return Err("--expect-fingerprint only applies to --merge and --coordinate".into());
     }
     if args.timing_out.is_some() && args.merge.is_empty() {
         return Err("--timing-out only applies to --merge".into());
@@ -282,6 +414,53 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.emit_shard_report.is_some() && args.shard.is_none() {
         return Err("--emit-shard-report only applies to --shard".into());
+    }
+    if args.coordinate.is_some() && args.worker.is_some() {
+        return Err("--coordinate and --worker are mutually exclusive".into());
+    }
+    if args.coordinate.is_some() || args.worker.is_some() {
+        let role = if args.coordinate.is_some() {
+            "--coordinate"
+        } else {
+            "--worker"
+        };
+        if args.large || args.stream {
+            return Err(format!(
+                "{role} runs the n=64 grid; it excludes --large/--stream"
+            ));
+        }
+        if args.shard.is_some() || !args.merge.is_empty() {
+            return Err(format!("{role} excludes --shard and --merge"));
+        }
+        if args.net != "ideal" {
+            return Err(format!("{role} only supports --net ideal"));
+        }
+        if args.check.is_some() {
+            return Err(format!(
+                "{role} runs are gated by --expect-fingerprint; drop --check"
+            ));
+        }
+    }
+    if args.coordinate.is_some() && args.listen.is_none() {
+        return Err("--coordinate needs --listen ADDR".into());
+    }
+    if args.listen.is_some() && args.coordinate.is_none() {
+        return Err("--listen only applies to --coordinate".into());
+    }
+    if (args.worker_name.is_some() || !args.faults.is_empty()) && args.worker.is_none() {
+        return Err("--worker-name and --fault only apply to --worker".into());
+    }
+    if (args.lease_cells.is_some()
+        || args.lease_timeout_ms.is_some()
+        || args.max_attempts.is_some()
+        || args.expect_reissued.is_some())
+        && args.coordinate.is_none()
+    {
+        return Err(
+            "--lease-cells, --lease-timeout-ms, --max-attempts, and --expect-reissued \
+             only apply to --coordinate"
+                .into(),
+        );
     }
     Ok(args)
 }
@@ -633,7 +812,7 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
         Err(message) => {
-            eprintln!("sweep_bench: {message}");
+            eprintln!("sweep_bench: {message}\n{USAGE}");
             return ExitCode::from(2);
         }
     };
@@ -704,6 +883,12 @@ fn main() -> ExitCode {
 
     if let Some(shard) = args.shard {
         return run_shard(&scenario, &catalog, shard, mode, args.emit_shard_report);
+    }
+    if args.coordinate.is_some() {
+        return run_coordinate(&args, &scenario, &catalog, mode);
+    }
+    if args.worker.is_some() {
+        return run_worker_cli(&args, &scenario, &catalog, mode);
     }
 
     // Optimized arm: the real serial sweep (serial so the gated ratio does
@@ -827,7 +1012,7 @@ fn run_shard(
     // The label pins the grid identity at the bench level (instance size
     // and seeds, catalog mode, network); the library's instance
     // fingerprint covers the materialized topology/costs/traffic below it.
-    let instance = format!("sweep-n{N}-i{INSTANCE_SEED}-s{SWEEP_SEED}-{mode}-ideal");
+    let instance = grid_instance(mode);
     let total = scenario.num_nodes() * catalog.len();
     let owned = shard.cell_indices(total).len();
     eprintln!(
@@ -964,44 +1149,239 @@ fn run_merge(args: &Args) -> ExitCode {
     }
 
     if let Some(expected_path) = &args.expect_fingerprint {
-        let expected_json = match std::fs::read_to_string(expected_path) {
-            Ok(json) => json,
-            Err(error) => {
-                eprintln!(
-                    "sweep_bench: cannot read fingerprint baseline {expected_path}: {error}\n\
-                     sweep_bench: expected a committed fingerprint file at that path; run the \
-                     full shard set through --merge once and commit its \"fingerprint\" value"
-                );
-                return ExitCode::from(2);
-            }
-        };
-        if let Some(expected_instance) = json_string(&expected_json, "instance") {
-            if expected_instance != fragments[0].instance {
-                eprintln!(
-                    "sweep_bench: fingerprint baseline {expected_path} pins instance \
-                     {expected_instance:?}, but the fragments are {:?}",
-                    fragments[0].instance
-                );
-                return ExitCode::from(2);
-            }
+        if let Err(exit) = gate_fingerprint(expected_path, &fragments[0].instance, &fingerprint) {
+            return exit;
         }
-        let Some(expected) = json_string(&expected_json, "fingerprint") else {
+    }
+    ExitCode::SUCCESS
+}
+
+/// The committed-fingerprint gate shared by `--merge` and
+/// `--coordinate`: the distributed run's merged report must carry the
+/// exact fingerprint the baseline file pins (and the baseline's instance
+/// label, when present, must name the same grid).
+fn gate_fingerprint(
+    expected_path: &str,
+    instance: &str,
+    fingerprint: &str,
+) -> Result<(), ExitCode> {
+    let expected_json = match std::fs::read_to_string(expected_path) {
+        Ok(json) => json,
+        Err(error) => {
             eprintln!(
-                "sweep_bench: fingerprint baseline {expected_path} has no \"fingerprint\" field"
+                "sweep_bench: cannot read fingerprint baseline {expected_path}: {error}\n\
+                 sweep_bench: expected a committed fingerprint file at that path; run the \
+                 full shard set through --merge once and commit its \"fingerprint\" value"
             );
-            return ExitCode::from(2);
-        };
-        if expected != fingerprint {
+            return Err(ExitCode::from(2));
+        }
+    };
+    if let Some(expected_instance) = json_string(&expected_json, "instance") {
+        if expected_instance != instance {
             eprintln!(
-                "sweep_bench: FINGERPRINT MISMATCH — merged report is {fingerprint}, committed \
-                 baseline {expected_path} pins {expected}; the sharded sweep no longer \
-                 reproduces the single-process report"
+                "sweep_bench: fingerprint baseline {expected_path} pins instance \
+                 {expected_instance:?}, but this run swept {instance:?}"
+            );
+            return Err(ExitCode::from(2));
+        }
+    }
+    let Some(expected) = json_string(&expected_json, "fingerprint") else {
+        eprintln!("sweep_bench: fingerprint baseline {expected_path} has no \"fingerprint\" field");
+        return Err(ExitCode::from(2));
+    };
+    if expected != fingerprint {
+        eprintln!(
+            "sweep_bench: FINGERPRINT MISMATCH — merged report is {fingerprint}, committed \
+             baseline {expected_path} pins {expected}; the distributed sweep no longer \
+             reproduces the single-process report"
+        );
+        return Err(ExitCode::FAILURE);
+    }
+    println!("sweep_bench: fingerprint matches the committed baseline ({expected})");
+    Ok(())
+}
+
+/// The standard grid's instance label — shared by `--shard`,
+/// `--coordinate`, and `--worker` so fragments and coordinated runs from
+/// the same bench mode always agree.
+fn grid_instance(mode: &str) -> String {
+    format!("sweep-n{N}-i{INSTANCE_SEED}-s{SWEEP_SEED}-{mode}-ideal")
+}
+
+/// The `--coordinate` mode: serve the standard `n = 64` grid to live
+/// workers over cell-range leases, merge their fragments, and gate the
+/// result like `--merge` does. Exit codes: `2` for setup/transport
+/// failures (bad address, bind failure, no workers), `3` for merge
+/// conflicts and exhausted lease retries, `1` when the merged
+/// fingerprint diverges from the committed baseline or the
+/// `--expect-reissued` floor is missed.
+fn run_coordinate(args: &Args, scenario: &Scenario, catalog: &Catalog, mode: &str) -> ExitCode {
+    let workers = args.coordinate.expect("validated").max(1);
+    let instance = grid_instance(mode);
+    let addr = match CoordAddr::parse(args.listen.as_deref().expect("validated")) {
+        Ok(addr) => addr,
+        Err(error) => {
+            eprintln!("sweep_bench: --listen: {error}");
+            return ExitCode::from(2);
+        }
+    };
+    let total = scenario.num_nodes() * catalog.len();
+    // Default lease size: ~4 leases per expected worker, so a straggler
+    // or a killed worker forfeits only a small slice of the grid.
+    let mut config = CoordConfig {
+        lease_cells: args
+            .lease_cells
+            .unwrap_or_else(|| (total / (workers * 4)).max(1)),
+        ..CoordConfig::default()
+    };
+    if let Some(ms) = args.lease_timeout_ms {
+        config.lease_timeout = Duration::from_millis(ms);
+    }
+    if let Some(attempts) = args.max_attempts {
+        config.max_attempts = attempts;
+    }
+    let coordinator = Coordinator::new(scenario, &[SWEEP_SEED], catalog, &instance, config.clone());
+    let listener = match CoordListener::bind(&addr) {
+        Ok(listener) => listener,
+        Err(error) => {
+            eprintln!("sweep_bench: cannot listen on {addr}: {error}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "sweep_bench[{mode}/coordinate]: {total} grid cells in {}-cell leases for {workers} \
+         worker(s) on {}...",
+        config.lease_cells,
+        listener.local_addr(),
+    );
+    let outcome = match coordinator.serve(listener) {
+        Ok(outcome) => outcome,
+        Err(error) => {
+            eprintln!("sweep_bench: coordination failed: {error}");
+            return match error {
+                CoordError::Merge(_) | CoordError::RetriesExhausted { .. } => ExitCode::from(3),
+                CoordError::Io(_) | CoordError::NoWorkers { .. } => ExitCode::from(2),
+            };
+        }
+    };
+    println!(
+        "sweep_bench[{mode}/coordinate]: {} cells over {} lease(s) ({} reissued, {} duplicate \
+         result(s), {} corrupt line(s)), fingerprint {}",
+        outcome.stats.grid_cells,
+        outcome.stats.leases_issued,
+        outcome.stats.leases_reissued,
+        outcome.stats.duplicate_results,
+        outcome.stats.corrupt_lines,
+        outcome.fingerprint,
+    );
+    print!("{}", outcome.stats.skew_summary());
+
+    let workers_json = outcome
+        .stats
+        .workers
+        .iter()
+        .map(|worker| {
+            format!(
+                "{{\"worker\": {:?}, \"cells\": {}, \"leases\": {}, \"cells_secs\": {:.3}, \
+                 \"baseline_secs\": {:.3}}}",
+                worker.name, worker.cells, worker.leases, worker.secs, worker.baseline_secs
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let doc = format!(
+        "{{\n  \"format\": \"specfaith-sweep-merged-v1\",\n  \"instance\": \"{instance}\",\n  \
+         \"fingerprint\": \"{}\",\n  \"cells\": {},\n  \"leases_issued\": {},\n  \
+         \"leases_reissued\": {},\n  \"duplicate_results\": {},\n  \"corrupt_lines\": {},\n  \
+         \"workers\": [\n    {workers_json}\n  ],\n  \"report\": {}\n}}\n",
+        outcome.fingerprint,
+        outcome.stats.grid_cells,
+        outcome.stats.leases_issued,
+        outcome.stats.leases_reissued,
+        outcome.stats.duplicate_results,
+        outcome.stats.corrupt_lines,
+        outcome.report.to_canonical_json(),
+    );
+    let out = args.out.as_deref().unwrap_or("SWEEP_coordinated.json");
+    if let Err(error) = std::fs::write(out, &doc) {
+        eprintln!("sweep_bench: cannot write {out}: {error}");
+        return ExitCode::from(2);
+    }
+    println!("sweep_bench[{mode}/coordinate]: wrote {out}");
+
+    if let Some(floor) = args.expect_reissued {
+        if outcome.stats.leases_reissued < floor {
+            eprintln!(
+                "sweep_bench: REISSUE GATE — expected at least {floor} re-issued lease(s) (the \
+                 scripted worker failure should have been recovered), saw {}",
+                outcome.stats.leases_reissued
             );
             return ExitCode::FAILURE;
         }
-        println!("sweep_bench[merge]: fingerprint matches the committed baseline ({expected})");
+        println!(
+            "sweep_bench: reissue gate passed — {} re-issued lease(s) >= {floor}",
+            outcome.stats.leases_reissued
+        );
+    }
+    if let Some(expected_path) = &args.expect_fingerprint {
+        if let Err(exit) = gate_fingerprint(expected_path, &instance, &outcome.fingerprint) {
+            return exit;
+        }
     }
     ExitCode::SUCCESS
+}
+
+/// The `--worker` mode: evaluate leases for the coordinator at the given
+/// address until it says `done`. A fault-plan ending (kill/hang) is a
+/// scripted outcome, not an error — the process still exits `0` so CI
+/// fault scripts don't need exit-code contortions; real failures exit
+/// `2` (transport, rejection) or `3` (the coordinator aborted the run).
+fn run_worker_cli(args: &Args, scenario: &Scenario, catalog: &Catalog, mode: &str) -> ExitCode {
+    let instance = grid_instance(mode);
+    let addr = match CoordAddr::parse(args.worker.as_deref().expect("validated")) {
+        Ok(addr) => addr,
+        Err(error) => {
+            eprintln!("sweep_bench: --worker: {error}");
+            return ExitCode::from(2);
+        }
+    };
+    let name = args
+        .worker_name
+        .clone()
+        .unwrap_or_else(|| format!("worker-{}", std::process::id()));
+    let mut config = WorkerConfig::named(&name);
+    for clause in &args.faults {
+        if let Err(error) = config.fault.apply(clause) {
+            eprintln!("sweep_bench: --fault: {error}");
+            return ExitCode::from(2);
+        }
+    }
+    eprintln!("sweep_bench[{mode}/worker {name}]: connecting to {addr}...");
+    match run_worker(scenario, &[SWEEP_SEED], catalog, &instance, &addr, config) {
+        Ok(summary) => {
+            let ending = if summary.killed {
+                " (killed by fault plan)"
+            } else if summary.hung {
+                " (hung by fault plan)"
+            } else {
+                ""
+            };
+            println!(
+                "sweep_bench[{mode}/worker {}]: {} cell(s) over {} result(s){ending}",
+                summary.name, summary.cells, summary.leases,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("sweep_bench: worker {name} failed: {error}");
+            match error {
+                WorkerError::Aborted(_) => ExitCode::from(3),
+                WorkerError::Io(_) | WorkerError::Rejected(_) | WorkerError::Disconnected => {
+                    ExitCode::from(2)
+                }
+            }
+        }
+    }
 }
 
 /// Loads a committed gate baseline and returns its speedup, validating
@@ -1069,6 +1449,149 @@ fn check_gate(baseline_path: &str, mode: &str, n: usize, speedup: f64) -> ExitCo
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn parse(list: &[&str]) -> Result<Args, String> {
+        parse_args_from(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn merge_without_fragment_paths_is_a_usage_error() {
+        let error = parse(&["--merge"]).unwrap_err();
+        assert!(error.contains("fragment paths"), "{error}");
+        // main() prints USAGE with every parse error; the merge grammar
+        // must be on that screen so the failure is self-explaining.
+        assert!(USAGE.contains("--merge f0.json"));
+        // A following flag doesn't count as a path either.
+        let error = parse(&["--merge", "--out", "x.json"]).unwrap_err();
+        assert!(error.contains("fragment paths"), "{error}");
+    }
+
+    #[test]
+    fn coordinate_and_listen_require_each_other() {
+        let error = parse(&["--coordinate", "3"]).unwrap_err();
+        assert!(error.contains("--listen"), "{error}");
+        let error = parse(&["--listen", "tcp:127.0.0.1:0"]).unwrap_err();
+        assert!(error.contains("--coordinate"), "{error}");
+        let args = parse(&[
+            "--quick",
+            "--coordinate",
+            "3",
+            "--listen",
+            "unix:/tmp/s.sock",
+        ])
+        .expect("valid coordinate invocation");
+        assert_eq!(args.coordinate, Some(3));
+        assert_eq!(args.listen.as_deref(), Some("unix:/tmp/s.sock"));
+    }
+
+    #[test]
+    fn coordinate_rejects_zero_workers_and_conflicting_modes() {
+        let error = parse(&["--coordinate", "0", "--listen", "tcp:h:1"]).unwrap_err();
+        assert!(error.contains("at least one"), "{error}");
+        let error = parse(&["--large", "--coordinate", "2", "--listen", "tcp:h:1"]).unwrap_err();
+        assert!(error.contains("--large"), "{error}");
+        let error = parse(&[
+            "--coordinate",
+            "2",
+            "--listen",
+            "tcp:h:1",
+            "--worker",
+            "tcp:h:1",
+        ])
+        .unwrap_err();
+        assert!(error.contains("mutually exclusive"), "{error}");
+        let error = parse(&[
+            "--net",
+            "shared",
+            "--coordinate",
+            "2",
+            "--listen",
+            "tcp:h:1",
+        ])
+        .unwrap_err();
+        assert!(error.contains("ideal"), "{error}");
+    }
+
+    #[test]
+    fn fault_clauses_validate_at_parse_time_and_need_worker_mode() {
+        let args = parse(&[
+            "--quick",
+            "--worker",
+            "tcp:127.0.0.1:9",
+            "--worker-name",
+            "victim",
+            "--fault",
+            "kill-after-cells=5",
+            "--fault",
+            "delay-result=0:250",
+        ])
+        .expect("valid worker invocation");
+        assert_eq!(args.worker.as_deref(), Some("tcp:127.0.0.1:9"));
+        assert_eq!(args.faults.len(), 2);
+
+        let error = parse(&["--worker", "tcp:h:1", "--fault", "explode=now"]).unwrap_err();
+        assert!(error.contains("explode"), "{error}");
+        let error = parse(&["--fault", "kill-after-cells=5"]).unwrap_err();
+        assert!(error.contains("--worker"), "{error}");
+    }
+
+    #[test]
+    fn coordinator_tuning_flags_require_coordinate_mode() {
+        for flags in [
+            &["--lease-cells", "4"][..],
+            &["--lease-timeout-ms", "5000"][..],
+            &["--max-attempts", "3"][..],
+            &["--expect-reissued", "1"][..],
+        ] {
+            let error = parse(flags).unwrap_err();
+            assert!(error.contains("--coordinate"), "{flags:?}: {error}");
+        }
+        let args = parse(&[
+            "--quick",
+            "--coordinate",
+            "3",
+            "--listen",
+            "tcp:127.0.0.1:0",
+            "--lease-cells",
+            "4",
+            "--lease-timeout-ms",
+            "5000",
+            "--max-attempts",
+            "3",
+            "--expect-reissued",
+            "1",
+        ])
+        .expect("valid tuned invocation");
+        assert_eq!(args.lease_cells, Some(4));
+        assert_eq!(args.lease_timeout_ms, Some(5000));
+        assert_eq!(args.max_attempts, Some(3));
+        assert_eq!(args.expect_reissued, Some(1));
+        let error =
+            parse(&["--coordinate", "1", "--listen", "t", "--lease-cells", "0"]).unwrap_err();
+        assert!(error.contains("--lease-cells"), "{error}");
+    }
+
+    #[test]
+    fn expect_fingerprint_applies_to_merge_and_coordinate_only() {
+        let error = parse(&["--quick", "--expect-fingerprint", "f.json"]).unwrap_err();
+        assert!(error.contains("--merge and --coordinate"), "{error}");
+        parse(&["--merge", "a.json", "--expect-fingerprint", "f.json"]).expect("merge gate");
+        parse(&[
+            "--coordinate",
+            "2",
+            "--listen",
+            "tcp:h:1",
+            "--expect-fingerprint",
+            "f.json",
+        ])
+        .expect("coordinate gate");
+    }
+
+    #[test]
+    fn grid_instance_matches_the_committed_baseline_label() {
+        assert_eq!(grid_instance("quick"), "sweep-n64-i2004-s7-quick-ideal");
+        assert_eq!(grid_instance("full"), "sweep-n64-i2004-s7-full-ideal");
+    }
 
     fn temp_baseline(name: &str, contents: &str) -> std::path::PathBuf {
         let path = std::env::temp_dir().join(format!(

@@ -20,7 +20,7 @@
 //!   "seeds": [7],
 //!   "agents": [0, 1, …],
 //!   "deviations": [{"name": "…", "surface": ["…"], "phase": …}, …],
-//!   "baselines": [{"seed": 7, "faithful_utilities": [-12, …]}],
+//!   "baselines": [{"seed": 7, "utilities": [-12, …]}],
 //!   "cells": [
 //!     {"index": 5, "seed": 7, "agent": 2, "deviation": 1,
 //!      "deviant_utility": -9, "detected": true}, …
@@ -42,6 +42,43 @@
 //! table. Money values are exact integers; all floats are timings.
 //! Unknown keys are ignored, so the format can grow fields without
 //! breaking old readers.
+//!
+//! # Coordinator protocol (`specfaith-coord-v1`)
+//!
+//! `sweep_bench --coordinate N --listen ADDR` replaces the static
+//! shard partition with live work stealing: a coordinator process
+//! leases small contiguous cell ranges of the same grid to
+//! `sweep_bench --worker ADDR` processes over a Unix or TCP socket
+//! (`unix:<path>` / `tcp:<host>:<port>`). The wire format is
+//! newline-delimited JSON, one frame per line, each tagged
+//! `"frame": "<kind>"`:
+//!
+//! ```text
+//! worker → coordinator    hello (name + grid manifest), baselines,
+//!                         ready, heartbeat, result
+//! coordinator → worker    welcome | reject, lease, idle, done, abort
+//! ```
+//!
+//! Workers *pull*: after `welcome`, a worker sends its per-seed honest
+//! `baselines` (cross-checked bit-for-bit across workers, like the
+//! fragment merge), then loops `ready` → `lease`/`idle`/`done`. A
+//! `result` frame carries the lease's evaluated cells in the same
+//! shape as the fragment format's `cells` array. Integers are parsed
+//! through the same i128-accumulator JSON layer as fragments, unknown
+//! keys are ignored, and an unparsable line costs the sender its
+//! connection — never the run.
+//!
+//! A lease is re-queued when its connection dies (EOF) or its deadline
+//! lapses (no `result`/`heartbeat` within the lease timeout), with
+//! doubling backoff and a bounded number of grants; late results of
+//! re-issued leases are tolerated when bit-identical and fatal
+//! (`DuplicateCell`) when conflicting. Because every cell's RNG seed
+//! depends only on `(seed, agent, deviation)`, the merged report is
+//! byte-identical to the monolithic sweep whatever the worker count,
+//! scheduling, or failures — the same `--expect-fingerprint` baseline
+//! gates both `--merge` and `--coordinate`. See the `sweep_bench`
+//! binary docs for CLI flags, fault-injection clauses, and exit codes,
+//! and `specfaith::scenario::Coordinator` for the library API.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -58,10 +58,12 @@ pub mod scenario;
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
     pub use crate::scenario::{
-        CacheScope, Catalog, CostModel, Dynamics, Mechanism, MechanismOutcome, MergeError,
-        NetModel, ReferenceCheck, RunReport, Scenario, ScenarioBuilder, ScenarioError, ShardSpec,
-        StreamEvent, StreamReport, StreamSession, StreamStatus, SweepFragment, SweepReport,
-        TopologyEvent, TopologySource, TrafficModel,
+        run_worker, run_worker_sampled, CacheScope, Catalog, CoordAddr, CoordConfig, CoordError,
+        CoordListener, CoordOutcome, CoordStats, Coordinator, CostModel, Dynamics, FaultPlan,
+        Mechanism, MechanismOutcome, MergeError, NetModel, ReferenceCheck, RunReport, Scenario,
+        ScenarioBuilder, ScenarioError, ShardSpec, StreamEvent, StreamReport, StreamSession,
+        StreamStatus, SweepFragment, SweepReport, TopologyEvent, TopologySource, TrafficModel,
+        WorkerConfig, WorkerError, WorkerSummary,
     };
     pub use specfaith_core::actions::{CompatibilityKind, DeviationSurface, ExternalActionKind};
     pub use specfaith_core::equilibrium::{DeviationSpec, EquilibriumReport, EquilibriumSuite};

@@ -47,12 +47,18 @@
 //! 0.2.
 
 mod builder;
+mod coord;
 mod report;
 mod shard;
 mod stream;
 mod sweep;
 
 pub use builder::{CostModel, ScenarioBuilder, ScenarioError, TopologySource, TrafficModel};
+pub use coord::{
+    run_worker, run_worker_sampled, CoordAddr, CoordConfig, CoordError, CoordListener,
+    CoordOutcome, CoordStats, Coordinator, FaultPlan, Frame, GridManifest, WorkerConfig,
+    WorkerError, WorkerStats, WorkerSummary, COORD_FORMAT,
+};
 pub use report::{MechanismOutcome, RunReport, SweepReport};
 pub use shard::{FragmentCell, MergeError, ShardSpec, ShardTiming, SweepFragment, FRAGMENT_FORMAT};
 pub use specfaith_fpss::runner::ReferenceCheck;

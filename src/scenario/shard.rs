@@ -733,7 +733,7 @@ pub(super) fn run_shard(
 /// An opaque identity hash of the scenario's instance (topology, true
 /// costs, traffic, mechanism) — merge-conflict detection only, not a
 /// stable cross-version format.
-fn instance_fingerprint(scenario: &Scenario) -> String {
+pub(crate) fn instance_fingerprint(scenario: &Scenario) -> String {
     let description = format!(
         "{:?}|{:?}|{:?}|{:?}",
         scenario.topology(),
@@ -789,7 +789,7 @@ pub(crate) fn spec_to_json(spec: &DeviationSpec) -> String {
     )
 }
 
-fn spec_from_json(value: &Json) -> Result<DeviationSpec, String> {
+pub(crate) fn spec_from_json(value: &Json) -> Result<DeviationSpec, String> {
     let obj = value.as_object("deviation spec")?;
     let name = get(obj, "name")?.as_str("spec.name")?;
     let mut surface = DeviationSurface::new();
@@ -853,6 +853,7 @@ impl Json {
         let mut parser = Parser {
             bytes: text.as_bytes(),
             at: 0,
+            depth: 0,
         };
         parser.skip_whitespace();
         let value = parser.value()?;
@@ -875,7 +876,7 @@ impl Json {
         }
     }
 
-    fn as_object(&self, what: &str) -> Result<&[(String, Json)], String> {
+    pub(crate) fn as_object(&self, what: &str) -> Result<&[(String, Json)], String> {
         match self {
             Json::Obj(entries) => Ok(entries),
             other => Err(format!(
@@ -885,14 +886,14 @@ impl Json {
         }
     }
 
-    fn as_array(&self, what: &str) -> Result<&[Json], String> {
+    pub(crate) fn as_array(&self, what: &str) -> Result<&[Json], String> {
         match self {
             Json::Arr(items) => Ok(items),
             other => Err(format!("{what}: expected array, got {}", other.type_name())),
         }
     }
 
-    fn as_str(&self, what: &str) -> Result<&str, String> {
+    pub(crate) fn as_str(&self, what: &str) -> Result<&str, String> {
         match self {
             Json::Str(text) => Ok(text),
             other => Err(format!(
@@ -902,7 +903,7 @@ impl Json {
         }
     }
 
-    fn as_bool(&self, what: &str) -> Result<bool, String> {
+    pub(crate) fn as_bool(&self, what: &str) -> Result<bool, String> {
         match self {
             Json::Bool(value) => Ok(*value),
             other => Err(format!("{what}: expected bool, got {}", other.type_name())),
@@ -919,19 +920,19 @@ impl Json {
         }
     }
 
-    fn as_u64(&self, what: &str) -> Result<u64, String> {
+    pub(crate) fn as_u64(&self, what: &str) -> Result<u64, String> {
         u64::try_from(self.as_i128(what)?).map_err(|_| format!("{what}: out of u64 range"))
     }
 
-    fn as_i64(&self, what: &str) -> Result<i64, String> {
+    pub(crate) fn as_i64(&self, what: &str) -> Result<i64, String> {
         i64::try_from(self.as_i128(what)?).map_err(|_| format!("{what}: out of i64 range"))
     }
 
-    fn as_usize(&self, what: &str) -> Result<usize, String> {
+    pub(crate) fn as_usize(&self, what: &str) -> Result<usize, String> {
         usize::try_from(self.as_i128(what)?).map_err(|_| format!("{what}: out of usize range"))
     }
 
-    fn as_f64(&self, what: &str) -> Result<f64, String> {
+    pub(crate) fn as_f64(&self, what: &str) -> Result<f64, String> {
         match self {
             Json::Int(value) => Ok(*value as f64),
             Json::Float(value) => Ok(*value),
@@ -943,7 +944,7 @@ impl Json {
     }
 }
 
-fn get<'a>(entries: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+pub(crate) fn get<'a>(entries: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
     entries
         .iter()
         .find(|(name, _)| name == key)
@@ -951,9 +952,16 @@ fn get<'a>(entries: &'a [(String, Json)], key: &str) -> Result<&'a Json, String>
         .ok_or_else(|| format!("missing key {key:?}"))
 }
 
+/// Nesting ceiling for [`Parser`]. The documents this workspace writes
+/// nest four levels deep; anything past this is adversarial input, and
+/// unbounded recursion would turn it into a stack overflow (an abort, not
+/// a catchable error).
+const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     at: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -996,7 +1004,14 @@ impl Parser<'_> {
     }
 
     fn value(&mut self) -> Result<Json, String> {
-        match self.peek()? {
+        if self.depth >= MAX_PARSE_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_PARSE_DEPTH} at byte {}",
+                self.at
+            ));
+        }
+        self.depth += 1;
+        let value = match self.peek()? {
             b'{' => self.object(),
             b'[' => self.array(),
             b'"' => Ok(Json::Str(self.string()?)),
@@ -1004,7 +1019,9 @@ impl Parser<'_> {
             b'f' => self.literal("false").map(|()| Json::Bool(false)),
             b'n' => self.literal("null").map(|()| Json::Null),
             _ => self.number(),
-        }
+        };
+        self.depth -= 1;
+        value
     }
 
     fn object(&mut self) -> Result<Json, String> {

@@ -1,0 +1,318 @@
+//! Fuzzing the two wire parsers — `specfaith-sweep-fragment-v1`
+//! documents ([`SweepFragment::from_json`]) and `specfaith-coord-v1`
+//! protocol lines (`Frame::parse`) — with the crate's deterministic
+//! proptest stand-in.
+//!
+//! The contract under test is *never panic*: arbitrary truncation, byte
+//! substitution, unknown-key injection, i128 boundary integers,
+//! interleaved protocol frames, pathological nesting depth, and raw
+//! byte soup must all come back as `Ok` or a typed `Err` string —
+//! a worker feeding garbage to the coordinator may cost itself a
+//! connection, but it must never crash the merge. Round-trip identity
+//! (`to_json → from_json → to_json`) is pinned alongside, so the
+//! tolerance for junk provably does not come at the price of losing
+//! real data.
+
+use proptest::prelude::*;
+use specfaith::fpss::deviation::standard_catalog;
+use specfaith::prelude::*;
+use specfaith::scenario::{Catalog, FragmentCell, Frame, GridManifest, ShardTiming};
+
+/// A structurally valid fragment built by hand (no sweep needed — the
+/// parsers only see the document, not the physics behind it).
+fn template_fragment() -> SweepFragment {
+    let specs = small_specs();
+    SweepFragment {
+        shard: ShardSpec::new(1, 3),
+        instance: "fuzz-instance".to_string(),
+        instance_fingerprint: "fnv1a64:00000000deadbeef".to_string(),
+        seeds: vec![11, 12],
+        agents: vec![0, 3, 5],
+        deviations: specs,
+        baselines: vec![
+            (11, vec![Money::new(-4), Money::new(0), Money::new(17)]),
+            (12, vec![Money::new(2), Money::new(-9), Money::new(0)]),
+        ],
+        cells: vec![
+            FragmentCell {
+                index: 1,
+                seed: 11,
+                agent: 0,
+                deviation: 1,
+                deviant_utility: Money::new(-123),
+                detected: true,
+            },
+            FragmentCell {
+                index: 4,
+                seed: 11,
+                agent: 5,
+                deviation: 0,
+                deviant_utility: Money::new(42),
+                detected: false,
+            },
+        ],
+        timing: ShardTiming {
+            baseline_secs: 1.5,
+            cells_secs: 0.25,
+        },
+    }
+}
+
+fn small_specs() -> Vec<DeviationSpec> {
+    Catalog::from_factory(|deviant| standard_catalog(deviant).into_iter().take(2).collect()).specs()
+}
+
+/// One of every protocol frame, as its wire line.
+fn frame_lines() -> Vec<String> {
+    let fragment = template_fragment();
+    let manifest = GridManifest {
+        instance: fragment.instance.clone(),
+        instance_fingerprint: fragment.instance_fingerprint.clone(),
+        seeds: fragment.seeds.clone(),
+        agents: fragment.agents.clone(),
+        deviations: fragment.deviations.clone(),
+    };
+    vec![
+        Frame::Hello {
+            worker: "fuzz-worker".to_string(),
+            manifest,
+        }
+        .to_line(),
+        Frame::Welcome { grid_cells: 12 }.to_line(),
+        Frame::Reject {
+            reason: "manifest mismatch: \"quoted\" and \\escaped".to_string(),
+        }
+        .to_line(),
+        Frame::Baselines {
+            secs: 0.125,
+            baselines: fragment.baselines.clone(),
+        }
+        .to_line(),
+        Frame::Ready.to_line(),
+        Frame::Lease {
+            lease: 7,
+            cells: vec![0, 1, 2, 3],
+        }
+        .to_line(),
+        Frame::Idle { retry_ms: 50 }.to_line(),
+        Frame::Heartbeat { lease: u64::MAX }.to_line(),
+        Frame::Result {
+            lease: 7,
+            secs: 0.5,
+            cells: fragment.cells.clone(),
+        }
+        .to_line(),
+        Frame::Done.to_line(),
+        Frame::Abort {
+            reason: "fuzz".to_string(),
+        }
+        .to_line(),
+    ]
+}
+
+/// Clips `cut` to a char boundary of `text` (the documents are ASCII,
+/// but the fuzz inputs need not stay that way).
+fn clamp_to_boundary(text: &str, mut cut: usize) -> usize {
+    cut %= text.len() + 1;
+    while !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    cut
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A truncated fragment document parses to an error — never a panic,
+    /// and never a silently short fragment. (Cutting only the final
+    /// newline leaves the document valid, hence the boundary carve-out.)
+    #[test]
+    fn truncated_fragment_errors_without_panicking(cut in any::<usize>()) {
+        let document = template_fragment().to_json();
+        let cut = clamp_to_boundary(&document, cut);
+        let parsed = SweepFragment::from_json(&document[..cut]);
+        if parsed.is_ok() {
+            prop_assert!(
+                cut + 1 >= document.len(),
+                "a truncation at byte {cut}/{} parsed cleanly",
+                document.len()
+            );
+        }
+    }
+
+    /// A truncated protocol line errors — every proper prefix of a
+    /// single-line frame loses at least its closing brace.
+    #[test]
+    fn truncated_frame_errors_without_panicking(pick in any::<usize>(), cut in any::<usize>()) {
+        let lines = frame_lines();
+        let line = &lines[pick % lines.len()];
+        let cut = clamp_to_boundary(line, cut);
+        prop_assume!(cut < line.len());
+        prop_assert!(
+            Frame::parse(&line[..cut]).is_err(),
+            "a truncation at byte {cut}/{} parsed cleanly: {:?}",
+            line.len(),
+            &line[..cut]
+        );
+    }
+
+    /// Single-byte substitutions anywhere in a fragment document or a
+    /// frame line must return (Ok or Err), never panic — this drives the
+    /// parser through every mid-token corruption the mutation reaches.
+    #[test]
+    fn mutated_bytes_never_panic(pick in any::<usize>(), pos in any::<usize>(), byte in any::<u8>()) {
+        let lines = frame_lines();
+        let document = template_fragment().to_json();
+        let target = if pick % 2 == 0 {
+            document
+        } else {
+            lines[pick % lines.len()].clone()
+        };
+        let mut bytes = target.into_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] = byte;
+        let mutated = String::from_utf8_lossy(&bytes);
+        let _ = SweepFragment::from_json(&mutated);
+        let _ = Frame::parse(&mutated);
+    }
+
+    /// Unknown keys — flat or deeply structured — are tolerated by both
+    /// parsers: the documents still parse and carry the same payload, so
+    /// a newer writer can extend the format without breaking this reader.
+    #[test]
+    fn unknown_keys_are_tolerated(tag in any::<u64>()) {
+        let reference = template_fragment();
+        let document = reference.to_json();
+        let extras = format!(
+            ",\n  \"zz_unknown_{tag}\": {tag},\n  \"zz_structured\": \
+             {{\"a\": [1, -2.5, null, {{\"b\": [true, \"x\"]}}]}}\n}}"
+        );
+        let extended = document.trim_end().trim_end_matches('}').to_string() + &extras;
+        let parsed = SweepFragment::from_json(&extended);
+        prop_assert!(parsed.is_ok(), "unknown keys rejected: {parsed:?}");
+        let parsed = parsed.unwrap();
+        prop_assert_eq!(&parsed.cells, &reference.cells);
+        prop_assert_eq!(&parsed.seeds, &reference.seeds);
+        prop_assert_eq!(&parsed.baselines, &reference.baselines);
+
+        let line = format!(
+            "{{\"frame\": \"heartbeat\", \"lease\": 9, \"zz_unknown_{tag}\": [{tag}]}}"
+        );
+        prop_assert_eq!(Frame::parse(&line), Ok(Frame::Heartbeat { lease: 9 }));
+    }
+
+    /// Raw byte soup — not even JSON-shaped — never panics either parser.
+    #[test]
+    fn byte_soup_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let soup = String::from_utf8_lossy(&bytes);
+        let _ = SweepFragment::from_json(&soup);
+        let _ = Frame::parse(&soup);
+    }
+
+    /// Hand-constructed fragments with arbitrary payload values survive
+    /// `to_json → from_json → to_json` byte-identically — junk tolerance
+    /// does not cost real data.
+    #[test]
+    fn fragment_round_trip_is_identity(
+        cell in ((0usize..1_000_000, any::<u64>(), 0usize..4096), (any::<i64>(), any::<bool>())),
+    ) {
+        let ((index, seed, agent), (utility, detected)) = cell;
+        let mut fragment = template_fragment();
+        fragment.cells.push(FragmentCell {
+            index,
+            seed,
+            agent,
+            deviation: index % 2,
+            deviant_utility: Money::new(utility),
+            detected,
+        });
+        let document = fragment.to_json();
+        let reparsed = SweepFragment::from_json(&document).expect("own output parses");
+        prop_assert_eq!(&reparsed.to_json(), &document);
+        prop_assert_eq!(&reparsed.cells, &fragment.cells);
+        prop_assert_eq!(&reparsed.seeds, &fragment.seeds);
+        prop_assert_eq!(&reparsed.agents, &fragment.agents);
+        prop_assert_eq!(&reparsed.baselines, &fragment.baselines);
+    }
+}
+
+/// Integer boundaries: the JSON layer accumulates into i128, so
+/// `i128::MAX`/`i128::MIN` must *parse* (then fail the u64/i64 range
+/// checks with errors), and one digit beyond i128 must be a parse error
+/// — never a panic, never a silent wrap.
+#[test]
+fn i128_boundary_integers_error_cleanly() {
+    let max = i128::MAX; // 170141183460469231731687303715884105727
+    let min = i128::MIN;
+    let beyond = format!("{max}9");
+
+    for huge in [max.to_string(), min.to_string(), beyond.clone()] {
+        let document = template_fragment()
+            .to_json()
+            .replace("\"seeds\": [11, 12]", &format!("\"seeds\": [{huge}]"));
+        let parsed = SweepFragment::from_json(&document);
+        assert!(parsed.is_err(), "seed {huge} must not fit u64: {parsed:?}");
+
+        let line = format!("{{\"frame\": \"heartbeat\", \"lease\": {huge}}}");
+        assert!(
+            Frame::parse(&line).is_err(),
+            "lease {huge} must not fit u64"
+        );
+    }
+
+    // The actual u64/i64 boundaries do fit, exactly.
+    let line = format!("{{\"frame\": \"heartbeat\", \"lease\": {}}}", u64::MAX);
+    assert_eq!(
+        Frame::parse(&line),
+        Ok(Frame::Heartbeat { lease: u64::MAX })
+    );
+    let document = template_fragment().to_json().replace(
+        "\"deviant_utility\": -123",
+        &format!("\"deviant_utility\": {}", i64::MIN),
+    );
+    let parsed = SweepFragment::from_json(&document).expect("i64::MIN utility fits");
+    assert_eq!(parsed.cells[0].deviant_utility, Money::new(i64::MIN));
+}
+
+/// Feeding protocol frames to the fragment parser (and vice versa) — the
+/// realistic cross-wiring when a worker writes its socket lines into a
+/// spool file — errors cleanly in both directions.
+#[test]
+fn interleaved_protocol_frames_error_cleanly() {
+    for line in frame_lines() {
+        let parsed = SweepFragment::from_json(&line);
+        assert!(parsed.is_err(), "frame accepted as a fragment: {line}");
+    }
+    let document = template_fragment().to_json();
+    assert!(
+        Frame::parse(&document).is_err(),
+        "a fragment document accepted as a protocol frame"
+    );
+    // A spool file with frames interleaved into the document.
+    let interleaved = format!("{}\n{document}", frame_lines().join("\n"));
+    assert!(SweepFragment::from_json(&interleaved).is_err());
+}
+
+/// Pathological nesting (10 000 deep) hits the parser's depth cap as an
+/// error — not a stack overflow, which `catch_unwind` could never save.
+#[test]
+fn pathological_nesting_depth_errors_instead_of_overflowing() {
+    let depth = 10_000;
+    let arrays = format!("{}{}", "[".repeat(depth), "]".repeat(depth));
+    assert!(SweepFragment::from_json(&arrays).is_err());
+
+    let framed = format!("{{\"frame\": \"ready\", \"zz\": {arrays}}}");
+    let parsed = Frame::parse(&framed);
+    assert!(parsed.is_err(), "deep nesting must be rejected: {parsed:?}");
+
+    let objects = format!("{}\"x\"{}", "{\"a\": ".repeat(depth), "}".repeat(depth));
+    assert!(SweepFragment::from_json(&objects).is_err());
+
+    // At a tame depth the same shape is accepted wherever junk keys are.
+    let shallow = format!(
+        "{{\"frame\": \"ready\", \"zz\": {}{}}}",
+        "[".repeat(64),
+        "]".repeat(64)
+    );
+    assert_eq!(Frame::parse(&shallow), Ok(Frame::Ready));
+}
